@@ -1,0 +1,139 @@
+// Command drange-char runs the Section 5 characterization experiments over
+// one simulated device and prints their data: the spatial distribution of
+// activation failures (Figure 4), data-pattern dependence (Figure 5), the
+// temperature sweep (Figure 6), stability over time (Section 5.4) and the
+// tRCD sweep.
+//
+// Example:
+//
+//	drange-char -manufacturer A -experiment spatial
+//	drange-char -experiment patterns -iterations 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/pattern"
+	"repro/internal/profiler"
+)
+
+func main() {
+	var (
+		manufacturer  = flag.String("manufacturer", "A", "DRAM manufacturer profile: A, B or C")
+		serial        = flag.Uint64("serial", 1, "simulated device serial number")
+		experiment    = flag.String("experiment", "spatial", "experiment: spatial, patterns, temperature, stability, trcd")
+		iterations    = flag.Int("iterations", 20, "profiling iterations per cell")
+		rows          = flag.Int("rows", 256, "rows of bank 0 to profile")
+		words         = flag.Int("words", 8, "DRAM words per row to profile")
+		trcd          = flag.Float64("trcd", 10.0, "reduced activation latency in ns")
+		deterministic = flag.Bool("deterministic", true, "use a seeded noise source for reproducible characterization")
+	)
+	flag.Parse()
+
+	var noise dram.NoiseSource
+	if *deterministic {
+		noise = dram.NewDeterministicNoise(*serial)
+	}
+	dev, err := dram.NewDevice(dram.Config{
+		Serial:       *serial,
+		Manufacturer: dram.Manufacturer(*manufacturer),
+		Noise:        noise,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ctrl := memctrl.NewController(dev)
+	region := profiler.Region{Bank: 0, RowStart: 0, RowCount: *rows, WordStart: 0, WordCount: *words}
+	cfg := profiler.Config{TRCDNS: *trcd, Iterations: *iterations, Pattern: pattern.BestFor(*manufacturer)}
+
+	switch *experiment {
+	case "spatial":
+		runSpatial(ctrl, cfg, *rows)
+	case "patterns":
+		runPatterns(ctrl, region, cfg)
+	case "temperature":
+		runTemperature(ctrl, region, cfg)
+	case "stability":
+		runStability(ctrl, region, cfg)
+	case "trcd":
+		runTRCD(ctrl, region, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "drange-char: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "drange-char: %v\n", err)
+	os.Exit(1)
+}
+
+func runSpatial(ctrl *memctrl.Controller, cfg profiler.Config, rows int) {
+	cols := 1024
+	m, err := profiler.SpatialDistribution(ctrl, 0, rows, cols, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# Figure 4: spatial distribution of activation failures (%d x %d window)\n", rows, cols)
+	fmt.Printf("# failing columns: %v\n", m.FailingColumns())
+	fmt.Println("# row failing_cells")
+	for r, n := range m.FailuresPerRow {
+		if n > 0 {
+			fmt.Printf("%d %d\n", r, n)
+		}
+	}
+}
+
+func runPatterns(ctrl *memctrl.Controller, region profiler.Region, cfg profiler.Config) {
+	cov, err := profiler.DataPatternDependence(ctrl, region, pattern.All(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("# Figure 5: data pattern dependence")
+	fmt.Println("# pattern coverage failures cells_with_fprob_40_60")
+	for _, c := range cov {
+		fmt.Printf("%-12s %.3f %d %d\n", c.Pattern, c.Coverage, c.Failures, c.MidProbCells)
+	}
+	best, err := profiler.BestPatternByMidProbCells(cov)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# best pattern by ~50%% cells: %v (%d cells)\n", best.Pattern, best.MidProbCells)
+}
+
+func runTemperature(ctrl *memctrl.Controller, region profiler.Region, cfg profiler.Config) {
+	fmt.Println("# Figure 6: temperature effect on failure probability")
+	fmt.Println("# baseT cells increased_fraction decreased_fraction median_delta")
+	for _, base := range []float64{55, 60, 65} {
+		res, err := profiler.TemperatureSweep(ctrl, region, cfg, base, 5)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.0f %d %.3f %.3f %.4f\n", base, len(res.Points), res.IncreasedFraction, res.DecreasedFraction, res.DeltaSummary.Median)
+	}
+}
+
+func runStability(ctrl *memctrl.Controller, region profiler.Region, cfg profiler.Config) {
+	res, err := profiler.TimeStability(ctrl, region, cfg, 5)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("# Section 5.4: failure probability stability over repeated rounds")
+	fmt.Printf("rounds %d\ncells %d\nworst_fprob_drift %.4f\n", res.Rounds, len(res.MeanFprobPerCell), res.WorstDrift)
+}
+
+func runTRCD(ctrl *memctrl.Controller, region profiler.Region, cfg profiler.Config) {
+	points, err := profiler.TRCDSweep(ctrl, region, cfg, []float64{6, 7, 8, 9, 10, 11, 12, 13, 14, 16, 18})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("# tRCD sweep: failing cells and ~50% cells vs activation latency")
+	fmt.Println("# trcd_ns failing_cells cells_with_fprob_40_60")
+	for _, p := range points {
+		fmt.Printf("%.1f %d %d\n", p.TRCDNS, p.FailingCells, p.MidProbCells)
+	}
+}

@@ -1,0 +1,57 @@
+// Command nistcheck runs the NIST SP 800-22 statistical test suite over a
+// file of random bytes and prints one line per test, in the format of
+// Table 1 of the paper.
+//
+// Example:
+//
+//	drange-gen -bytes 131072 -out sample.bin
+//	nistcheck -in sample.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/entropy"
+	"repro/internal/nist"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "file of random bytes to test (required)")
+		alpha = flag.Float64("alpha", nist.DefaultAlpha, "significance level")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "nistcheck: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nistcheck: %v\n", err)
+		os.Exit(1)
+	}
+	bits := entropy.BytesToBits(data)
+	res, err := nist.RunAll(bits, *alpha)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nistcheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("NIST SP 800-22 over %d bits (alpha = %g)\n", res.Bits, res.Alpha)
+	fmt.Printf("%-38s %-10s %s\n", "Test", "P-value", "Status")
+	for _, r := range res.Results {
+		status := "PASS"
+		if !r.Applicable {
+			status = "N/A (" + r.Detail + ")"
+		} else if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("%-38s %-10.4f %s\n", r.Name, r.PValue, status)
+	}
+	passed, applicable := res.Passed()
+	fmt.Printf("\n%d/%d applicable tests passed\n", passed, applicable)
+	if !res.AllPass() {
+		os.Exit(1)
+	}
+}

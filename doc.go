@@ -1,0 +1,12 @@
+// Package repro is the root of the D-RaNGe reproduction (Kim et al.,
+// HPCA 2019): a DRAM-based true random number generator that harvests
+// entropy from activation failures induced by reading DRAM with a reduced
+// tRCD.
+//
+// The public API lives in the drange package; the simulated substrates
+// (DRAM device model, memory controller, cycle simulator, power model, NIST
+// test suite, prior-work baselines) live under internal/. The benchmark
+// harness in bench_test.go regenerates every table and figure of the paper's
+// evaluation; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured numbers.
+package repro

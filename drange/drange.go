@@ -1,0 +1,255 @@
+// Package drange is the public facade of the D-RaNGe reproduction: it wires
+// the simulated DRAM substrate, the memory controller, the characterization
+// pipeline and the Algorithm 2 sampler into a single high-level API.
+//
+// Typical use:
+//
+//	gen, err := drange.New(drange.Config{Manufacturer: "A"})
+//	if err != nil { ... }
+//	buf := make([]byte, 32)
+//	if _, err := gen.Read(buf); err != nil { ... } // 32 random bytes
+//
+// New profiles the simulated device, identifies RNG cells (Section 6.1 of
+// the paper), selects the best two DRAM words per bank (Section 6.2), and
+// returns a Generator whose Read method streams true random bytes produced
+// by deliberately violating the DRAM activation latency.
+package drange
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/nist"
+	"repro/internal/power"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Config describes how to open a simulated device and prepare it for random
+// number generation. The zero value is usable: it opens a manufacturer-A
+// LPDDR4 device with OS-entropy-backed noise and profiles a modest region of
+// every bank.
+type Config struct {
+	// Manufacturer selects the device profile: "A", "B" or "C".
+	Manufacturer string
+	// Serial selects the simulated device instance (process variation).
+	Serial uint64
+	// Deterministic replaces the OS-entropy noise source with a seeded one,
+	// making the generator reproducible. Never use this for real keys.
+	Deterministic bool
+	// Geometry optionally overrides the simulated device geometry.
+	Geometry dram.Geometry
+
+	// ReducedTRCDNS is the activation latency used for profiling and
+	// generation; 0 selects the paper's 10 ns.
+	ReducedTRCDNS float64
+
+	// ProfileRowsPerBank and ProfileWordsPerRow bound the region profiled in
+	// each bank during RNG-cell identification; 0 selects 128 rows and 8
+	// words. Larger regions find more RNG cells (higher throughput) at the
+	// cost of a longer identification phase.
+	ProfileRowsPerBank int
+	ProfileWordsPerRow int
+	// ProfileBanks is the number of banks to profile; 0 profiles all banks.
+	ProfileBanks int
+
+	// Identification parameters; zero values select practical defaults
+	// (600 samples, ±35% symbol tolerance, ±2% bias bound).
+	// PaperIdentification selects the paper's exact criterion (1000
+	// samples, ±10%), which is slower and much more selective.
+	Samples             int
+	Tolerance           float64
+	MaxBiasDelta        float64
+	ScreenIterations    int
+	PaperIdentification bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Manufacturer == "" {
+		c.Manufacturer = "A"
+	}
+	if c.ReducedTRCDNS == 0 {
+		c.ReducedTRCDNS = 10.0
+	}
+	if c.ProfileRowsPerBank == 0 {
+		c.ProfileRowsPerBank = 128
+	}
+	if c.ProfileWordsPerRow == 0 {
+		c.ProfileWordsPerRow = 8
+	}
+	if c.Samples == 0 {
+		c.Samples = 600
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.35
+	}
+	if c.MaxBiasDelta == 0 {
+		c.MaxBiasDelta = 0.02
+	}
+	if c.ScreenIterations == 0 {
+		c.ScreenIterations = 50
+	}
+	if c.PaperIdentification {
+		c.Samples = 1000
+		c.Tolerance = 0.10
+		c.ScreenIterations = 100
+	}
+	return c
+}
+
+// Generator is a ready-to-use D-RaNGe true random number generator over one
+// simulated DRAM channel. It implements io.Reader. It is not safe for
+// concurrent use.
+type Generator struct {
+	cfg        Config
+	device     *dram.Device
+	controller *memctrl.Controller
+	cells      []core.RNGCell
+	selections []core.BankSelection
+	trng       *core.TRNG
+}
+
+// New opens a simulated device, identifies its RNG cells and prepares the
+// Algorithm 2 sampler.
+func New(cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	m := dram.Manufacturer(cfg.Manufacturer)
+	if _, err := dram.ProfileFor(m); err != nil {
+		return nil, fmt.Errorf("drange: %w", err)
+	}
+	var noise dram.NoiseSource
+	if cfg.Deterministic {
+		noise = dram.NewDeterministicNoise(cfg.Serial ^ 0xD0A11CE5)
+	}
+	dev, err := dram.NewDevice(dram.Config{
+		Serial:       cfg.Serial,
+		Manufacturer: m,
+		Geometry:     cfg.Geometry,
+		Timing:       timing.NewLPDDR4(),
+		Noise:        noise,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("drange: %w", err)
+	}
+	ctrl := memctrl.NewController(dev, memctrl.WithTrace())
+	g := &Generator{cfg: cfg, device: dev, controller: ctrl}
+
+	idCfg := core.DefaultIdentifyConfig(cfg.Manufacturer)
+	idCfg.TRCDNS = cfg.ReducedTRCDNS
+	idCfg.Samples = cfg.Samples
+	idCfg.Tolerance = cfg.Tolerance
+	idCfg.MaxBiasDelta = cfg.MaxBiasDelta
+	idCfg.ScreenIterations = cfg.ScreenIterations
+
+	geom := dev.Geometry()
+	banks := cfg.ProfileBanks
+	if banks <= 0 || banks > geom.Banks {
+		banks = geom.Banks
+	}
+	rows := cfg.ProfileRowsPerBank
+	if rows > geom.RowsPerBank {
+		rows = geom.RowsPerBank
+	}
+	words := cfg.ProfileWordsPerRow
+	if words > geom.WordsPerRow() {
+		words = geom.WordsPerRow()
+	}
+	for bank := 0; bank < banks; bank++ {
+		region := profiler.Region{Bank: bank, RowStart: 0, RowCount: rows, WordStart: 0, WordCount: words}
+		cells, err := core.IdentifyRNGCells(ctrl, region, idCfg)
+		if err != nil {
+			return nil, fmt.Errorf("drange: identifying RNG cells in bank %d: %w", bank, err)
+		}
+		g.cells = append(g.cells, cells...)
+	}
+	if len(g.cells) == 0 {
+		return nil, fmt.Errorf("drange: no RNG cells found; enlarge the profiling region or loosen the tolerance")
+	}
+	sels, err := core.SelectBankWords(g.cells)
+	if err != nil {
+		return nil, fmt.Errorf("drange: %w", err)
+	}
+	g.selections = sels
+	trng, err := core.NewTRNG(ctrl, sels, core.TRNGConfig{
+		TRCDNS:  cfg.ReducedTRCDNS,
+		Pattern: idCfg.Pattern,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("drange: %w", err)
+	}
+	g.trng = trng
+	return g, nil
+}
+
+// Read fills p with true random bytes (io.Reader).
+func (g *Generator) Read(p []byte) (int, error) { return g.trng.Read(p) }
+
+// ReadBits returns n random bits, one per byte.
+func (g *Generator) ReadBits(n int) ([]byte, error) { return g.trng.ReadBits(n) }
+
+// Uint64 returns a 64-bit random value.
+func (g *Generator) Uint64() (uint64, error) { return g.trng.Uint64() }
+
+// Cells returns the identified RNG cells.
+func (g *Generator) Cells() []core.RNGCell { return g.cells }
+
+// Selections returns the per-bank DRAM-word selections used for generation.
+func (g *Generator) Selections() []core.BankSelection { return g.selections }
+
+// Banks returns the number of banks sampled in parallel.
+func (g *Generator) Banks() int { return g.trng.Banks() }
+
+// Device returns the underlying simulated DRAM device.
+func (g *Generator) Device() *dram.Device { return g.device }
+
+// Controller returns the underlying memory controller.
+func (g *Generator) Controller() *memctrl.Controller { return g.controller }
+
+// DensityHistograms returns the Figure 7 data for this device: the number of
+// DRAM words containing x RNG cells, per bank.
+func (g *Generator) DensityHistograms() []core.DensityHistogram {
+	return core.RNGCellDensity(g.cells)
+}
+
+// EstimateThroughput measures the single-channel throughput (Mb/s) with the
+// given number of banks on a fresh controller over the same device.
+func (g *Generator) EstimateThroughput(banks, iterations int) (sim.LoopResult, error) {
+	ctrl := memctrl.NewController(g.device)
+	if banks > len(g.selections) {
+		banks = len(g.selections)
+	}
+	return core.ThroughputEstimate(ctrl, g.selections, g.cfg.ReducedTRCDNS, banks, iterations)
+}
+
+// EstimateLatency64 measures the time in nanoseconds to produce 64 random
+// bits using all selected banks.
+func (g *Generator) EstimateLatency64() (float64, error) {
+	ctrl := memctrl.NewController(g.device)
+	return core.LatencyEstimate(ctrl, g.selections, g.cfg.ReducedTRCDNS, len(g.selections), 64)
+}
+
+// EstimateEnergyPerBit returns the marginal energy per generated bit in
+// nanojoules, using the LPDDR4 power model.
+func (g *Generator) EstimateEnergyPerBit(iterations int) (float64, error) {
+	ctrl := memctrl.NewController(g.device, memctrl.WithTrace())
+	return core.EnergyEstimate(ctrl, g.selections, g.cfg.ReducedTRCDNS, len(g.selections), iterations, power.NewLPDDR4Model())
+}
+
+// RunNIST generates bits from the generator and runs the full NIST SP 800-22
+// suite over them at the given significance level (DefaultAlpha when 0).
+func (g *Generator) RunNIST(bits int, alpha float64) (nist.SuiteResult, error) {
+	if alpha == 0 {
+		alpha = nist.DefaultAlpha
+	}
+	stream, err := g.ReadBits(bits)
+	if err != nil {
+		return nist.SuiteResult{}, err
+	}
+	return nist.RunAll(stream, alpha)
+}
+
+var _ io.Reader = (*Generator)(nil)

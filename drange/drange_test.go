@@ -1,0 +1,174 @@
+package drange
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/entropy"
+)
+
+// quickConfig keeps facade tests fast: a small device, a small profiling
+// region, deterministic noise.
+func quickConfig() Config {
+	return Config{
+		Manufacturer:  "A",
+		Serial:        1,
+		Deterministic: true,
+		Geometry: dram.Geometry{
+			Banks:        4,
+			RowsPerBank:  128,
+			ColsPerRow:   2048,
+			SubarrayRows: 64,
+			WordBits:     256,
+		},
+		ProfileRowsPerBank: 64,
+		ProfileWordsPerRow: 8,
+		ProfileBanks:       2,
+		Samples:            400,
+		Tolerance:          0.4,
+		MaxBiasDelta:       0.02,
+		ScreenIterations:   30,
+	}
+}
+
+func newGenerator(t *testing.T) *Generator {
+	t.Helper()
+	g, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorEndToEnd(t *testing.T) {
+	g := newGenerator(t)
+	if len(g.Cells()) == 0 {
+		t.Fatal("no RNG cells identified")
+	}
+	if len(g.Selections()) == 0 || g.Banks() == 0 {
+		t.Fatal("no bank selections")
+	}
+	if g.Device() == nil || g.Controller() == nil {
+		t.Fatal("device/controller not exposed")
+	}
+
+	buf := make([]byte, 512)
+	n, err := g.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("short read %d", n)
+	}
+	bits := entropy.BytesToBits(buf)
+	bias, err := entropy.Bias(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bias-0.5) > 0.06 {
+		t.Errorf("output bias %v, want ~0.5", bias)
+	}
+
+	v1, err := g.Uint64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := g.Uint64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == v2 {
+		t.Error("consecutive Uint64 outputs identical")
+	}
+
+	raw, err := g.ReadBits(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 64 {
+		t.Fatalf("ReadBits returned %d bits", len(raw))
+	}
+}
+
+func TestGeneratorEstimates(t *testing.T) {
+	g := newGenerator(t)
+	res, err := g.EstimateThroughput(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputMbps <= 0 {
+		t.Errorf("throughput estimate %v, want positive", res.ThroughputMbps)
+	}
+	lat, err := g.EstimateLatency64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Errorf("latency estimate %v, want positive", lat)
+	}
+	nj, err := g.EstimateEnergyPerBit(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nj <= 0 || nj > 100 {
+		t.Errorf("energy estimate %v nJ/bit, want small positive value", nj)
+	}
+	hists := g.DensityHistograms()
+	if len(hists) == 0 {
+		t.Error("no density histograms")
+	}
+}
+
+func TestGeneratorNISTSmokeTest(t *testing.T) {
+	g := newGenerator(t)
+	// A short stream: only the quick tests are applicable, but they should
+	// pass for D-RaNGe output.
+	res, err := g.RunNIST(20000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := res.Lookup("monobit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mono.Pass {
+		t.Errorf("monobit failed on D-RaNGe output (p=%v)", mono.PValue)
+	}
+	runs, err := res.Lookup("runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runs.Pass {
+		t.Errorf("runs failed on D-RaNGe output (p=%v)", runs.PValue)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Manufacturer = "Z"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown manufacturer accepted")
+	}
+	cfg = quickConfig()
+	cfg.ReducedTRCDNS = 50
+	if _, err := New(cfg); err == nil {
+		t.Error("tRCD above default accepted")
+	}
+	cfg = quickConfig()
+	cfg.Geometry.WordBits = 100
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Manufacturer != "A" || c.ReducedTRCDNS != 10.0 || c.Samples != 600 {
+		t.Errorf("defaults = %+v", c)
+	}
+	p := Config{PaperIdentification: true}.withDefaults()
+	if p.Samples != 1000 || p.Tolerance != 0.10 {
+		t.Errorf("paper identification defaults = %+v", p)
+	}
+}

@@ -1,0 +1,64 @@
+// Characterization: reproduce the per-device characterization flow of
+// Section 5 on one simulated device — where activation failures live
+// (spatial distribution), which data pattern exposes the most ~50% cells,
+// how temperature shifts failure probability, and how many RNG cells each
+// DRAM word ends up holding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/drange"
+	"repro/internal/memctrl"
+	"repro/internal/pattern"
+	"repro/internal/profiler"
+)
+
+func main() {
+	gen, err := drange.New(drange.Config{Manufacturer: "C", Serial: 5, Deterministic: true})
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	dev := gen.Device()
+	cfg := profiler.Config{TRCDNS: 10.0, Iterations: 20, Pattern: pattern.BestFor("C")}
+
+	// Spatial distribution (Figure 4).
+	ctrl := memctrl.NewController(dev)
+	spatial, err := profiler.SpatialDistribution(ctrl, 0, 256, 1024, cfg)
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	fmt.Printf("spatial distribution: %d failing columns in a 256x1024 window: %v\n",
+		len(spatial.FailingColumns()), spatial.FailingColumns())
+
+	// Data-pattern dependence (Figure 5) over a representative pattern set.
+	region := profiler.Region{Bank: 0, RowStart: 0, RowCount: 96, WordStart: 0, WordCount: 8}
+	pats := []pattern.Pattern{
+		pattern.Solid0(), pattern.Solid1(), pattern.Checkered0(), pattern.Checkered1(),
+		pattern.Walking0(3), pattern.Walking1(3),
+	}
+	cov, err := profiler.DataPatternDependence(memctrl.NewController(dev), region, pats, cfg)
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	fmt.Println("\ndata pattern dependence:")
+	for _, c := range cov {
+		fmt.Printf("  %-12s coverage %.2f, failing cells %4d, ~50%% cells %3d\n", c.Pattern, c.Coverage, c.Failures, c.MidProbCells)
+	}
+
+	// Temperature effects (Figure 6).
+	temp, err := profiler.TemperatureSweep(memctrl.NewController(dev), region, cfg, 55, 5)
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	fmt.Printf("\ntemperature 55→60 °C: %d cells tracked, %.0f%% increased Fprob, %.0f%% decreased\n",
+		len(temp.Points), 100*temp.IncreasedFraction, 100*temp.DecreasedFraction)
+
+	// RNG-cell density per word (Figure 7), from the identification New()
+	// already performed.
+	fmt.Println("\nRNG cells per DRAM word (per bank):")
+	for _, h := range gen.DensityHistograms() {
+		fmt.Printf("  bank %d: %d RNG cells, densest word holds %d\n", h.Bank, h.TotalRNGCells, h.MaxCellsPerWord)
+	}
+}

@@ -1,0 +1,65 @@
+// Throughput tuning: the "low system interference" scenario of Section 7.3.
+// D-RaNGe trades TRNG throughput against the slowdown experienced by
+// co-running applications by choosing how many banks it uses and by running
+// only in otherwise-idle DRAM cycles. This example sweeps both knobs: banks
+// used (1..all) and co-running workload intensity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/drange"
+	"repro/internal/core"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	gen, err := drange.New(drange.Config{Manufacturer: "A", Serial: 3})
+	if err != nil {
+		log.Fatalf("throughput_tuning: %v", err)
+	}
+
+	fmt.Println("== throughput vs banks used (dedicated channel) ==")
+	fmt.Println("banks  Mb/s/channel  Mb/s with 4 channels")
+	var fullMbps float64
+	for banks := 1; banks <= gen.Banks(); banks++ {
+		res, err := gen.EstimateThroughput(banks, 150)
+		if err != nil {
+			log.Fatalf("throughput_tuning: %v", err)
+		}
+		four, err := core.MultiChannelThroughputMbps(res.ThroughputMbps, 4)
+		if err != nil {
+			log.Fatalf("throughput_tuning: %v", err)
+		}
+		fmt.Printf("%5d  %12.1f  %20.1f\n", banks, res.ThroughputMbps, four)
+		fullMbps = res.ThroughputMbps
+	}
+
+	fmt.Println("\n== throughput from idle DRAM cycles under co-running workloads ==")
+	fmt.Println("workload          idle_fraction  trng_Mb/s (no slowdown to the workload)")
+	geom := gen.Device().Geometry()
+	for _, p := range workload.Profiles() {
+		reqs, err := workload.Generate(p, workload.Config{
+			Banks:       geom.Banks,
+			RowsPerBank: geom.RowsPerBank,
+			WordsPerRow: geom.WordsPerRow(),
+			DurationNS:  200000,
+			Seed:        99,
+		})
+		if err != nil {
+			log.Fatalf("throughput_tuning: %v", err)
+		}
+		rep, err := sim.ReplayWorkload(memctrl.NewController(gen.Device()), reqs)
+		if err != nil {
+			log.Fatalf("throughput_tuning: %v", err)
+		}
+		tput, err := sim.IdleBandwidthThroughputMbps(fullMbps, rep.IdleFraction)
+		if err != nil {
+			log.Fatalf("throughput_tuning: %v", err)
+		}
+		fmt.Printf("%-16s  %12.3f  %10.1f\n", p.Name, rep.IdleFraction, tput)
+	}
+}

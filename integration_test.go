@@ -1,0 +1,199 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/entropy"
+	"repro/internal/memctrl"
+	"repro/internal/nist"
+	"repro/internal/pattern"
+	"repro/internal/profiler"
+	"repro/internal/timing"
+)
+
+// TestEndToEndPipelineLPDDR4 exercises the whole stack the way the paper's
+// deployment would: profile a device, identify RNG cells, select words,
+// generate a bitstream, and check it with the fast NIST tests.
+func TestEndToEndPipelineLPDDR4(t *testing.T) {
+	prof := dram.MustProfile(dram.ManufacturerB)
+	prof.WeakColumnDensity = 1.0 / 16.0
+	prof.SubarrayRows = 64
+	dev, err := dram.NewDevice(dram.Config{
+		Serial:  2024,
+		Profile: &prof,
+		Geometry: dram.Geometry{
+			Banks: 4, RowsPerBank: 128, ColsPerRow: 2048, SubarrayRows: 64, WordBits: 256,
+		},
+		Noise: dram.NewDeterministicNoise(2024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := memctrl.NewController(dev)
+
+	idCfg := core.DefaultIdentifyConfig("B")
+	idCfg.ScreenIterations = 30
+	idCfg.Samples = 300
+	idCfg.Tolerance = 0.4
+	idCfg.MaxBiasDelta = 0.03
+
+	var cells []core.RNGCell
+	for bank := 0; bank < 2; bank++ {
+		region := profiler.Region{Bank: bank, RowStart: 0, RowCount: 64, WordStart: 0, WordCount: 8}
+		found, err := core.IdentifyRNGCells(ctrl, region, idCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, found...)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no RNG cells identified on the manufacturer-B device")
+	}
+	sels, err := core.SelectBankWords(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trng, err := core.NewTRNG(ctrl, sels, core.DefaultTRNGConfig("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := trng.ReadBits(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"monobit", "runs", "cumulative_sums"} {
+		var r nist.Result
+		var err error
+		switch name {
+		case "monobit":
+			r, err = nist.Monobit(bits)
+		case "runs":
+			r, err = nist.Runs(bits)
+		case "cumulative_sums":
+			r, err = nist.CumulativeSums(bits)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Evaluate(nist.DefaultAlpha)
+		if !r.Pass {
+			t.Errorf("%s failed on end-to-end output (p=%v)", name, r.PValue)
+		}
+	}
+}
+
+// TestDDR3CrossValidation mirrors the paper's DDR3 validation study: the
+// same profiling methodology applied to a DDR3 device (SoftMC-style
+// substrate) also finds activation-failure-prone cells with ~50% behaviour.
+func TestDDR3CrossValidation(t *testing.T) {
+	prof := dram.MustProfile(dram.ManufacturerA)
+	prof.WeakColumnDensity = 1.0 / 16.0
+	prof.SubarrayRows = 64
+	dev, err := dram.NewDevice(dram.Config{
+		Serial:  3333,
+		Profile: &prof,
+		Timing:  timing.NewDDR3(),
+		Geometry: dram.Geometry{
+			Banks: 2, RowsPerBank: 128, ColsPerRow: 2048, SubarrayRows: 64, WordBits: 512,
+		},
+		Noise: dram.NewDeterministicNoise(3333),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Timing().Type != timing.DDR3 {
+		t.Fatal("device is not DDR3")
+	}
+	ctrl := memctrl.NewController(dev)
+	region := profiler.Region{Bank: 0, RowStart: 0, RowCount: 64, WordStart: 0, WordCount: 4}
+	cfg := profiler.Config{TRCDNS: 8.0, Iterations: 30, Pattern: pattern.Solid0()}
+	res, err := profiler.Run(ctrl, region, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) == 0 {
+		t.Fatal("no activation failures observed on the DDR3 device")
+	}
+	if len(res.CellsWithFprobBetween(0.4, 0.6)) == 0 {
+		t.Error("no ~50% cells observed on the DDR3 device")
+	}
+	// At the DDR3 default tRCD there must be no failures.
+	cfgDefault := cfg
+	cfgDefault.TRCDNS = dev.Timing().TRCD
+	cfgDefault.Iterations = 5
+	clean, err := profiler.Run(ctrl, region, cfgDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Counts) != 0 {
+		t.Errorf("%d failures at the DDR3 default tRCD, want 0", len(clean.Counts))
+	}
+}
+
+// TestGeneratedStreamEntropy checks aggregate entropy measures of a
+// generated stream against what a true random source must provide.
+func TestGeneratedStreamEntropy(t *testing.T) {
+	prof := dram.MustProfile(dram.ManufacturerA)
+	prof.WeakColumnDensity = 1.0 / 16.0
+	prof.SubarrayRows = 64
+	dev, err := dram.NewDevice(dram.Config{
+		Serial:  77,
+		Profile: &prof,
+		Geometry: dram.Geometry{
+			Banks: 2, RowsPerBank: 128, ColsPerRow: 2048, SubarrayRows: 64, WordBits: 256,
+		},
+		Noise: dram.NewDeterministicNoise(77),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := memctrl.NewController(dev)
+	idCfg := core.DefaultIdentifyConfig("A")
+	idCfg.ScreenIterations = 30
+	idCfg.Samples = 300
+	idCfg.Tolerance = 0.4
+	idCfg.MaxBiasDelta = 0.03
+	cells, err := core.IdentifyRNGCells(ctrl, profiler.Region{Bank: 0, RowCount: 64, WordCount: 8}, idCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Skip("no RNG cells with this seed")
+	}
+	sels, err := core.SelectBankWords(cells)
+	if err != nil {
+		t.Skip("no usable selection with this seed")
+	}
+	trng, err := core.NewTRNG(ctrl, sels, core.DefaultTRNGConfig("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := trng.ReadBits(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shannon, err := entropy.ShannonBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shannon < 0.995 {
+		t.Errorf("Shannon entropy of generated stream = %v bits/bit, want ≥ 0.995", shannon)
+	}
+	minEnt, err := entropy.MinEntropy(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports a minimum per-cell Shannon entropy of 0.9507.
+	if minEnt < 0.93 {
+		t.Errorf("min-entropy of generated stream = %v bits/bit, want ≥ 0.93", minEnt)
+	}
+	symEnt, err := entropy.ShannonSymbolEntropy(bits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if symEnt < 2.97 {
+		t.Errorf("3-bit symbol entropy = %v, want ≈ 3", symEnt)
+	}
+}

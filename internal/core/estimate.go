@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memctrl"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// ThroughputEstimate measures the D-RaNGe throughput (Mb/s) achievable with
+// the top `banks` bank selections, by timing the Algorithm 2 core loop on
+// the cycle-accurate controller. This is the computation behind Figure 8 and
+// Equation 1 of the paper.
+func ThroughputEstimate(ctrl *memctrl.Controller, selections []BankSelection, trcdNS float64, banks, iterations int) (sim.LoopResult, error) {
+	if banks <= 0 {
+		return sim.LoopResult{}, fmt.Errorf("core: banks must be positive, got %d", banks)
+	}
+	if banks > len(selections) {
+		return sim.LoopResult{}, fmt.Errorf("core: requested %d banks but only %d selections available", banks, len(selections))
+	}
+	words := make([]sim.BankWords, 0, banks)
+	for _, s := range selections[:banks] {
+		words = append(words, s.ToSimWords())
+	}
+	return sim.MeasureAlg2Loop(ctrl, words, trcdNS, iterations)
+}
+
+// MultiChannelThroughputMbps scales a single-channel throughput to a memory
+// hierarchy with the given number of independent DRAM channels, as the paper
+// does to report the 4-channel peak of 717.4 Mb/s.
+func MultiChannelThroughputMbps(perChannelMbps float64, channels int) (float64, error) {
+	if channels <= 0 {
+		return 0, fmt.Errorf("core: channels must be positive, got %d", channels)
+	}
+	if perChannelMbps < 0 {
+		return 0, fmt.Errorf("core: negative per-channel throughput")
+	}
+	return perChannelMbps * float64(channels), nil
+}
+
+// LatencyEstimate measures the time (ns) to harvest targetBits random bits
+// with the given bank selections — the Section 7.3 latency analysis. The
+// paper's bounds come from the two extremes: a single bank whose words hold
+// one RNG cell each (maximum latency) and all banks of all channels with
+// four RNG cells per word (minimum latency). Multiple channels operate
+// independently, so the caller divides targetBits across channels before
+// calling.
+func LatencyEstimate(ctrl *memctrl.Controller, selections []BankSelection, trcdNS float64, banks, targetBits int) (float64, error) {
+	if banks <= 0 || banks > len(selections) {
+		return 0, fmt.Errorf("core: banks must be in [1,%d], got %d", len(selections), banks)
+	}
+	words := make([]sim.BankWords, 0, banks)
+	for _, s := range selections[:banks] {
+		words = append(words, s.ToSimWords())
+	}
+	return sim.SimulateLatency(ctrl, words, trcdNS, targetBits)
+}
+
+// EnergyEstimate runs the Algorithm 2 loop on a trace-enabled controller and
+// returns the marginal energy per generated bit in nanojoules, following the
+// paper's DRAMPower-based methodology (trace energy minus idle energy,
+// divided by bits generated).
+func EnergyEstimate(ctrl *memctrl.Controller, selections []BankSelection, trcdNS float64, banks, iterations int, model power.Model) (float64, error) {
+	if banks <= 0 || banks > len(selections) {
+		return 0, fmt.Errorf("core: banks must be in [1,%d], got %d", len(selections), banks)
+	}
+	ctrl.ResetTrace()
+	startCycle := ctrl.Now()
+	res, err := ThroughputEstimate(ctrl, selections, trcdNS, banks, iterations)
+	if err != nil {
+		return 0, err
+	}
+	bits := int64(res.BitsPerIteration) * int64(iterations)
+	if bits == 0 {
+		return 0, fmt.Errorf("core: selections yielded no bits")
+	}
+	trace := ctrl.Trace()
+	if len(trace) == 0 {
+		return 0, fmt.Errorf("core: controller has no command trace; construct it with memctrl.WithTrace()")
+	}
+	return model.EnergyPerBitNJ(trace, ctrl.Params(), ctrl.Now()-startCycle, bits)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memctrl"
+	"repro/internal/power"
+)
+
+// selectionsForEstimation builds selections across several banks of a test
+// device; estimation only needs plausible word choices, not real RNG cells,
+// so it synthesises selections with a fixed bit count when identification
+// yields too few banks.
+func selectionsForEstimation(t *testing.T, ctrl *memctrl.Controller, banks, bitsPerBank int) []BankSelection {
+	t.Helper()
+	sels := make([]BankSelection, 0, banks)
+	for b := 0; b < banks; b++ {
+		cells1 := make([]RNGCell, 0, bitsPerBank/2+1)
+		cells2 := make([]RNGCell, 0, bitsPerBank/2)
+		for i := 0; i < bitsPerBank; i++ {
+			c := RNGCell{Fprob: 0.5}
+			if i%2 == 0 {
+				c.Addr.Bank, c.Addr.Row, c.Addr.Col = b, 10, i
+				c.WordIdx = 0
+				cells1 = append(cells1, c)
+			} else {
+				c.Addr.Bank, c.Addr.Row, c.Addr.Col = b, 20, 256+i
+				c.WordIdx = 1
+				cells2 = append(cells2, c)
+			}
+		}
+		sels = append(sels, BankSelection{
+			Bank:  b,
+			Word1: WordRef{Bank: b, Row: 10, WordIdx: 0, RNGCells: cells1},
+			Word2: WordRef{Bank: b, Row: 20, WordIdx: 1, RNGCells: cells2},
+		})
+	}
+	return sels
+}
+
+func TestThroughputEstimateScalesWithBanks(t *testing.T) {
+	sels := selectionsForEstimation(t, nil, 4, 2)
+	var prev float64
+	for _, banks := range []int{1, 2, 4} {
+		ctrl := newController(t, 200)
+		res, err := ThroughputEstimate(ctrl, sels, 10.0, banks, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ThroughputMbps <= prev {
+			t.Errorf("throughput with %d banks (%v Mb/s) did not exceed %v", banks, res.ThroughputMbps, prev)
+		}
+		prev = res.ThroughputMbps
+	}
+}
+
+func TestThroughputEstimateValidation(t *testing.T) {
+	ctrl := newController(t, 201)
+	sels := selectionsForEstimation(t, ctrl, 2, 2)
+	if _, err := ThroughputEstimate(ctrl, sels, 10, 0, 10); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := ThroughputEstimate(ctrl, sels, 10, 5, 10); err == nil {
+		t.Error("more banks than selections accepted")
+	}
+}
+
+func TestMultiChannelThroughput(t *testing.T) {
+	got, err := MultiChannelThroughputMbps(108.9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4*108.9 {
+		t.Errorf("MultiChannelThroughputMbps = %v, want %v", got, 4*108.9)
+	}
+	if _, err := MultiChannelThroughputMbps(1, 0); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := MultiChannelThroughputMbps(-1, 1); err == nil {
+		t.Error("negative throughput accepted")
+	}
+}
+
+func TestLatencyEstimateOrdering(t *testing.T) {
+	sels := selectionsForEstimation(t, nil, 4, 2)
+	slowCtrl := newController(t, 202)
+	slow, err := LatencyEstimate(slowCtrl, sels[:1], 10.0, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastCtrl := newController(t, 203)
+	fast, err := LatencyEstimate(fastCtrl, sels, 10.0, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast >= slow {
+		t.Errorf("4-bank latency (%v ns) should beat 1-bank latency (%v ns)", fast, slow)
+	}
+	if _, err := LatencyEstimate(fastCtrl, sels, 10, 0, 64); err == nil {
+		t.Error("zero banks accepted")
+	}
+}
+
+func TestEnergyEstimateInNanojouleRange(t *testing.T) {
+	ctrl := newController(t, 204, memctrl.WithTrace())
+	sels := selectionsForEstimation(t, ctrl, 4, 2)
+	nj, err := EnergyEstimate(ctrl, sels, 10.0, 4, 100, power.NewLPDDR4Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~4.4 nJ/bit; the model should land within an order
+	// of magnitude.
+	if nj < 0.4 || nj > 44 {
+		t.Errorf("energy per bit = %v nJ, want within [0.4, 44] (paper: 4.4 nJ/bit)", nj)
+	}
+}
+
+func TestEnergyEstimateRequiresTrace(t *testing.T) {
+	ctrl := newController(t, 205) // no trace
+	sels := selectionsForEstimation(t, ctrl, 2, 2)
+	if _, err := EnergyEstimate(ctrl, sels, 10.0, 2, 10, power.NewLPDDR4Model()); err == nil {
+		t.Error("controller without trace accepted")
+	}
+	ctrlT := newController(t, 206, memctrl.WithTrace())
+	if _, err := EnergyEstimate(ctrlT, sels, 10.0, 0, 10, power.NewLPDDR4Model()); err == nil {
+		t.Error("zero banks accepted")
+	}
+}

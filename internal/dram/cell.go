@@ -1,0 +1,161 @@
+package dram
+
+import "math"
+
+// BaselineTemperatureC is the ambient characterization temperature of the
+// paper's infrastructure (45 °C); cell critical latencies are defined at this
+// temperature and shifted by the per-cell temperature coefficient away from
+// it.
+const BaselineTemperatureC = 45.0
+
+// CellCharacter is the manufacturing-time character of one DRAM cell: the
+// quantities fixed by process variation that determine how the cell behaves
+// when activated with a reduced tRCD. It is derived procedurally from the
+// device serial number and the cell address, so it never changes over the
+// lifetime of a simulated device.
+type CellCharacter struct {
+	// WeakColumn reports whether the cell sits on a weak local bitline
+	// (shared with a weak local sense amplifier). Only such cells can fail
+	// at the tRCD values used in the paper.
+	WeakColumn bool
+
+	// TCritNS is the critical activation latency of the cell in
+	// nanoseconds at the baseline temperature with an all-agreeing
+	// neighbourhood: activating with tRCD well above TCritNS always reads
+	// correctly, well below always fails, and near TCritNS the outcome is
+	// decided by analog noise.
+	TCritNS float64
+
+	// AntiCell reports the vulnerable polarity: true cells (false) can only
+	// fail when they store a logical 0, anti cells (true) only when they
+	// store a logical 1.
+	AntiCell bool
+
+	// TempCoeffNSPerC is the shift of TCritNS per degree Celsius above the
+	// baseline temperature.
+	TempCoeffNSPerC float64
+
+	// NoiseSigmaNS is the standard deviation of the per-access noise for
+	// this cell, in equivalent nanoseconds of latency margin.
+	NoiseSigmaNS float64
+
+	// MetastableWindowNS is the half-width of the sense amplifier's
+	// metastable window in equivalent latency margin: accesses whose noisy
+	// margin lands inside ±MetastableWindowNS resolve from symmetric
+	// thermal noise and return a fair coin flip.
+	MetastableWindowNS float64
+
+	// CouplingNS is the shift of TCritNS contributed by each neighbouring
+	// cell that stores the opposite value.
+	CouplingNS float64
+}
+
+const (
+	saltWeakColumn = 0x57454143 // "WEAC"
+	saltTCrit1     = 0x54435231
+	saltTCrit2     = 0x54435232
+	saltAntiCell   = 0x414e5449
+	saltTempCo1    = 0x54454d31
+	saltTempCo2    = 0x54454d32
+	saltStartup    = 0x53545550
+)
+
+// columnIsWeak reports whether the column col of subarray sub in bank bank is
+// a weak column for the device identified by serial, under profile p.
+func columnIsWeak(serial uint64, bank, sub, col int, p Profile) bool {
+	h := mix64(serial, uint64(bank), uint64(sub), uint64(col), saltWeakColumn)
+	return unitFloat(h) < p.WeakColumnDensity
+}
+
+// cellCharacter derives the full character of the cell at (bank, row, col) of
+// the device identified by serial, under geometry g and profile p.
+func cellCharacter(serial uint64, bank, row, col int, g Geometry, p Profile) CellCharacter {
+	subRows := p.SubarrayRows
+	if subRows <= 0 {
+		subRows = g.SubarrayRows
+	}
+	sub := row / subRows
+	rowInSub := row % subRows
+
+	c := CellCharacter{
+		NoiseSigmaNS:       p.NoiseSigmaNS,
+		MetastableWindowNS: p.MetastableWindowNS,
+		CouplingNS:         p.CouplingNS,
+	}
+	c.WeakColumn = columnIsWeak(serial, bank, sub, col, p)
+	if !c.WeakColumn {
+		c.TCritNS = p.StrongTCritNS
+		c.TempCoeffNSPerC = p.TempCoeffMeanNSPerC
+		return c
+	}
+
+	// Per-cell Gaussian offset around the weak-cell mean.
+	g1 := mix64(serial, uint64(bank), uint64(row), uint64(col), saltTCrit1)
+	g2 := mix64(serial, uint64(bank), uint64(row), uint64(col), saltTCrit2)
+	offset := gaussianFromHash(g1, g2) * p.TCritSpreadNS
+
+	// Cells further from the local sense amplifiers (higher row index within
+	// the subarray) have less time to develop their bitlines, so their
+	// critical latency is higher (Figure 4's row-position gradient).
+	gradient := p.RowGradientNS * float64(rowInSub) / float64(subRows)
+
+	c.TCritNS = p.TCritMeanNS + offset + gradient
+	if c.TCritNS < p.StrongTCritNS {
+		c.TCritNS = p.StrongTCritNS
+	}
+
+	ha := mix64(serial, uint64(bank), uint64(row), uint64(col), saltAntiCell)
+	c.AntiCell = unitFloat(ha) < p.AntiCellFraction
+
+	t1 := mix64(serial, uint64(bank), uint64(row), uint64(col), saltTempCo1)
+	t2 := mix64(serial, uint64(bank), uint64(row), uint64(col), saltTempCo2)
+	c.TempCoeffNSPerC = p.TempCoeffMeanNSPerC + gaussianFromHash(t1, t2)*p.TempCoeffSigmaNSPerC
+
+	return c
+}
+
+// EffectiveTCritNS returns the cell's critical latency adjusted for the
+// operating temperature (°C) and the number of neighbouring cells storing the
+// opposite value.
+func (c CellCharacter) EffectiveTCritNS(temperatureC float64, differingNeighbors int) float64 {
+	t := c.TCritNS
+	t += c.TempCoeffNSPerC * (temperatureC - BaselineTemperatureC)
+	t += c.CouplingNS * float64(differingNeighbors)
+	return t
+}
+
+// FailureProbability returns the probability that reading this cell with the
+// given activation latency, temperature and neighbourhood returns the wrong
+// value, assuming the cell stores its vulnerable polarity. Callers must
+// separately account for the stored value: a cell storing its non-vulnerable
+// polarity does not fail.
+//
+// The model is: the bitline differential at read time is the latency margin
+// plus Gaussian analog noise. A differential below -w (w = the metastable
+// window) is read wrongly, above +w correctly, and inside ±w the sense
+// amplifier is metastable and resolves from symmetric noise — a fair coin.
+// Cells whose margin sits deep inside the window therefore fail with a
+// probability of exactly one half, which is what makes them usable RNG
+// cells.
+func (c CellCharacter) FailureProbability(trcdNS, temperatureC float64, differingNeighbors int) float64 {
+	m := trcdNS - c.EffectiveTCritNS(temperatureC, differingNeighbors)
+	w := c.MetastableWindowNS
+	s := c.NoiseSigmaNS
+	pWrong := normalCDF((-w - m) / s)
+	pMeta := normalCDF((w-m)/s) - pWrong
+	return pWrong + 0.5*pMeta
+}
+
+// VulnerableWhenStoring reports whether the cell can fail when it stores the
+// given bit value.
+func (c CellCharacter) VulnerableWhenStoring(bit uint64) bool {
+	if c.AntiCell {
+		return bit == 1
+	}
+	return bit == 0
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

@@ -1,0 +1,226 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesValid(t *testing.T) {
+	for _, m := range AllManufacturers() {
+		p, err := ProfileFor(m)
+		if err != nil {
+			t.Fatalf("ProfileFor(%v): %v", m, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %v invalid: %v", m, err)
+		}
+		if p.Manufacturer != m {
+			t.Errorf("profile manufacturer = %v, want %v", p.Manufacturer, m)
+		}
+	}
+}
+
+func TestProfileForUnknown(t *testing.T) {
+	if _, err := ProfileFor(Manufacturer("X")); err == nil {
+		t.Error("ProfileFor(X) should fail")
+	}
+}
+
+func TestMustProfilePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProfile should panic on unknown manufacturer")
+		}
+	}()
+	MustProfile(Manufacturer("Z"))
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"missing manufacturer", func(p *Profile) { p.Manufacturer = "" }},
+		{"zero subarray rows", func(p *Profile) { p.SubarrayRows = 0 }},
+		{"zero density", func(p *Profile) { p.WeakColumnDensity = 0 }},
+		{"density above 1", func(p *Profile) { p.WeakColumnDensity = 1.5 }},
+		{"zero tcrit", func(p *Profile) { p.TCritMeanNS = 0 }},
+		{"zero noise", func(p *Profile) { p.NoiseSigmaNS = 0 }},
+		{"bad anticell fraction", func(p *Profile) { p.AntiCellFraction = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := MustProfile(ManufacturerA)
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate() accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestCellCharacterDeterministic(t *testing.T) {
+	g := DefaultLPDDR4Geometry()
+	p := MustProfile(ManufacturerA)
+	a := cellCharacter(42, 1, 100, 200, g, p)
+	b := cellCharacter(42, 1, 100, 200, g, p)
+	if a != b {
+		t.Errorf("cell character not stable: %+v vs %+v", a, b)
+	}
+}
+
+func TestCellCharacterVariesAcrossDevices(t *testing.T) {
+	g := DefaultLPDDR4Geometry()
+	p := MustProfile(ManufacturerA)
+	// Over many cells, the set of weak columns must differ between two
+	// serial numbers.
+	sameWeak := 0
+	total := 0
+	for col := 0; col < 4096; col++ {
+		a := cellCharacter(1, 0, 0, col, g, p)
+		b := cellCharacter(2, 0, 0, col, g, p)
+		if a.WeakColumn || b.WeakColumn {
+			total++
+			if a.WeakColumn && b.WeakColumn {
+				sameWeak++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no weak columns found in 4096 columns; density too low")
+	}
+	if sameWeak == total {
+		t.Error("weak columns identical across two different device serials")
+	}
+}
+
+func TestWeakColumnDensityApproximatesProfile(t *testing.T) {
+	for _, m := range AllManufacturers() {
+		p := MustProfile(m)
+		count := 0
+		const cols = 100000
+		for col := 0; col < cols; col++ {
+			if columnIsWeak(7, 0, 0, col, p) {
+				count++
+			}
+		}
+		got := float64(count) / cols
+		if got < p.WeakColumnDensity*0.6 || got > p.WeakColumnDensity*1.4 {
+			t.Errorf("manufacturer %v: weak column density %v, profile says %v", m, got, p.WeakColumnDensity)
+		}
+	}
+}
+
+func TestStrongCellsNeverFailAtReducedTRCD(t *testing.T) {
+	g := DefaultLPDDR4Geometry()
+	p := MustProfile(ManufacturerA)
+	for col := 0; col < 2000; col++ {
+		c := cellCharacter(3, 0, 10, col, g, p)
+		if c.WeakColumn {
+			continue
+		}
+		// Even at the aggressive end of the paper's range (6 ns), a strong
+		// cell's failure probability must be negligible.
+		if fp := c.FailureProbability(10.0, BaselineTemperatureC, 4); fp > 1e-6 {
+			t.Fatalf("strong cell col %d has failure probability %v at tRCD=10", col, fp)
+		}
+	}
+}
+
+func TestFailureProbabilityMonotonicInTRCD(t *testing.T) {
+	c := CellCharacter{WeakColumn: true, TCritNS: 10, NoiseSigmaNS: 0.5, CouplingNS: 0.1, TempCoeffNSPerC: 0.02}
+	prev := 1.1
+	for trcd := 6.0; trcd <= 18.0; trcd += 0.5 {
+		fp := c.FailureProbability(trcd, BaselineTemperatureC, 0)
+		if fp > prev+1e-12 {
+			t.Fatalf("failure probability increased with tRCD at %v: %v > %v", trcd, fp, prev)
+		}
+		prev = fp
+	}
+	if got := c.FailureProbability(10.0, BaselineTemperatureC, 0); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Fprob at tRCD == TCrit = %v, want 0.5", got)
+	}
+}
+
+func TestFailureProbabilityMonotonicInTemperature(t *testing.T) {
+	c := CellCharacter{WeakColumn: true, TCritNS: 9.5, NoiseSigmaNS: 0.5, TempCoeffNSPerC: 0.02}
+	prev := -1.0
+	for temp := 40.0; temp <= 75.0; temp += 5 {
+		fp := c.FailureProbability(10.0, temp, 0)
+		if fp < prev-1e-12 {
+			t.Fatalf("failure probability decreased with temperature at %v °C", temp)
+		}
+		prev = fp
+	}
+}
+
+func TestFailureProbabilityIncreasesWithDifferingNeighbors(t *testing.T) {
+	c := CellCharacter{WeakColumn: true, TCritNS: 9.5, NoiseSigmaNS: 0.5, CouplingNS: 0.3}
+	p0 := c.FailureProbability(10, BaselineTemperatureC, 0)
+	p4 := c.FailureProbability(10, BaselineTemperatureC, 4)
+	if p4 <= p0 {
+		t.Errorf("Fprob with 4 differing neighbors (%v) should exceed Fprob with 0 (%v)", p4, p0)
+	}
+}
+
+func TestVulnerablePolarity(t *testing.T) {
+	trueCell := CellCharacter{AntiCell: false}
+	antiCell := CellCharacter{AntiCell: true}
+	if !trueCell.VulnerableWhenStoring(0) || trueCell.VulnerableWhenStoring(1) {
+		t.Error("true cell must be vulnerable storing 0 only")
+	}
+	if !antiCell.VulnerableWhenStoring(1) || antiCell.VulnerableWhenStoring(0) {
+		t.Error("anti cell must be vulnerable storing 1 only")
+	}
+}
+
+func TestNormalCDFProperties(t *testing.T) {
+	if math.Abs(normalCDF(0)-0.5) > 1e-12 {
+		t.Errorf("normalCDF(0) = %v, want 0.5", normalCDF(0))
+	}
+	if normalCDF(6) < 0.999999 {
+		t.Errorf("normalCDF(6) = %v, want ~1", normalCDF(6))
+	}
+	if normalCDF(-6) > 1e-6 {
+		t.Errorf("normalCDF(-6) = %v, want ~0", normalCDF(-6))
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := normalCDF(x)
+		return v >= 0 && v <= 1 && math.Abs(v+normalCDF(-x)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowGradientIncreasesTCrit(t *testing.T) {
+	g := DefaultLPDDR4Geometry()
+	p := MustProfile(ManufacturerA)
+	// Compare average TCrit of weak cells in low rows vs high rows of the
+	// same subarray; the gradient term must push the average up.
+	avg := func(rowLo, rowHi int) (float64, int) {
+		sum, n := 0.0, 0
+		for row := rowLo; row < rowHi; row++ {
+			for col := 0; col < 2048; col++ {
+				c := cellCharacter(11, 0, row, col, g, p)
+				if c.WeakColumn {
+					sum += c.TCritNS
+					n++
+				}
+			}
+		}
+		return sum / float64(n), n
+	}
+	lowAvg, nLow := avg(0, 32)
+	highAvg, nHigh := avg(480, 512)
+	if nLow == 0 || nHigh == 0 {
+		t.Fatal("no weak cells found for gradient comparison")
+	}
+	if highAvg <= lowAvg {
+		t.Errorf("TCrit should increase with row position in subarray: low=%v high=%v", lowAvg, highAvg)
+	}
+}

@@ -1,0 +1,70 @@
+package dram
+
+import "testing"
+
+func TestDefaultGeometriesValid(t *testing.T) {
+	for _, g := range []Geometry{DefaultLPDDR4Geometry(), DefaultDDR3Geometry()} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("default geometry invalid: %v", err)
+		}
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	base := DefaultLPDDR4Geometry()
+	cases := []struct {
+		name   string
+		mutate func(*Geometry)
+	}{
+		{"zero banks", func(g *Geometry) { g.Banks = 0 }},
+		{"zero rows", func(g *Geometry) { g.RowsPerBank = 0 }},
+		{"zero cols", func(g *Geometry) { g.ColsPerRow = 0 }},
+		{"zero subarray", func(g *Geometry) { g.SubarrayRows = 0 }},
+		{"zero word", func(g *Geometry) { g.WordBits = 0 }},
+		{"cols not multiple of word", func(g *Geometry) { g.ColsPerRow = g.WordBits*3 + 64 }},
+		{"word not multiple of 64", func(g *Geometry) { g.WordBits = 100; g.ColsPerRow = 1000 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := base
+			tc.mutate(&g)
+			if err := g.Validate(); err == nil {
+				t.Errorf("Validate() accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestGeometryDerivedQuantities(t *testing.T) {
+	g := DefaultLPDDR4Geometry()
+	if got := g.WordsPerRow(); got != 32 {
+		t.Errorf("WordsPerRow = %d, want 32", got)
+	}
+	if got := g.WordsPerBank(); got != 32*1024 {
+		t.Errorf("WordsPerBank = %d, want %d", got, 32*1024)
+	}
+	if got := g.SubarrayCount(); got != 2 {
+		t.Errorf("SubarrayCount = %d, want 2", got)
+	}
+	if got := g.Subarray(511); got != 0 {
+		t.Errorf("Subarray(511) = %d, want 0", got)
+	}
+	if got := g.Subarray(512); got != 1 {
+		t.Errorf("Subarray(512) = %d, want 1", got)
+	}
+	if got := g.RowInSubarray(513); got != 1 {
+		t.Errorf("RowInSubarray(513) = %d, want 1", got)
+	}
+	if got := g.CellsPerBank(); got != 1024*8192 {
+		t.Errorf("CellsPerBank = %d, want %d", got, 1024*8192)
+	}
+	if got := g.CellsPerDevice(); got != 8*1024*8192 {
+		t.Errorf("CellsPerDevice = %d, want %d", got, 8*1024*8192)
+	}
+	if got := g.wordU64s(); got != 4 {
+		t.Errorf("wordU64s = %d, want 4", got)
+	}
+	if got := g.rowU64s(); got != 128 {
+		t.Errorf("rowU64s = %d, want 128", got)
+	}
+}

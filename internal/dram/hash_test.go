@@ -1,0 +1,104 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	a := mix64(1, 2, 3)
+	b := mix64(1, 2, 3)
+	if a != b {
+		t.Errorf("mix64 not deterministic: %x vs %x", a, b)
+	}
+}
+
+func TestMix64SensitiveToInputOrder(t *testing.T) {
+	if mix64(1, 2) == mix64(2, 1) {
+		t.Error("mix64(1,2) should differ from mix64(2,1)")
+	}
+	if mix64(0) == mix64(0, 0) {
+		t.Error("mix64(0) should differ from mix64(0,0)")
+	}
+}
+
+func TestMix64AvalancheProperty(t *testing.T) {
+	// Flipping one input bit should change roughly half the output bits.
+	f := func(x uint64, bit uint8) bool {
+		b := uint(bit % 64)
+		h1 := mix64(x)
+		h2 := mix64(x ^ (1 << b))
+		diff := h1 ^ h2
+		popcount := 0
+		for diff != 0 {
+			popcount++
+			diff &= diff - 1
+		}
+		return popcount >= 10 && popcount <= 54
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitFloatRange(t *testing.T) {
+	f := func(h uint64) bool {
+		v := unitFloat(h)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitFloatDistribution(t *testing.T) {
+	// The mean of unitFloat over a mixed sequence should be close to 0.5.
+	const n = 20000
+	sum := 0.0
+	state := uint64(12345)
+	for i := 0; i < n; i++ {
+		var out uint64
+		state, out = splitmix64(state)
+		sum += unitFloat(out)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean of unitFloat = %v, want ~0.5", mean)
+	}
+}
+
+func TestGaussianFromHashMoments(t *testing.T) {
+	const n = 20000
+	sum, sumSq := 0.0, 0.0
+	state := uint64(987654321)
+	for i := 0; i < n; i++ {
+		var h1, h2 uint64
+		state, h1 = splitmix64(state)
+		state, h2 = splitmix64(state)
+		g := gaussianFromHash(h1, h2)
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("gaussian mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("gaussian variance = %v, want ~1", variance)
+	}
+}
+
+func TestSplitmix64Progresses(t *testing.T) {
+	s := uint64(42)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		var out uint64
+		s, out = splitmix64(s)
+		if seen[out] {
+			t.Fatalf("splitmix64 produced a repeat within 1000 outputs at step %d", i)
+		}
+		seen[out] = true
+	}
+}

@@ -1,0 +1,100 @@
+package dram
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// NoiseSource supplies the per-access analog noise that makes activation
+// failures non-deterministic. In real hardware this is thermal/sense-amplifier
+// noise; here it is an abstraction with two implementations:
+//
+//   - PhysicalNoise draws from the operating system's entropy pool
+//     (crypto/rand), the closest available stand-in for physical randomness.
+//   - DeterministicNoise is a seeded, reproducible source used by tests and
+//     benchmarks so that experiments are repeatable.
+//
+// Implementations must be safe for concurrent use.
+type NoiseSource interface {
+	// Gaussian returns one sample from a standard normal distribution
+	// (mean 0, standard deviation 1).
+	Gaussian() float64
+}
+
+// boxMuller converts two independent uniform samples in [0,1) into one
+// standard-normal sample.
+func boxMuller(u1, u2 float64) float64 {
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// PhysicalNoise is a NoiseSource backed by the operating system entropy pool.
+// It buffers entropy to avoid a system call per sample.
+type PhysicalNoise struct {
+	mu  sync.Mutex
+	buf []byte
+	off int
+}
+
+// NewPhysicalNoise returns a NoiseSource that draws from crypto/rand.
+func NewPhysicalNoise() *PhysicalNoise {
+	return &PhysicalNoise{}
+}
+
+func (p *PhysicalNoise) uniform() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.off+8 > len(p.buf) {
+		p.buf = make([]byte, 4096)
+		p.off = 0
+		if _, err := rand.Read(p.buf); err != nil {
+			// crypto/rand failing is unrecoverable for a TRNG; surface it
+			// loudly rather than silently degrade to predictable output.
+			panic(fmt.Sprintf("dram: reading OS entropy failed: %v", err))
+		}
+	}
+	v := binary.LittleEndian.Uint64(p.buf[p.off:])
+	p.off += 8
+	return float64(v>>11) / float64(1<<53)
+}
+
+// Gaussian implements NoiseSource.
+func (p *PhysicalNoise) Gaussian() float64 {
+	return boxMuller(p.uniform(), p.uniform())
+}
+
+// DeterministicNoise is a seeded, reproducible NoiseSource based on
+// SplitMix64. It is intended for tests, characterization reproducibility and
+// benchmarks; it is NOT suitable for generating keys.
+type DeterministicNoise struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewDeterministicNoise returns a reproducible noise source seeded with seed.
+func NewDeterministicNoise(seed uint64) *DeterministicNoise {
+	return &DeterministicNoise{state: seed ^ 0xd1b54a32d192ed03}
+}
+
+func (d *DeterministicNoise) next() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out uint64
+	d.state, out = splitmix64(d.state)
+	return out
+}
+
+// Gaussian implements NoiseSource.
+func (d *DeterministicNoise) Gaussian() float64 {
+	return boxMuller(unitFloat(d.next()), unitFloat(d.next()))
+}
+
+var (
+	_ NoiseSource = (*PhysicalNoise)(nil)
+	_ NoiseSource = (*DeterministicNoise)(nil)
+)

@@ -1,0 +1,83 @@
+package dram
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func checkGaussianMoments(t *testing.T, name string, src NoiseSource, n int) {
+	t.Helper()
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		g := src.Gaussian()
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("%s produced non-finite sample %v", name, g)
+		}
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.08 {
+		t.Errorf("%s mean = %v, want ~0", name, mean)
+	}
+	if math.Abs(variance-1) > 0.15 {
+		t.Errorf("%s variance = %v, want ~1", name, variance)
+	}
+}
+
+func TestPhysicalNoiseMoments(t *testing.T) {
+	checkGaussianMoments(t, "PhysicalNoise", NewPhysicalNoise(), 5000)
+}
+
+func TestDeterministicNoiseMoments(t *testing.T) {
+	checkGaussianMoments(t, "DeterministicNoise", NewDeterministicNoise(7), 5000)
+}
+
+func TestDeterministicNoiseReproducible(t *testing.T) {
+	a := NewDeterministicNoise(99)
+	b := NewDeterministicNoise(99)
+	for i := 0; i < 100; i++ {
+		if a.Gaussian() != b.Gaussian() {
+			t.Fatalf("same-seed sources diverged at sample %d", i)
+		}
+	}
+}
+
+func TestDeterministicNoiseSeedSensitivity(t *testing.T) {
+	a := NewDeterministicNoise(1)
+	b := NewDeterministicNoise(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Gaussian() == b.Gaussian() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/100 identical samples", same)
+	}
+}
+
+func TestNoiseSourcesConcurrentUse(t *testing.T) {
+	for _, src := range []NoiseSource{NewPhysicalNoise(), NewDeterministicNoise(3)} {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					_ = src.Gaussian()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestBoxMullerHandlesZeroUniform(t *testing.T) {
+	v := boxMuller(0, 0.5)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("boxMuller(0, 0.5) = %v, want finite", v)
+	}
+}

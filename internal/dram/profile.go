@@ -1,0 +1,191 @@
+package dram
+
+import "fmt"
+
+// Manufacturer identifies one of the three anonymised DRAM manufacturers
+// from the paper's characterization study.
+type Manufacturer string
+
+const (
+	// ManufacturerA corresponds to "manufacturer A" in the paper.
+	ManufacturerA Manufacturer = "A"
+	// ManufacturerB corresponds to "manufacturer B" in the paper.
+	ManufacturerB Manufacturer = "B"
+	// ManufacturerC corresponds to "manufacturer C" in the paper.
+	ManufacturerC Manufacturer = "C"
+)
+
+// Profile captures the manufacturer- and process-dependent constants of the
+// activation-failure model. The constants are chosen so that the simulated
+// populations reproduce the qualitative observations of Section 5 of the
+// paper:
+//
+//   - activation failures cluster in a few "weak" columns per subarray
+//     (weak local sense amplifiers / bitlines), Figure 4;
+//   - within a subarray, failure probability increases with the row's
+//     distance from the sense amplifiers, Figure 4;
+//   - failures are inducible for tRCD roughly between 6 ns and 13 ns and
+//     absent at the default 18 ns (Section 7.3);
+//   - the data pattern that exposes the most ~50%-probability cells differs
+//     by manufacturer (solid 0s for A and C, checkered 0s for B), Section 5.2;
+//   - increasing temperature generally increases failure probability, with
+//     manufacturer A showing the tightest correlation, Section 5.3.
+type Profile struct {
+	Manufacturer Manufacturer
+
+	// SubarrayRows is the subarray height this manufacturer uses (512 or
+	// 1024 in the paper).
+	SubarrayRows int
+
+	// WeakColumnDensity is the fraction of columns in a subarray whose local
+	// bitline/sense amplifier is weak enough to produce activation failures
+	// at reduced tRCD.
+	WeakColumnDensity float64
+
+	// TCritMeanNS and TCritSpreadNS describe the distribution of the
+	// critical activation latency of cells on weak columns: the tRCD below
+	// which the cell's read becomes unreliable. The spread is the standard
+	// deviation of the per-cell Gaussian component.
+	TCritMeanNS   float64
+	TCritSpreadNS float64
+
+	// StrongTCritNS is the critical latency of cells on non-weak columns;
+	// it is far below any tRCD used in the experiments, so those cells never
+	// fail.
+	StrongTCritNS float64
+
+	// RowGradientNS is the additional critical latency of a cell at the far
+	// end of the subarray relative to a cell adjacent to the sense
+	// amplifiers (signal-propagation delay along the bitline).
+	RowGradientNS float64
+
+	// NoiseSigmaNS is the standard deviation (in nanoseconds of equivalent
+	// latency margin) of the per-access analog noise.
+	NoiseSigmaNS float64
+
+	// MetastableWindowNS is the half-width of the sense amplifier's
+	// metastable window: when a cell's latency margin (plus the per-access
+	// noise) lands inside ±MetastableWindowNS, the sense amplifier resolves
+	// purely from symmetric thermal noise and the read value is a fair coin
+	// flip. This is the paper's hypothesis for why RNG cells produce
+	// unbiased output (Sections 5.4 and 7.3, citing Chang et al.).
+	MetastableWindowNS float64
+
+	// TempCoeffMeanNSPerC and TempCoeffSigmaNSPerC describe the per-cell
+	// temperature coefficient: the change of critical latency per degree
+	// Celsius above the 45 °C characterization baseline. A mostly-positive
+	// distribution makes failures more likely as temperature rises, with a
+	// minority of cells moving the other way, as in Figure 6.
+	TempCoeffMeanNSPerC  float64
+	TempCoeffSigmaNSPerC float64
+
+	// CouplingNS is the shift in critical latency contributed by each
+	// neighbouring cell that stores the opposite value of the victim cell
+	// (bitline-to-bitline and wordline coupling). Positive values make
+	// "disagreeing" neighbourhoods fail more easily.
+	CouplingNS float64
+
+	// AntiCellFraction is the fraction of weak cells that are "anti cells":
+	// vulnerable when they store a logical 1 rather than a logical 0. The
+	// rest ("true cells") are vulnerable when storing 0. This is what makes
+	// solid-0 patterns most effective for manufacturers dominated by true
+	// cells.
+	AntiCellFraction float64
+}
+
+// ProfileFor returns the built-in profile of the given manufacturer.
+func ProfileFor(m Manufacturer) (Profile, error) {
+	switch m {
+	case ManufacturerA:
+		return Profile{
+			Manufacturer:         ManufacturerA,
+			SubarrayRows:         512,
+			WeakColumnDensity:    1.0 / 112.0,
+			TCritMeanNS:          9.4,
+			TCritSpreadNS:        1.8,
+			StrongTCritNS:        5.2,
+			RowGradientNS:        1.0,
+			NoiseSigmaNS:         0.06,
+			MetastableWindowNS:   0.40,
+			TempCoeffMeanNSPerC:  0.020,
+			TempCoeffSigmaNSPerC: 0.006,
+			CouplingNS:           0.10,
+			AntiCellFraction:     0.12,
+		}, nil
+	case ManufacturerB:
+		return Profile{
+			Manufacturer:         ManufacturerB,
+			SubarrayRows:         512,
+			WeakColumnDensity:    1.0 / 128.0,
+			TCritMeanNS:          9.0,
+			TCritSpreadNS:        2.0,
+			StrongTCritNS:        5.0,
+			RowGradientNS:        1.2,
+			NoiseSigmaNS:         0.07,
+			MetastableWindowNS:   0.45,
+			TempCoeffMeanNSPerC:  0.022,
+			TempCoeffSigmaNSPerC: 0.014,
+			CouplingNS:           0.55,
+			AntiCellFraction:     0.45,
+		}, nil
+	case ManufacturerC:
+		return Profile{
+			Manufacturer:         ManufacturerC,
+			SubarrayRows:         1024,
+			WeakColumnDensity:    1.0 / 112.0,
+			TCritMeanNS:          9.5,
+			TCritSpreadNS:        1.9,
+			StrongTCritNS:        5.4,
+			RowGradientNS:        0.9,
+			NoiseSigmaNS:         0.065,
+			MetastableWindowNS:   0.42,
+			TempCoeffMeanNSPerC:  0.024,
+			TempCoeffSigmaNSPerC: 0.012,
+			CouplingNS:           0.15,
+			AntiCellFraction:     0.15,
+		}, nil
+	default:
+		return Profile{}, fmt.Errorf("dram: unknown manufacturer %q", m)
+	}
+}
+
+// MustProfile is like ProfileFor but panics on an unknown manufacturer. It is
+// intended for package-level defaults and tests.
+func MustProfile(m Manufacturer) Profile {
+	p, err := ProfileFor(m)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate reports an error if the profile contains non-physical values.
+func (p Profile) Validate() error {
+	if p.Manufacturer == "" {
+		return fmt.Errorf("dram: profile missing manufacturer")
+	}
+	if p.SubarrayRows <= 0 {
+		return fmt.Errorf("dram: profile SubarrayRows must be positive, got %d", p.SubarrayRows)
+	}
+	if p.WeakColumnDensity <= 0 || p.WeakColumnDensity > 1 {
+		return fmt.Errorf("dram: WeakColumnDensity must be in (0,1], got %v", p.WeakColumnDensity)
+	}
+	if p.TCritMeanNS <= 0 || p.TCritSpreadNS <= 0 || p.StrongTCritNS <= 0 {
+		return fmt.Errorf("dram: critical latencies must be positive")
+	}
+	if p.NoiseSigmaNS <= 0 {
+		return fmt.Errorf("dram: NoiseSigmaNS must be positive, got %v", p.NoiseSigmaNS)
+	}
+	if p.MetastableWindowNS < 0 {
+		return fmt.Errorf("dram: MetastableWindowNS must be non-negative, got %v", p.MetastableWindowNS)
+	}
+	if p.AntiCellFraction < 0 || p.AntiCellFraction > 1 {
+		return fmt.Errorf("dram: AntiCellFraction must be in [0,1], got %v", p.AntiCellFraction)
+	}
+	return nil
+}
+
+// AllManufacturers lists the three manufacturers in a stable order.
+func AllManufacturers() []Manufacturer {
+	return []Manufacturer{ManufacturerA, ManufacturerB, ManufacturerC}
+}

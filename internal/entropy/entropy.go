@@ -1,0 +1,272 @@
+// Package entropy provides the statistical measures the paper uses to
+// characterize DRAM cells and bitstreams: Shannon entropy of n-bit symbol
+// distributions, min-entropy, bias, the ±10% symbol-uniformity criterion for
+// RNG-cell identification (Section 6.1), and the box-and-whisker summaries
+// used by the characterization figures.
+package entropy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BitCounts returns the number of zero and one bits in the stream.
+func BitCounts(bits []byte) (zeros, ones int) {
+	for _, b := range bits {
+		if b != 0 {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	return zeros, ones
+}
+
+// Bias returns the proportion of ones in the bitstream (0.5 is unbiased).
+// It returns an error for an empty stream.
+func Bias(bits []byte) (float64, error) {
+	if len(bits) == 0 {
+		return 0, fmt.Errorf("entropy: bias of empty bitstream")
+	}
+	_, ones := BitCounts(bits)
+	return float64(ones) / float64(len(bits)), nil
+}
+
+// ShannonBits returns the Shannon entropy (in bits per bit) of the 1-bit
+// symbol distribution of the stream: -p log2 p - q log2 q.
+func ShannonBits(bits []byte) (float64, error) {
+	p, err := Bias(bits)
+	if err != nil {
+		return 0, err
+	}
+	return BinaryEntropy(p), nil
+}
+
+// BinaryEntropy returns the entropy of a Bernoulli(p) source in bits.
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// SymbolHistogram counts the occurrences of each n-bit symbol in the
+// bitstream, consuming the stream in non-overlapping n-bit chunks (trailing
+// bits that do not fill a symbol are ignored). bits must contain values 0
+// or 1; n must be in [1, 16].
+func SymbolHistogram(bits []byte, n int) ([]int, error) {
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("entropy: symbol size %d outside [1,16]", n)
+	}
+	counts := make([]int, 1<<uint(n))
+	for i := 0; i+n <= len(bits); i += n {
+		sym := 0
+		for j := 0; j < n; j++ {
+			sym = sym<<1 | int(bits[i+j]&1)
+		}
+		counts[sym]++
+	}
+	return counts, nil
+}
+
+// ShannonSymbolEntropy returns the Shannon entropy, in bits per symbol, of
+// the n-bit symbol distribution of the stream.
+func ShannonSymbolEntropy(bits []byte, n int) (float64, error) {
+	counts, err := SymbolHistogram(bits, n)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("entropy: bitstream too short for %d-bit symbols", n)
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h, nil
+}
+
+// MinEntropy returns the min-entropy (in bits per bit) of the 1-bit symbol
+// distribution: -log2(max(p, 1-p)).
+func MinEntropy(bits []byte) (float64, error) {
+	p, err := Bias(bits)
+	if err != nil {
+		return 0, err
+	}
+	pmax := math.Max(p, 1-p)
+	if pmax >= 1 {
+		return 0, nil
+	}
+	return -math.Log2(pmax), nil
+}
+
+// SymbolsUniform implements the paper's RNG-cell selection criterion
+// (Section 6.1): it reports whether every n-bit symbol occurs within
+// ±tolerance (as a fraction) of the expected count for a uniform source.
+func SymbolsUniform(bits []byte, n int, tolerance float64) (bool, error) {
+	if tolerance <= 0 || tolerance >= 1 {
+		return false, fmt.Errorf("entropy: tolerance must be in (0,1), got %v", tolerance)
+	}
+	counts, err := SymbolHistogram(bits, n)
+	if err != nil {
+		return false, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return false, fmt.Errorf("entropy: bitstream too short for %d-bit symbols", n)
+	}
+	expected := float64(total) / float64(len(counts))
+	lo := expected * (1 - tolerance)
+	hi := expected * (1 + tolerance)
+	for _, c := range counts {
+		if float64(c) < lo || float64(c) > hi {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SerialCorrelation returns the lag-1 serial correlation coefficient of the
+// bitstream, a quick indicator of sample-to-sample dependence.
+func SerialCorrelation(bits []byte) (float64, error) {
+	n := len(bits)
+	if n < 2 {
+		return 0, fmt.Errorf("entropy: need at least 2 bits, got %d", n)
+	}
+	var sum, sumSq, sumProd float64
+	for i := 0; i < n; i++ {
+		x := float64(bits[i] & 1)
+		sum += x
+		sumSq += x * x
+		if i+1 < n {
+			sumProd += x * float64(bits[i+1]&1)
+		}
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance == 0 {
+		return 1, nil
+	}
+	cov := sumProd/float64(n-1) - mean*mean
+	return cov / variance, nil
+}
+
+// Summary is a box-and-whisker summary of a sample: the quartiles, whisker
+// bounds (1.5 IQR beyond the box), and the outliers, matching the plot
+// format used throughout the paper's figures.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Q1       float64
+	Median   float64
+	Q3       float64
+	// WhiskerLow and WhiskerHigh are the most extreme samples within
+	// 1.5×IQR of the box.
+	WhiskerLow  float64
+	WhiskerHigh float64
+	Outliers    []float64
+	Mean        float64
+}
+
+// Summarize computes a box-and-whisker summary of the sample. It returns an
+// error for an empty sample.
+func Summarize(sample []float64) (Summary, error) {
+	if len(sample) == 0 {
+		return Summary{}, fmt.Errorf("entropy: summary of empty sample")
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+
+	s := Summary{
+		N:   len(sorted),
+		Min: sorted[0],
+		Max: sorted[len(sorted)-1],
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	s.Median = quantile(sorted, 0.5)
+	s.Q1 = quantile(sorted, 0.25)
+	s.Q3 = quantile(sorted, 0.75)
+	iqr := s.Q3 - s.Q1
+	loBound := s.Q1 - 1.5*iqr
+	hiBound := s.Q3 + 1.5*iqr
+	s.WhiskerLow = s.Max
+	s.WhiskerHigh = s.Min
+	for _, v := range sorted {
+		if v < loBound || v > hiBound {
+			s.Outliers = append(s.Outliers, v)
+			continue
+		}
+		if v < s.WhiskerLow {
+			s.WhiskerLow = v
+		}
+		if v > s.WhiskerHigh {
+			s.WhiskerHigh = v
+		}
+	}
+	if s.WhiskerLow > s.WhiskerHigh {
+		// All points were outliers (degenerate); collapse whiskers onto the
+		// median.
+		s.WhiskerLow, s.WhiskerHigh = s.Median, s.Median
+	}
+	return s, nil
+}
+
+// quantile returns the q-quantile of an already-sorted sample using linear
+// interpolation between order statistics.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BytesToBits expands a packed byte slice into one byte per bit (values 0 or
+// 1), most significant bit first. It is the format the NIST tests and the
+// entropy measures consume.
+func BytesToBits(data []byte) []byte {
+	bits := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>uint(i))&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs a slice of bits (one byte per bit) into bytes, most
+// significant bit first; trailing bits that do not fill a byte are dropped.
+func BitsToBytes(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)/8)
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b = b<<1 | (bits[i+j] & 1)
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func altBits(n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(i & 1)
+	}
+	return bits
+}
+
+func constBits(n int, v byte) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = v
+	}
+	return bits
+}
+
+func prngBits(n int, seed uint64) []byte {
+	bits := make([]byte, n)
+	s := seed
+	for i := range bits {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		bits[i] = byte(s & 1)
+	}
+	return bits
+}
+
+func TestBitCountsAndBias(t *testing.T) {
+	zeros, ones := BitCounts([]byte{0, 1, 1, 0, 1})
+	if zeros != 2 || ones != 3 {
+		t.Errorf("BitCounts = (%d,%d), want (2,3)", zeros, ones)
+	}
+	b, err := Bias([]byte{0, 1, 1, 0})
+	if err != nil || b != 0.5 {
+		t.Errorf("Bias = %v, %v; want 0.5, nil", b, err)
+	}
+	if _, err := Bias(nil); err == nil {
+		t.Error("Bias(empty) should error")
+	}
+}
+
+func TestShannonBits(t *testing.T) {
+	h, err := ShannonBits(altBits(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1.0) > 1e-12 {
+		t.Errorf("Shannon entropy of balanced stream = %v, want 1", h)
+	}
+	h, err = ShannonBits(constBits(1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Errorf("Shannon entropy of constant stream = %v, want 0", h)
+	}
+	if _, err := ShannonBits(nil); err == nil {
+		t.Error("empty stream should error")
+	}
+}
+
+func TestBinaryEntropyProperties(t *testing.T) {
+	if BinaryEntropy(0.5) != 1 {
+		t.Errorf("BinaryEntropy(0.5) = %v, want 1", BinaryEntropy(0.5))
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Error("BinaryEntropy at extremes should be 0")
+	}
+	f := func(raw uint16) bool {
+		p := float64(raw) / 65535.0
+		h := BinaryEntropy(p)
+		// Entropy is symmetric and bounded by 1.
+		return h >= 0 && h <= 1+1e-12 && math.Abs(h-BinaryEntropy(1-p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolHistogram(t *testing.T) {
+	// 0,1 repeated: 3-bit symbols of "010101..." are 010=2, 101=5, 010...
+	bits := altBits(12)
+	counts, err := SymbolHistogram(bits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("total symbols = %d, want 4", total)
+	}
+	if counts[0b010] != 2 || counts[0b101] != 2 {
+		t.Errorf("histogram = %v, want two each of 010 and 101", counts)
+	}
+	if _, err := SymbolHistogram(bits, 0); err == nil {
+		t.Error("symbol size 0 accepted")
+	}
+	if _, err := SymbolHistogram(bits, 17); err == nil {
+		t.Error("symbol size 17 accepted")
+	}
+}
+
+func TestShannonSymbolEntropy(t *testing.T) {
+	// A periodic pattern has low symbol entropy; a PRNG stream is near 3
+	// bits for 3-bit symbols.
+	low, err := ShannonSymbolEntropy(altBits(3000), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > 1.1 {
+		t.Errorf("symbol entropy of alternating stream = %v, want ~1", low)
+	}
+	high, err := ShannonSymbolEntropy(prngBits(30000, 99), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high < 2.95 {
+		t.Errorf("symbol entropy of pseudorandom stream = %v, want ~3", high)
+	}
+	if _, err := ShannonSymbolEntropy(altBits(2), 3); err == nil {
+		t.Error("too-short stream accepted")
+	}
+}
+
+func TestMinEntropy(t *testing.T) {
+	m, err := MinEntropy(altBits(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-1) > 1e-12 {
+		t.Errorf("min-entropy of balanced stream = %v, want 1", m)
+	}
+	m, err = MinEntropy(constBits(100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0 {
+		t.Errorf("min-entropy of constant stream = %v, want 0", m)
+	}
+}
+
+func TestSymbolsUniform(t *testing.T) {
+	ok, err := SymbolsUniform(prngBits(60000, 1234), 3, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("pseudorandom stream should satisfy the ±10% criterion")
+	}
+	ok, err = SymbolsUniform(constBits(60000, 1), 3, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("constant stream should fail the ±10% criterion")
+	}
+	if _, err := SymbolsUniform(prngBits(100, 1), 3, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := SymbolsUniform(nil, 3, 0.1); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestSerialCorrelation(t *testing.T) {
+	// Alternating bits are perfectly anti-correlated.
+	c, err := SerialCorrelation(altBits(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > -0.9 {
+		t.Errorf("serial correlation of alternating stream = %v, want ~-1", c)
+	}
+	c, err = SerialCorrelation(prngBits(50000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c) > 0.05 {
+		t.Errorf("serial correlation of pseudorandom stream = %v, want ~0", c)
+	}
+	if _, err := SerialCorrelation([]byte{1}); err == nil {
+		t.Error("single-bit stream accepted")
+	}
+	c, err = SerialCorrelation(constBits(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Errorf("serial correlation of constant stream = %v, want 1 by convention", c)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 5 || s.Min != 1 || s.Max != 9 || s.N != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 3 || s.Q3 != 7 {
+		t.Errorf("quartiles = %v, %v; want 3, 7", s.Q1, s.Q3)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if len(s.Outliers) != 0 {
+		t.Errorf("unexpected outliers %v", s.Outliers)
+	}
+
+	// An extreme point becomes an outlier and the whisker excludes it.
+	s, err = Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Outliers) != 1 || s.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", s.Outliers)
+	}
+	if s.WhiskerHigh == 100 {
+		t.Error("whisker should not extend to the outlier")
+	}
+
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+
+	s, err = Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 42 || s.Q1 != 42 || s.Q3 != 42 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+func TestBytesBitsRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		bits := BytesToBits(data)
+		if len(bits) != len(data)*8 {
+			return false
+		}
+		back := BitsToBytes(bits)
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if data[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesToBitsOrder(t *testing.T) {
+	bits := BytesToBits([]byte{0x80, 0x01})
+	want := []byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %d, want %d", i, bits[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package memctrl implements the memory-controller model D-RaNGe runs
+// within: a programmable timing-register file (notably tRCD), per-bank state
+// machines, rank-level activation constraints (tRRD, tFAW), command-bus and
+// data-bus occupancy, optional refresh management, and a command trace for
+// energy accounting.
+//
+// The controller issues commands in program order at the earliest legal
+// cycle, which models the firmware sampling routine of Section 6.3: a simple
+// loop that interleaves accesses across banks.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// Stats aggregates the controller's activity counters.
+type Stats struct {
+	Cycles        int64
+	ACTs          int64
+	PREs          int64
+	Reads         int64
+	Writes        int64
+	Refreshes     int64
+	DataBusCycles int64
+	// TRCDViolations counts intentionally induced tRCD violations (reads
+	// issued under a reduced activation latency).
+	TRCDViolations int64
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithTrace enables command-trace recording (needed for energy analysis).
+func WithTrace() Option {
+	return func(c *Controller) { c.traceEnabled = true }
+}
+
+// WithRefresh enables periodic all-bank refresh every tREFI.
+func WithRefresh() Option {
+	return func(c *Controller) { c.refreshEnabled = true }
+}
+
+// Controller drives one simulated DRAM device (one channel) with
+// cycle-accurate command timing.
+type Controller struct {
+	dev    *dram.Device
+	params timing.Params
+
+	// reducedTRCDNS is the programmed activation latency override in
+	// nanoseconds; 0 means the JEDEC default applies.
+	reducedTRCDNS float64
+
+	banks []*timing.BankFSM
+
+	now          int64
+	lastACT      int64
+	recentACTs   []int64 // for the four-activate window
+	busBusyUntil int64
+
+	refreshEnabled bool
+	nextRefresh    int64
+
+	traceEnabled bool
+	trace        []timing.Command
+
+	stats Stats
+}
+
+// NewController builds a controller for dev.
+func NewController(dev *dram.Device, opts ...Option) *Controller {
+	p := dev.Timing()
+	c := &Controller{
+		dev:     dev,
+		params:  p,
+		banks:   make([]*timing.BankFSM, dev.Geometry().Banks),
+		lastACT: -1 << 60,
+	}
+	for i := range c.banks {
+		c.banks[i] = timing.NewBankFSM(p)
+		// A controller takes over a device assuming every bank is
+		// precharged; close any rows a previous controller left open.
+		_ = dev.Precharge(i)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.refreshEnabled {
+		c.nextRefresh = p.Cycles(p.TREFI)
+	}
+	return c
+}
+
+// Device returns the device this controller drives.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Params returns the controller's default timing parameters.
+func (c *Controller) Params() timing.Params { return c.params }
+
+// Now returns the current command-clock cycle.
+func (c *Controller) Now() int64 { return c.now }
+
+// NowNS returns the current time in nanoseconds.
+func (c *Controller) NowNS() float64 { return c.params.NS(c.now) }
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.now
+	return s
+}
+
+// Trace returns the recorded command trace (nil unless WithTrace was used).
+func (c *Controller) Trace() []timing.Command { return c.trace }
+
+// ResetTrace discards the recorded command trace and returns the number of
+// commands dropped.
+func (c *Controller) ResetTrace() int {
+	n := len(c.trace)
+	c.trace = c.trace[:0]
+	return n
+}
+
+// SetReducedTRCD programs the timing-register file with a reduced activation
+// latency in nanoseconds. The paper finds activation failures inducible for
+// tRCD between roughly 6 ns and 13 ns (default 18 ns); the controller
+// accepts any positive value not exceeding the default.
+func (c *Controller) SetReducedTRCD(ns float64) error {
+	if ns <= 0 {
+		return fmt.Errorf("memctrl: reduced tRCD must be positive, got %v", ns)
+	}
+	if ns > c.params.TRCD {
+		return fmt.Errorf("memctrl: reduced tRCD %v ns exceeds the default %v ns", ns, c.params.TRCD)
+	}
+	c.reducedTRCDNS = ns
+	return nil
+}
+
+// ResetTRCD restores the default activation latency.
+func (c *Controller) ResetTRCD() { c.reducedTRCDNS = 0 }
+
+// EffectiveTRCD returns the activation latency currently in effect, in
+// nanoseconds.
+func (c *Controller) EffectiveTRCD() float64 {
+	if c.reducedTRCDNS > 0 {
+		return c.reducedTRCDNS
+	}
+	return c.params.TRCD
+}
+
+// record appends a command to the trace (when enabled) and bumps counters.
+func (c *Controller) record(kind timing.CommandKind, bank, row, col int, cycle int64) {
+	switch kind {
+	case timing.CmdACT:
+		c.stats.ACTs++
+	case timing.CmdPRE:
+		c.stats.PREs++
+	case timing.CmdRead:
+		c.stats.Reads++
+	case timing.CmdWrite:
+		c.stats.Writes++
+	case timing.CmdRefresh:
+		c.stats.Refreshes++
+	}
+	if c.traceEnabled {
+		c.trace = append(c.trace, timing.Command{
+			Kind: kind, Bank: bank, Row: row, Column: col, IssueCycle: cycle,
+			TRCDOverrideNS: c.reducedTRCDNS,
+		})
+	}
+}
+
+func (c *Controller) checkBank(bank int) error {
+	if bank < 0 || bank >= len(c.banks) {
+		return fmt.Errorf("memctrl: bank %d out of range [0,%d)", bank, len(c.banks))
+	}
+	return nil
+}
+
+// maybeRefresh issues a pending refresh if one is due. All banks are
+// precharged first.
+func (c *Controller) maybeRefresh() error {
+	if !c.refreshEnabled || c.now < c.nextRefresh {
+		return nil
+	}
+	for bank := range c.banks {
+		if c.banks[bank].OpenRow() >= 0 {
+			if err := c.prechargeAt(bank, c.earliestFor(c.banks[bank].EarliestPRE())); err != nil {
+				return err
+			}
+		}
+	}
+	// Wait until every bank can accept the refresh.
+	issue := c.now
+	for _, b := range c.banks {
+		if b.EarliestACT() > issue {
+			issue = b.EarliestACT()
+		}
+	}
+	for bank, b := range c.banks {
+		if _, err := b.Refresh(issue); err != nil {
+			return fmt.Errorf("memctrl: refresh failed on bank %d: %w", bank, err)
+		}
+	}
+	if err := c.dev.Refresh(); err != nil {
+		return err
+	}
+	c.record(timing.CmdRefresh, -1, -1, -1, issue)
+	c.now = issue + 1
+	c.nextRefresh += c.params.Cycles(c.params.TREFI)
+	return nil
+}
+
+// earliestFor returns the issue cycle for a command whose per-bank earliest
+// legal cycle is e, given that the command bus carries one command per cycle
+// in program order.
+func (c *Controller) earliestFor(e int64) int64 {
+	if e < c.now {
+		return c.now
+	}
+	return e
+}
+
+// activateAt issues an ACT to (bank, row) at the earliest legal cycle,
+// honouring tRRD and tFAW across banks. It returns the issue cycle.
+func (c *Controller) activateAt(bank, row int) (int64, error) {
+	b := c.banks[bank]
+	issue := c.earliestFor(b.EarliestACT())
+	if t := c.lastACT + c.params.Cycles(c.params.TRRD); t > issue {
+		issue = t
+	}
+	if len(c.recentACTs) >= 4 {
+		if t := c.recentACTs[len(c.recentACTs)-4] + c.params.Cycles(c.params.TFAW); t > issue {
+			issue = t
+		}
+	}
+	trcd := c.reducedTRCDNS
+	if _, err := b.Activate(issue, row, trcd); err != nil {
+		return 0, err
+	}
+	if err := c.dev.Activate(bank, row, c.EffectiveTRCD()); err != nil {
+		return 0, err
+	}
+	c.lastACT = issue
+	c.recentACTs = append(c.recentACTs, issue)
+	if len(c.recentACTs) > 8 {
+		c.recentACTs = c.recentACTs[len(c.recentACTs)-8:]
+	}
+	c.record(timing.CmdACT, bank, row, -1, issue)
+	c.now = issue + 1
+	return issue, nil
+}
+
+// prechargeAt issues a PRE to bank at the earliest legal cycle.
+func (c *Controller) prechargeAt(bank int, earliest int64) error {
+	b := c.banks[bank]
+	issue := c.earliestFor(earliest)
+	if _, err := b.Precharge(issue); err != nil {
+		return err
+	}
+	if err := c.dev.Precharge(bank); err != nil {
+		return err
+	}
+	c.record(timing.CmdPRE, bank, -1, -1, issue)
+	c.now = issue + 1
+	return nil
+}
+
+// PrechargeBank closes the open row of bank (no-op when already closed).
+func (c *Controller) PrechargeBank(bank int) error {
+	if err := c.checkBank(bank); err != nil {
+		return err
+	}
+	b := c.banks[bank]
+	if b.OpenRow() < 0 {
+		return nil
+	}
+	return c.prechargeAt(bank, b.EarliestPRE())
+}
+
+// openRowFor ensures row is open in bank, precharging any other open row and
+// activating as needed.
+func (c *Controller) openRowFor(bank, row int) error {
+	if err := c.maybeRefresh(); err != nil {
+		return err
+	}
+	b := c.banks[bank]
+	open := b.OpenRow()
+	if open == row {
+		return nil
+	}
+	if open >= 0 {
+		if err := c.prechargeAt(bank, b.EarliestPRE()); err != nil {
+			return err
+		}
+	}
+	_, err := c.activateAt(bank, row)
+	return err
+}
+
+// ActivateRow ensures row is open in bank, precharging any other open row
+// first. Issuing the activations for several banks before their column
+// commands lets the controller overlap the activation latencies across
+// banks, which is how Algorithm 2 exploits bank-level parallelism.
+func (c *Controller) ActivateRow(bank, row int) error {
+	if err := c.checkBank(bank); err != nil {
+		return err
+	}
+	g := c.dev.Geometry()
+	if row < 0 || row >= g.RowsPerBank {
+		return fmt.Errorf("memctrl: row %d out of range [0,%d)", row, g.RowsPerBank)
+	}
+	return c.openRowFor(bank, row)
+}
+
+// ReadWord reads the DRAM word at (bank, row, wordIdx) using the currently
+// programmed timing parameters (reduced tRCD induces activation failures in
+// the first word read after the activation). It returns the word and the
+// cycle at which the data burst completes on the data bus.
+func (c *Controller) ReadWord(bank, row, wordIdx int) ([]uint64, int64, error) {
+	if err := c.checkBank(bank); err != nil {
+		return nil, 0, err
+	}
+	if err := c.openRowFor(bank, row); err != nil {
+		return nil, 0, err
+	}
+	b := c.banks[bank]
+	issue := c.earliestFor(b.EarliestRead())
+	done, viol, err := b.Read(issue)
+	if err != nil {
+		return nil, 0, err
+	}
+	if viol != nil && !viol.Intentional() {
+		return nil, 0, viol
+	}
+	if viol != nil {
+		c.stats.TRCDViolations++
+	}
+	if c.reducedTRCDNS > 0 {
+		c.stats.TRCDViolations++
+	}
+	data, err := c.dev.ReadWord(bank, wordIdx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if done < c.busBusyUntil+c.params.BurstCycles() {
+		done = c.busBusyUntil + c.params.BurstCycles()
+	}
+	c.busBusyUntil = done
+	c.stats.DataBusCycles += c.params.BurstCycles()
+	c.record(timing.CmdRead, bank, row, wordIdx, issue)
+	c.now = issue + 1
+	return data, done, nil
+}
+
+// WriteWord writes the DRAM word at (bank, row, wordIdx). It returns the
+// cycle at which write recovery completes.
+func (c *Controller) WriteWord(bank, row, wordIdx int, word []uint64) (int64, error) {
+	if err := c.checkBank(bank); err != nil {
+		return 0, err
+	}
+	if err := c.openRowFor(bank, row); err != nil {
+		return 0, err
+	}
+	b := c.banks[bank]
+	issue := c.earliestFor(b.EarliestWrite())
+	done, viol, err := b.Write(issue)
+	if err != nil {
+		return 0, err
+	}
+	if viol != nil && !viol.Intentional() {
+		return 0, viol
+	}
+	if err := c.dev.WriteWord(bank, wordIdx, word); err != nil {
+		return 0, err
+	}
+	c.busBusyUntil = issue + c.params.Cycles(c.params.TCWL) + c.params.BurstCycles()
+	c.stats.DataBusCycles += c.params.BurstCycles()
+	c.record(timing.CmdWrite, bank, row, wordIdx, issue)
+	c.now = issue + 1
+	return done, nil
+}
+
+// RefreshRow restores the charge of every cell in (bank, row) by activating
+// and precharging it with nominal timing — the "refresh a row" step of the
+// paper's Algorithm 1 (lines 6–7).
+func (c *Controller) RefreshRow(bank, row int) error {
+	if err := c.checkBank(bank); err != nil {
+		return err
+	}
+	saved := c.reducedTRCDNS
+	c.reducedTRCDNS = 0
+	defer func() { c.reducedTRCDNS = saved }()
+	if err := c.openRowFor(bank, row); err != nil {
+		return err
+	}
+	return c.PrechargeBank(bank)
+}
+
+// Idle advances the controller clock by the given number of cycles without
+// issuing commands (models the controller servicing nothing or other ranks).
+func (c *Controller) Idle(cycles int64) {
+	if cycles > 0 {
+		c.now += cycles
+	}
+}
+
+// SyncAllBanks advances the clock until every bank has completed its
+// outstanding timing windows (all banks precharged or active and stable),
+// and returns the resulting cycle.
+func (c *Controller) SyncAllBanks() int64 {
+	latest := c.now
+	for _, b := range c.banks {
+		if b.EarliestACT() > latest {
+			latest = b.EarliestACT()
+		}
+		if b.EarliestPRE() > latest && b.OpenRow() >= 0 {
+			latest = b.EarliestPRE()
+		}
+	}
+	if c.busBusyUntil > latest {
+		latest = c.busBusyUntil
+	}
+	c.now = latest
+	return c.now
+}
+
+// OpenRow returns the row currently open in bank, or -1.
+func (c *Controller) OpenRow(bank int) (int, error) {
+	if err := c.checkBank(bank); err != nil {
+		return 0, err
+	}
+	return c.banks[bank].OpenRow(), nil
+}

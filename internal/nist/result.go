@@ -1,0 +1,94 @@
+package nist
+
+import "fmt"
+
+// DefaultAlpha is the significance level the paper uses for Table 1
+// (α = 0.0001, the value recommended by the NIST documentation).
+const DefaultAlpha = 0.0001
+
+// Result is the outcome of one NIST test over one bitstream.
+type Result struct {
+	// Name is the test name as reported in Table 1 of the paper.
+	Name string
+	// PValue is the headline p-value of the test (the minimum when the test
+	// produces several).
+	PValue float64
+	// PValues holds every p-value the test produced.
+	PValues []float64
+	// Applicable is false when the bitstream did not meet the test's
+	// minimum-length (or minimum-cycles) requirement, in which case PValue
+	// is meaningless.
+	Applicable bool
+	// Pass reports whether every p-value met the significance level used
+	// when the result was evaluated. It is false for inapplicable results.
+	Pass bool
+	// Detail carries an optional human-readable note (e.g. chosen block
+	// size).
+	Detail string
+}
+
+// newResult builds an applicable result from one or more p-values, clamping
+// them into [0, 1].
+func newResult(name string, detail string, pvalues ...float64) Result {
+	r := Result{Name: name, Applicable: true, Detail: detail}
+	min := 1.0
+	for _, p := range pvalues {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		r.PValues = append(r.PValues, p)
+		if p < min {
+			min = p
+		}
+	}
+	r.PValue = min
+	return r
+}
+
+// notApplicable builds a result marking the test as not applicable to the
+// supplied bitstream.
+func notApplicable(name, why string) Result {
+	return Result{Name: name, Applicable: false, Detail: why}
+}
+
+// Evaluate sets Pass according to the significance level alpha: the test
+// passes when it is applicable and every p-value is at least alpha.
+func (r *Result) Evaluate(alpha float64) {
+	if !r.Applicable {
+		r.Pass = false
+		return
+	}
+	r.Pass = true
+	for _, p := range r.PValues {
+		if p < alpha {
+			r.Pass = false
+			return
+		}
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	status := "PASS"
+	if !r.Applicable {
+		status = "N/A"
+	} else if !r.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-38s p=%.4f %s", r.Name, r.PValue, status)
+}
+
+func validateBits(bits []byte, minLen int, name string) error {
+	if len(bits) < minLen {
+		return fmt.Errorf("nist: %s requires at least %d bits, got %d", name, minLen, len(bits))
+	}
+	for i, b := range bits {
+		if b > 1 {
+			return fmt.Errorf("nist: %s: bit %d has value %d; bitstreams must contain only 0 and 1", name, i, b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package nist implements the NIST SP 800-22 statistical test suite for
+// random and pseudorandom number generators: the fifteen tests the paper
+// uses in Table 1 to validate that D-RaNGe's output is indistinguishable
+// from true random data, together with the special functions they require
+// (regularized incomplete gamma functions, the complementary error function,
+// GF(2) matrix rank, a radix-2 FFT and the Berlekamp–Massey algorithm).
+//
+// Bitstreams are represented as one bit per byte (values 0 or 1), the format
+// produced by entropy.BytesToBits and by the D-RaNGe TRNG's ReadBits.
+package nist
+
+import (
+	"fmt"
+	"math"
+)
+
+// igamc returns the regularized upper incomplete gamma function Q(a, x) =
+// Γ(a, x) / Γ(a), following the classic Cephes decomposition into a series
+// expansion (x < a+1) and a continued fraction (x ≥ a+1).
+func igamc(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, fmt.Errorf("nist: igamc domain error (a=%v, x=%v)", a, x)
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if x < a+1 {
+		p, err := igamSeries(a, x)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - p, nil
+	}
+	return igamcContinuedFraction(a, x)
+}
+
+// igam returns the regularized lower incomplete gamma function P(a, x).
+func igam(a, x float64) (float64, error) {
+	q, err := igamc(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - q, nil
+}
+
+// igamSeries evaluates P(a, x) by its power series; accurate for x < a+1.
+func igamSeries(a, x float64) (float64, error) {
+	const maxIter = 1000
+	const eps = 1e-15
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, fmt.Errorf("nist: igam series failed to converge (a=%v, x=%v)", a, x)
+}
+
+// igamcContinuedFraction evaluates Q(a, x) by its continued fraction;
+// accurate for x ≥ a+1.
+func igamcContinuedFraction(a, x float64) (float64, error) {
+	const maxIter = 1000
+	const eps = 1e-15
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, fmt.Errorf("nist: igamc continued fraction failed to converge (a=%v, x=%v)", a, x)
+}
+
+// erfc is the complementary error function.
+func erfc(x float64) float64 {
+	return math.Erfc(x)
+}
+
+// stdNormalCDF is the standard normal cumulative distribution function.
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// fft computes the in-place radix-2 decimation-in-time FFT of the complex
+// sequence (re, im). The length must be a power of two.
+func fft(re, im []float64) error {
+	n := len(re)
+	if n != len(im) {
+		return fmt.Errorf("nist: fft length mismatch (%d vs %d)", n, len(im))
+	}
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("nist: fft length %d is not a power of two", n)
+	}
+	// Bit reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for i := 0; i < n; i += length {
+			curRe, curIm := 1.0, 0.0
+			for j := 0; j < length/2; j++ {
+				uRe, uIm := re[i+j], im[i+j]
+				vRe := re[i+j+length/2]*curRe - im[i+j+length/2]*curIm
+				vIm := re[i+j+length/2]*curIm + im[i+j+length/2]*curRe
+				re[i+j], im[i+j] = uRe+vRe, uIm+vIm
+				re[i+j+length/2], im[i+j+length/2] = uRe-vRe, uIm-vIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+	return nil
+}
+
+// binaryMatrixRank computes the rank over GF(2) of an m×q matrix given as
+// rows of bits (one byte per bit).
+func binaryMatrixRank(rows [][]byte) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	m := len(rows)
+	q := len(rows[0])
+	// Work on a copy to avoid mutating the caller's data.
+	mat := make([][]byte, m)
+	for i := range rows {
+		mat[i] = append([]byte(nil), rows[i]...)
+	}
+	rank := 0
+	for col := 0; col < q && rank < m; col++ {
+		pivot := -1
+		for r := rank; r < m; r++ {
+			if mat[r][col] == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		mat[rank], mat[pivot] = mat[pivot], mat[rank]
+		for r := 0; r < m; r++ {
+			if r != rank && mat[r][col] == 1 {
+				for c := col; c < q; c++ {
+					mat[r][c] ^= mat[rank][c]
+				}
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// berlekampMassey returns the linear complexity of the bit sequence: the
+// length of the shortest LFSR that generates it.
+func berlekampMassey(s []byte) int {
+	n := len(s)
+	c := make([]byte, n)
+	b := make([]byte, n)
+	if n == 0 {
+		return 0
+	}
+	c[0], b[0] = 1, 1
+	l, m := 0, -1
+	for i := 0; i < n; i++ {
+		d := s[i]
+		for j := 1; j <= l; j++ {
+			d ^= c[j] & s[i-j]
+		}
+		if d == 1 {
+			t := append([]byte(nil), c...)
+			for j := 0; j+i-m < n; j++ {
+				c[j+i-m] ^= b[j]
+			}
+			if l <= i/2 {
+				l = i + 1 - l
+				m = i
+				b = t
+			}
+		}
+	}
+	return l
+}

@@ -1,0 +1,138 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+)
+
+// SuiteResult is the outcome of running the full test suite over one
+// bitstream.
+type SuiteResult struct {
+	Alpha   float64
+	Bits    int
+	Results []Result
+}
+
+// AllPass reports whether every applicable test passed and at least one test
+// was applicable.
+func (s SuiteResult) AllPass() bool {
+	applicable := 0
+	for _, r := range s.Results {
+		if !r.Applicable {
+			continue
+		}
+		applicable++
+		if !r.Pass {
+			return false
+		}
+	}
+	return applicable > 0
+}
+
+// Passed returns the number of applicable tests that passed and the number
+// of applicable tests overall.
+func (s SuiteResult) Passed() (passed, applicable int) {
+	for _, r := range s.Results {
+		if !r.Applicable {
+			continue
+		}
+		applicable++
+		if r.Pass {
+			passed++
+		}
+	}
+	return passed, applicable
+}
+
+// Lookup returns the result of the named test.
+func (s SuiteResult) Lookup(name string) (Result, error) {
+	for _, r := range s.Results {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Result{}, fmt.Errorf("nist: no result named %q", name)
+}
+
+// TestNames lists the fifteen tests in the order Table 1 of the paper
+// reports them.
+func TestNames() []string {
+	return []string{
+		"monobit",
+		"frequency_within_block",
+		"runs",
+		"longest_run_ones_in_a_block",
+		"binary_matrix_rank",
+		"dft",
+		"non_overlapping_template_matching",
+		"overlapping_template_matching",
+		"maurers_universal",
+		"linear_complexity",
+		"serial",
+		"approximate_entropy",
+		"cumulative_sums",
+		"random_excursion",
+		"random_excursion_variant",
+	}
+}
+
+// RunAll runs the full fifteen-test suite over the bitstream (one bit per
+// byte) at significance level alpha, in the order of Table 1. Tests whose
+// minimum stream-length requirements are not met are reported as not
+// applicable rather than failing.
+func RunAll(bits []byte, alpha float64) (SuiteResult, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return SuiteResult{}, fmt.Errorf("nist: alpha %v outside (0,1)", alpha)
+	}
+	type runner func([]byte) (Result, error)
+	runners := []runner{
+		Monobit,
+		FrequencyWithinBlock,
+		Runs,
+		LongestRunOfOnes,
+		BinaryMatrixRank,
+		DFT,
+		func(b []byte) (Result, error) { return NonOverlappingTemplateMatching(b, nil) },
+		OverlappingTemplateMatching,
+		MaurersUniversal,
+		LinearComplexity,
+		Serial,
+		ApproximateEntropy,
+		CumulativeSums,
+		RandomExcursion,
+		RandomExcursionVariant,
+	}
+	out := SuiteResult{Alpha: alpha, Bits: len(bits)}
+	for i, run := range runners {
+		r, err := run(bits)
+		if err != nil {
+			return SuiteResult{}, fmt.Errorf("nist: %s: %w", TestNames()[i], err)
+		}
+		r.Evaluate(alpha)
+		out.Results = append(out.Results, r)
+	}
+	return out, nil
+}
+
+// ProportionBounds returns the acceptable range of the proportion of
+// sequences passing a test, given the significance level and the number of
+// tested sequences k: (1-α) ± 3·sqrt(α(1-α)/k), the interval the paper uses
+// to argue that all 236 bitstreams passing is statistically acceptable.
+func ProportionBounds(alpha float64, k int) (lo, hi float64, err error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, 0, fmt.Errorf("nist: alpha %v outside (0,1)", alpha)
+	}
+	if k <= 0 {
+		return 0, 0, fmt.Errorf("nist: sequence count must be positive, got %d", k)
+	}
+	center := 1 - alpha
+	margin := 3 * math.Sqrt(alpha*(1-alpha)/float64(k))
+	lo, hi = center-margin, center+margin
+	if hi > 1 {
+		hi = 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,95 @@
+package nist
+
+import "testing"
+
+func TestRunAllOnPseudorandomStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run is slow")
+	}
+	bits := prngBits(1_050_000, 0xDEADBEEF)
+	res, err := RunAll(bits, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 15 {
+		t.Fatalf("suite ran %d tests, want 15", len(res.Results))
+	}
+	passed, applicable := res.Passed()
+	if applicable < 13 {
+		t.Errorf("only %d tests applicable to a 1 Mb stream; want at least 13", applicable)
+	}
+	if passed != applicable {
+		for _, r := range res.Results {
+			if r.Applicable && !r.Pass {
+				t.Errorf("test %s failed on a pseudorandom stream: p=%v (%s)", r.Name, r.PValue, r.Detail)
+			}
+		}
+	}
+	if !res.AllPass() {
+		t.Error("AllPass should be true for a pseudorandom 1 Mb stream")
+	}
+	if _, err := res.Lookup("monobit"); err != nil {
+		t.Errorf("Lookup(monobit): %v", err)
+	}
+	if _, err := res.Lookup("no-such-test"); err == nil {
+		t.Error("Lookup of unknown test succeeded")
+	}
+}
+
+func TestRunAllOnBiasedStreamFails(t *testing.T) {
+	// A stream with 60% ones must fail the suite decisively.
+	bits := make([]byte, 200000)
+	s := uint64(12345)
+	for i := range bits {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if s%10 < 6 {
+			bits[i] = 1
+		}
+	}
+	res, err := RunAll(bits, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllPass() {
+		t.Error("a 60 percent biased stream passed the suite")
+	}
+	mono, err := res.Lookup("monobit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Pass {
+		t.Error("monobit passed a 60 percent biased stream")
+	}
+}
+
+func TestRunAllValidation(t *testing.T) {
+	bits := prngBits(1000, 1)
+	if _, err := RunAll(bits, 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := RunAll(bits, 1); err == nil {
+		t.Error("alpha 1 accepted")
+	}
+	if _, err := RunAll(prngBits(10, 1), DefaultAlpha); err == nil {
+		t.Error("10-bit stream accepted")
+	}
+}
+
+func TestTestNamesMatchSuiteOrder(t *testing.T) {
+	names := TestNames()
+	if len(names) != 15 {
+		t.Fatalf("TestNames has %d entries, want 15", len(names))
+	}
+	bits := prngBits(50000, 7)
+	res, err := RunAll(bits, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Results {
+		if r.Name != names[i] {
+			t.Errorf("result %d is %q, want %q", i, r.Name, names[i])
+		}
+	}
+}

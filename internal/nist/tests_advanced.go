@@ -1,0 +1,397 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+)
+
+// maurerParams maps the block length L of Maurer's universal statistical
+// test to the expected value and variance of the statistic.
+var maurerParams = map[int]struct{ expected, variance float64 }{
+	6:  {5.2177052, 2.954},
+	7:  {6.1962507, 3.125},
+	8:  {7.1836656, 3.238},
+	9:  {8.1764248, 3.311},
+	10: {9.1723243, 3.356},
+	11: {10.170032, 3.384},
+	12: {11.168765, 3.401},
+	13: {12.168070, 3.410},
+	14: {13.167693, 3.416},
+	15: {14.167488, 3.419},
+	16: {15.167379, 3.421},
+}
+
+// MaurersUniversal implements Maurer's universal statistical test. It needs
+// at least 387,840 bits (block length L = 6); shorter streams are reported
+// as not applicable.
+func MaurersUniversal(bits []byte) (Result, error) {
+	const name = "maurers_universal"
+	if err := validateBits(bits, 1000, name); err != nil {
+		return Result{}, err
+	}
+	n := len(bits)
+	l := 0
+	switch {
+	case n >= 1059061760:
+		l = 16
+	case n >= 496435200:
+		l = 15
+	case n >= 231669760:
+		l = 14
+	case n >= 107560960:
+		l = 13
+	case n >= 49643520:
+		l = 12
+	case n >= 22753280:
+		l = 11
+	case n >= 10342400:
+		l = 10
+	case n >= 4654080:
+		l = 9
+	case n >= 2068480:
+		l = 8
+	case n >= 904960:
+		l = 7
+	case n >= 387840:
+		l = 6
+	default:
+		return notApplicable(name, fmt.Sprintf("needs at least 387840 bits, have %d", n)), nil
+	}
+	q := 10 * (1 << uint(l))
+	k := n/l - q
+	params := maurerParams[l]
+
+	table := make([]int, 1<<uint(l))
+	block := func(i int) int {
+		v := 0
+		for j := 0; j < l; j++ {
+			v = v<<1 | int(bits[i*l+j])
+		}
+		return v
+	}
+	for i := 0; i < q; i++ {
+		table[block(i)] = i + 1
+	}
+	sum := 0.0
+	for i := q; i < q+k; i++ {
+		b := block(i)
+		sum += math.Log2(float64(i + 1 - table[b]))
+		table[b] = i + 1
+	}
+	fn := sum / float64(k)
+	c := 0.7 - 0.8/float64(l) + (4+32/float64(l))*math.Pow(float64(k), -3/float64(l))/15
+	sigma := c * math.Sqrt(params.variance/float64(k))
+	p := erfc(math.Abs(fn-params.expected) / (math.Sqrt2 * sigma))
+	return newResult(name, fmt.Sprintf("L=%d K=%d", l, k), p), nil
+}
+
+// LinearComplexity implements the linear complexity test with block size
+// M = 500. Streams providing fewer than 20 blocks are reported as not
+// applicable.
+func LinearComplexity(bits []byte) (Result, error) {
+	const name = "linear_complexity"
+	if err := validateBits(bits, 1000, name); err != nil {
+		return Result{}, err
+	}
+	const m = 500
+	const k = 6
+	pi := []float64{0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833}
+	n := len(bits)
+	nBlocks := n / m
+	if nBlocks < 20 {
+		return notApplicable(name, fmt.Sprintf("needs at least %d bits for 20 blocks of %d, have %d", 20*m, m, n)), nil
+	}
+	sign := 1.0
+	if m%2 == 1 {
+		sign = -1.0
+	}
+	mu := float64(m)/2 + (9+(-sign))/36 - (float64(m)/3+2.0/9)/math.Pow(2, float64(m))
+	counts := make([]int, k+1)
+	for b := 0; b < nBlocks; b++ {
+		lc := berlekampMassey(bits[b*m : (b+1)*m])
+		t := sign*(float64(lc)-mu) + 2.0/9
+		var idx int
+		switch {
+		case t <= -2.5:
+			idx = 0
+		case t <= -1.5:
+			idx = 1
+		case t <= -0.5:
+			idx = 2
+		case t <= 0.5:
+			idx = 3
+		case t <= 1.5:
+			idx = 4
+		case t <= 2.5:
+			idx = 5
+		default:
+			idx = 6
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for i := 0; i <= k; i++ {
+		expected := float64(nBlocks) * pi[i]
+		diff := float64(counts[i]) - expected
+		chi2 += diff * diff / expected
+	}
+	p, err := igamc(float64(k)/2, chi2/2)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(name, fmt.Sprintf("blocks=%d", nBlocks), p), nil
+}
+
+// psiSquared computes the ψ²_m statistic of the serial test: overlapping
+// m-bit pattern frequencies with wraparound.
+func psiSquared(bits []byte, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	n := len(bits)
+	counts := make([]int, 1<<uint(m))
+	for i := 0; i < n; i++ {
+		v := 0
+		for j := 0; j < m; j++ {
+			v = v<<1 | int(bits[(i+j)%n])
+		}
+		counts[v]++
+	}
+	sum := 0.0
+	for _, c := range counts {
+		sum += float64(c) * float64(c)
+	}
+	return sum*math.Pow(2, float64(m))/float64(n) - float64(n)
+}
+
+// serialBlockLength picks the pattern length m for the serial and
+// approximate entropy tests: the largest m ≤ 5 satisfying m < log2(n) - 2.
+func serialBlockLength(n int) int {
+	m := int(math.Floor(math.Log2(float64(n)))) - 3
+	if m > 5 {
+		m = 5
+	}
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// Serial implements the serial test, producing two p-values (∇ψ² and ∇²ψ²).
+func Serial(bits []byte) (Result, error) {
+	const name = "serial"
+	if err := validateBits(bits, 100, name); err != nil {
+		return Result{}, err
+	}
+	m := serialBlockLength(len(bits))
+	psiM := psiSquared(bits, m)
+	psiM1 := psiSquared(bits, m-1)
+	psiM2 := psiSquared(bits, m-2)
+	del1 := psiM - psiM1
+	del2 := psiM - 2*psiM1 + psiM2
+	p1, err := igamc(math.Pow(2, float64(m-2)), del1/2)
+	if err != nil {
+		return Result{}, err
+	}
+	p2, err := igamc(math.Pow(2, float64(m-3)), del2/2)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(name, fmt.Sprintf("m=%d", m), p1, p2), nil
+}
+
+// ApproximateEntropy implements the approximate entropy test.
+func ApproximateEntropy(bits []byte) (Result, error) {
+	const name = "approximate_entropy"
+	if err := validateBits(bits, 100, name); err != nil {
+		return Result{}, err
+	}
+	n := len(bits)
+	m := serialBlockLength(n) - 1
+	if m < 1 {
+		m = 1
+	}
+	phi := func(mm int) float64 {
+		counts := make([]int, 1<<uint(mm))
+		for i := 0; i < n; i++ {
+			v := 0
+			for j := 0; j < mm; j++ {
+				v = v<<1 | int(bits[(i+j)%n])
+			}
+			counts[v]++
+		}
+		sum := 0.0
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / float64(n)
+			sum += p * math.Log(p)
+		}
+		return sum
+	}
+	apEn := phi(m) - phi(m+1)
+	chi2 := 2 * float64(n) * (math.Log(2) - apEn)
+	if chi2 < 0 {
+		chi2 = 0
+	}
+	p, err := igamc(math.Pow(2, float64(m-1)), chi2/2)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(name, fmt.Sprintf("m=%d", m), p), nil
+}
+
+// CumulativeSums implements the cumulative sums (cusum) test in both the
+// forward and backward directions, producing two p-values.
+func CumulativeSums(bits []byte) (Result, error) {
+	const name = "cumulative_sums"
+	if err := validateBits(bits, 100, name); err != nil {
+		return Result{}, err
+	}
+	n := len(bits)
+	pvalue := func(forward bool) float64 {
+		s, z := 0, 0
+		for i := 0; i < n; i++ {
+			idx := i
+			if !forward {
+				idx = n - 1 - i
+			}
+			if bits[idx] == 1 {
+				s++
+			} else {
+				s--
+			}
+			if abs := int(math.Abs(float64(s))); abs > z {
+				z = abs
+			}
+		}
+		fz := float64(z)
+		fn := float64(n)
+		sum1 := 0.0
+		for k := int(math.Floor((-fn/fz + 1) / 4)); k <= int(math.Floor((fn/fz-1)/4)); k++ {
+			sum1 += stdNormalCDF((4*float64(k)+1)*fz/math.Sqrt(fn)) - stdNormalCDF((4*float64(k)-1)*fz/math.Sqrt(fn))
+		}
+		sum2 := 0.0
+		for k := int(math.Floor((-fn/fz - 3) / 4)); k <= int(math.Floor((fn/fz-1)/4)); k++ {
+			sum2 += stdNormalCDF((4*float64(k)+3)*fz/math.Sqrt(fn)) - stdNormalCDF((4*float64(k)+1)*fz/math.Sqrt(fn))
+		}
+		return 1 - sum1 + sum2
+	}
+	return newResult(name, "", pvalue(true), pvalue(false)), nil
+}
+
+// excursionCycles splits the ±1 random walk of the bitstream into
+// zero-to-zero cycles and returns, for each cycle, the number of visits to
+// each state in [-maxState, maxState] (excluding zero).
+func excursionCycles(bits []byte, maxState int) (cycles [][]int, totalVisits []int) {
+	n := len(bits)
+	s := 0
+	current := make([]int, 2*maxState+1)
+	totalVisits = make([]int, 2*maxState+1)
+	flush := func() {
+		c := make([]int, len(current))
+		copy(c, current)
+		cycles = append(cycles, c)
+		for i := range current {
+			current[i] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		if bits[i] == 1 {
+			s++
+		} else {
+			s--
+		}
+		if s == 0 {
+			flush()
+			continue
+		}
+		if s >= -maxState && s <= maxState {
+			current[s+maxState]++
+			totalVisits[s+maxState]++
+		}
+	}
+	// The final partial cycle is closed by appending a virtual zero.
+	flush()
+	return cycles, totalVisits
+}
+
+// minExcursionCycles is the minimum number of zero-crossing cycles the
+// random excursions tests require to be applicable (NIST recommends 500).
+const minExcursionCycles = 500
+
+// RandomExcursion implements the random excursions test, producing one
+// p-value per state x ∈ {-4..-1, 1..4}.
+func RandomExcursion(bits []byte) (Result, error) {
+	const name = "random_excursion"
+	if err := validateBits(bits, 1000, name); err != nil {
+		return Result{}, err
+	}
+	const maxState = 4
+	cycles, _ := excursionCycles(bits, maxState)
+	j := len(cycles)
+	if j < minExcursionCycles {
+		return notApplicable(name, fmt.Sprintf("only %d cycles, need %d", j, minExcursionCycles)), nil
+	}
+	piK := func(x, k int) float64 {
+		ax := math.Abs(float64(x))
+		switch {
+		case k == 0:
+			return 1 - 1/(2*ax)
+		case k < 5:
+			return 1 / (4 * ax * ax) * math.Pow(1-1/(2*ax), float64(k-1))
+		default:
+			return 1 / (2 * ax) * math.Pow(1-1/(2*ax), 4)
+		}
+	}
+	var pvalues []float64
+	for _, x := range []int{-4, -3, -2, -1, 1, 2, 3, 4} {
+		counts := make([]int, 6)
+		for _, cycle := range cycles {
+			v := cycle[x+maxState]
+			if v > 5 {
+				v = 5
+			}
+			counts[v]++
+		}
+		chi2 := 0.0
+		for k := 0; k <= 5; k++ {
+			expected := float64(j) * piK(x, k)
+			diff := float64(counts[k]) - expected
+			chi2 += diff * diff / expected
+		}
+		p, err := igamc(2.5, chi2/2)
+		if err != nil {
+			return Result{}, err
+		}
+		pvalues = append(pvalues, p)
+	}
+	return newResult(name, fmt.Sprintf("J=%d", j), pvalues...), nil
+}
+
+// RandomExcursionVariant implements the random excursions variant test,
+// producing one p-value per state x ∈ {-9..-1, 1..9}.
+func RandomExcursionVariant(bits []byte) (Result, error) {
+	const name = "random_excursion_variant"
+	if err := validateBits(bits, 1000, name); err != nil {
+		return Result{}, err
+	}
+	const maxState = 9
+	cycles, totalVisits := excursionCycles(bits, maxState)
+	j := len(cycles)
+	if j < minExcursionCycles {
+		return notApplicable(name, fmt.Sprintf("only %d cycles, need %d", j, minExcursionCycles)), nil
+	}
+	var pvalues []float64
+	for x := -9; x <= 9; x++ {
+		if x == 0 {
+			continue
+		}
+		xi := float64(totalVisits[x+maxState])
+		denom := math.Sqrt(2 * float64(j) * (4*math.Abs(float64(x)) - 2))
+		p := erfc(math.Abs(xi-float64(j)) / denom)
+		pvalues = append(pvalues, p)
+	}
+	return newResult(name, fmt.Sprintf("J=%d", j), pvalues...), nil
+}

@@ -1,0 +1,381 @@
+package nist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Monobit implements the frequency (monobit) test: the proportion of ones
+// must be consistent with one half.
+func Monobit(bits []byte) (Result, error) {
+	const name = "monobit"
+	if err := validateBits(bits, 100, name); err != nil {
+		return Result{}, err
+	}
+	sum := 0
+	for _, b := range bits {
+		if b == 1 {
+			sum++
+		} else {
+			sum--
+		}
+	}
+	s := math.Abs(float64(sum)) / math.Sqrt(float64(len(bits)))
+	p := erfc(s / math.Sqrt2)
+	return newResult(name, "", p), nil
+}
+
+// FrequencyWithinBlock implements the frequency-within-a-block test with an
+// automatically chosen block size.
+func FrequencyWithinBlock(bits []byte) (Result, error) {
+	const name = "frequency_within_block"
+	if err := validateBits(bits, 100, name); err != nil {
+		return Result{}, err
+	}
+	n := len(bits)
+	m := 128
+	if n < 12800 {
+		m = n / 10
+		if m < 20 {
+			m = 20
+		}
+	}
+	nBlocks := n / m
+	chi2 := 0.0
+	for i := 0; i < nBlocks; i++ {
+		ones := 0
+		for j := 0; j < m; j++ {
+			ones += int(bits[i*m+j])
+		}
+		pi := float64(ones) / float64(m)
+		chi2 += (pi - 0.5) * (pi - 0.5)
+	}
+	chi2 *= 4 * float64(m)
+	p, err := igamc(float64(nBlocks)/2, chi2/2)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(name, fmt.Sprintf("M=%d", m), p), nil
+}
+
+// Runs implements the runs test: the number of runs of identical bits must
+// be consistent with a random sequence.
+func Runs(bits []byte) (Result, error) {
+	const name = "runs"
+	if err := validateBits(bits, 100, name); err != nil {
+		return Result{}, err
+	}
+	n := len(bits)
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	pi := float64(ones) / float64(n)
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		// The prerequisite frequency test fails; the runs test p-value is
+		// defined to be 0.
+		return newResult(name, "frequency prerequisite failed", 0), nil
+	}
+	vn := 1
+	for i := 1; i < n; i++ {
+		if bits[i] != bits[i-1] {
+			vn++
+		}
+	}
+	num := math.Abs(float64(vn) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	p := erfc(num / den)
+	return newResult(name, "", p), nil
+}
+
+// LongestRunOfOnes implements the longest-run-of-ones-in-a-block test with
+// the block size prescribed by the stream length.
+func LongestRunOfOnes(bits []byte) (Result, error) {
+	const name = "longest_run_ones_in_a_block"
+	if err := validateBits(bits, 128, name); err != nil {
+		return Result{}, err
+	}
+	n := len(bits)
+	var m int
+	var vClasses []int
+	var pi []float64
+	switch {
+	case n < 6272:
+		m = 8
+		vClasses = []int{1, 2, 3, 4}
+		pi = []float64{0.2148, 0.3672, 0.2305, 0.1875}
+	case n < 750000:
+		m = 128
+		vClasses = []int{4, 5, 6, 7, 8, 9}
+		pi = []float64{0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124}
+	default:
+		m = 10000
+		vClasses = []int{10, 11, 12, 13, 14, 15, 16}
+		pi = []float64{0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727}
+	}
+	nBlocks := n / m
+	counts := make([]int, len(vClasses))
+	for i := 0; i < nBlocks; i++ {
+		longest, run := 0, 0
+		for j := 0; j < m; j++ {
+			if bits[i*m+j] == 1 {
+				run++
+				if run > longest {
+					longest = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		idx := 0
+		for idx < len(vClasses)-1 && longest > vClasses[idx] {
+			idx++
+		}
+		if longest < vClasses[0] {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for i := range counts {
+		expected := float64(nBlocks) * pi[i]
+		diff := float64(counts[i]) - expected
+		chi2 += diff * diff / expected
+	}
+	k := float64(len(vClasses) - 1)
+	p, err := igamc(k/2, chi2/2)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(name, fmt.Sprintf("M=%d", m), p), nil
+}
+
+// BinaryMatrixRank implements the binary matrix rank test over 32×32
+// matrices.
+func BinaryMatrixRank(bits []byte) (Result, error) {
+	const name = "binary_matrix_rank"
+	if err := validateBits(bits, 1024, name); err != nil {
+		return Result{}, err
+	}
+	const rows, cols = 32, 32
+	n := len(bits)
+	nMatrices := n / (rows * cols)
+	if nMatrices < 38 {
+		return notApplicable(name, fmt.Sprintf("needs at least 38 matrices (38912 bits), have %d", nMatrices)), nil
+	}
+	full, fullMinus1, other := 0, 0, 0
+	for m := 0; m < nMatrices; m++ {
+		matrix := make([][]byte, rows)
+		for r := 0; r < rows; r++ {
+			start := m*rows*cols + r*cols
+			matrix[r] = bits[start : start+cols]
+		}
+		switch binaryMatrixRank(matrix) {
+		case rows:
+			full++
+		case rows - 1:
+			fullMinus1++
+		default:
+			other++
+		}
+	}
+	// Asymptotic probabilities for 32×32 random binary matrices.
+	const pFull, pFullMinus1, pOther = 0.2888, 0.5776, 0.1336
+	nm := float64(nMatrices)
+	chi2 := (float64(full)-pFull*nm)*(float64(full)-pFull*nm)/(pFull*nm) +
+		(float64(fullMinus1)-pFullMinus1*nm)*(float64(fullMinus1)-pFullMinus1*nm)/(pFullMinus1*nm) +
+		(float64(other)-pOther*nm)*(float64(other)-pOther*nm)/(pOther*nm)
+	p := math.Exp(-chi2 / 2)
+	return newResult(name, fmt.Sprintf("matrices=%d", nMatrices), p), nil
+}
+
+// DFT implements the discrete Fourier transform (spectral) test. The stream
+// is truncated to the largest power-of-two length so a radix-2 FFT applies;
+// the statistic's expectations are computed for the truncated length.
+func DFT(bits []byte) (Result, error) {
+	const name = "dft"
+	if err := validateBits(bits, 1000, name); err != nil {
+		return Result{}, err
+	}
+	n := 1
+	for n*2 <= len(bits) {
+		n *= 2
+	}
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := 0; i < n; i++ {
+		re[i] = 2*float64(bits[i]) - 1
+	}
+	if err := fft(re, im); err != nil {
+		return Result{}, err
+	}
+	threshold := math.Sqrt(math.Log(1/0.05) * float64(n))
+	n0 := 0.95 * float64(n) / 2
+	n1 := 0
+	for i := 0; i < n/2; i++ {
+		if math.Hypot(re[i], im[i]) < threshold {
+			n1++
+		}
+	}
+	d := (float64(n1) - n0) / math.Sqrt(float64(n)*0.95*0.05/4)
+	p := erfc(math.Abs(d) / math.Sqrt2)
+	return newResult(name, fmt.Sprintf("n=%d", n), p), nil
+}
+
+// DefaultNonOverlappingTemplates returns a representative set of length-9
+// aperiodic templates used by the non-overlapping template matching test.
+// The full NIST suite iterates 148 templates; this default keeps eight of
+// them (the complete set can be generated with AperiodicTemplates).
+func DefaultNonOverlappingTemplates() [][]byte {
+	return [][]byte{
+		{0, 0, 0, 0, 0, 0, 0, 0, 1},
+		{0, 0, 0, 0, 0, 0, 0, 1, 1},
+		{0, 0, 0, 0, 0, 1, 0, 1, 1},
+		{0, 0, 0, 1, 0, 1, 0, 1, 1},
+		{0, 0, 1, 0, 1, 0, 1, 1, 1},
+		{0, 1, 0, 1, 1, 1, 1, 1, 1},
+		{0, 1, 1, 1, 1, 1, 1, 1, 1},
+		{1, 1, 1, 1, 1, 1, 1, 1, 0},
+	}
+}
+
+// AperiodicTemplates generates every aperiodic template of length m: the
+// templates for which no proper shift of the template matches itself, the
+// condition the NIST test requires.
+func AperiodicTemplates(m int) ([][]byte, error) {
+	if m < 2 || m > 16 {
+		return nil, fmt.Errorf("nist: template length %d outside [2,16]", m)
+	}
+	var out [][]byte
+	for v := 0; v < 1<<uint(m); v++ {
+		tpl := make([]byte, m)
+		for i := 0; i < m; i++ {
+			tpl[i] = byte((v >> uint(m-1-i)) & 1)
+		}
+		if isAperiodic(tpl) {
+			out = append(out, tpl)
+		}
+	}
+	return out, nil
+}
+
+func isAperiodic(tpl []byte) bool {
+	m := len(tpl)
+	for shift := 1; shift < m; shift++ {
+		match := true
+		for i := 0; i+shift < m; i++ {
+			if tpl[i] != tpl[i+shift] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return false
+		}
+	}
+	return true
+}
+
+// NonOverlappingTemplateMatching implements the non-overlapping template
+// matching test over the supplied templates (DefaultNonOverlappingTemplates
+// when nil). One p-value is produced per template; the headline p-value is
+// the minimum.
+func NonOverlappingTemplateMatching(bits []byte, templates [][]byte) (Result, error) {
+	const name = "non_overlapping_template_matching"
+	if err := validateBits(bits, 8*100, name); err != nil {
+		return Result{}, err
+	}
+	if templates == nil {
+		templates = DefaultNonOverlappingTemplates()
+	}
+	if len(templates) == 0 {
+		return Result{}, fmt.Errorf("nist: %s: empty template list", name)
+	}
+	const nBlocks = 8
+	n := len(bits)
+	m := n / nBlocks
+	var pvalues []float64
+	for _, tpl := range templates {
+		tl := len(tpl)
+		if tl == 0 || tl > m/2 {
+			return Result{}, fmt.Errorf("nist: %s: template length %d unusable for block size %d", name, tl, m)
+		}
+		mean := float64(m-tl+1) / math.Pow(2, float64(tl))
+		variance := float64(m) * (1/math.Pow(2, float64(tl)) - float64(2*tl-1)/math.Pow(2, float64(2*tl)))
+		chi2 := 0.0
+		for b := 0; b < nBlocks; b++ {
+			block := bits[b*m : (b+1)*m]
+			w := 0
+			for i := 0; i <= len(block)-tl; {
+				match := true
+				for j := 0; j < tl; j++ {
+					if block[i+j] != tpl[j] {
+						match = false
+						break
+					}
+				}
+				if match {
+					w++
+					i += tl
+				} else {
+					i++
+				}
+			}
+			diff := float64(w) - mean
+			chi2 += diff * diff / variance
+		}
+		p, err := igamc(float64(nBlocks)/2, chi2/2)
+		if err != nil {
+			return Result{}, err
+		}
+		pvalues = append(pvalues, p)
+	}
+	return newResult(name, fmt.Sprintf("templates=%d", len(templates)), pvalues...), nil
+}
+
+// OverlappingTemplateMatching implements the overlapping template matching
+// test with the all-ones template of length 9.
+func OverlappingTemplateMatching(bits []byte) (Result, error) {
+	const name = "overlapping_template_matching"
+	if err := validateBits(bits, 10*1032, name); err != nil {
+		return Result{}, err
+	}
+	const m = 9
+	const blockLen = 1032
+	const k = 5
+	pi := []float64{0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865}
+	n := len(bits)
+	nBlocks := n / blockLen
+	counts := make([]int, k+1)
+	for b := 0; b < nBlocks; b++ {
+		block := bits[b*blockLen : (b+1)*blockLen]
+		w := 0
+		for i := 0; i <= len(block)-m; i++ {
+			match := true
+			for j := 0; j < m; j++ {
+				if block[i+j] != 1 {
+					match = false
+					break
+				}
+			}
+			if match {
+				w++
+			}
+		}
+		if w > k {
+			w = k
+		}
+		counts[w]++
+	}
+	chi2 := 0.0
+	for i := 0; i <= k; i++ {
+		expected := float64(nBlocks) * pi[i]
+		diff := float64(counts[i]) - expected
+		chi2 += diff * diff / expected
+	}
+	p, err := igamc(float64(k)/2, chi2/2)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(name, fmt.Sprintf("blocks=%d", nBlocks), p), nil
+}

@@ -1,0 +1,272 @@
+package nist
+
+import (
+	"math"
+	"testing"
+)
+
+// prngBits produces a pseudorandom bitstream from a xorshift generator —
+// statistically random enough to pass the suite, and fast to generate.
+func prngBits(n int, seed uint64) []byte {
+	bits := make([]byte, n)
+	s := seed | 1
+	for i := 0; i < n; {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		for b := 0; b < 64 && i < n; b++ {
+			bits[i] = byte((s >> uint(b)) & 1)
+			i++
+		}
+	}
+	return bits
+}
+
+func constantBits(n int, v byte) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = v
+	}
+	return bits
+}
+
+func alternatingBits(n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(i & 1)
+	}
+	return bits
+}
+
+// sp80022Example is the 100-bit example sequence used throughout the NIST
+// SP 800-22 documentation (the binary expansion of π).
+func sp80022Example() []byte {
+	s := "1100100100001111110110101010001000100001011010001100001000110100110001001100011001100010100010111000"
+	bits := make([]byte, len(s))
+	for i := range s {
+		bits[i] = s[i] - '0'
+	}
+	return bits
+}
+
+func TestMonobitKnownAnswer(t *testing.T) {
+	r, err := Monobit(sp80022Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.PValue-0.109599) > 1e-4 {
+		t.Errorf("monobit p-value = %v, want 0.109599 (SP 800-22 example)", r.PValue)
+	}
+}
+
+func TestRunsKnownAnswer(t *testing.T) {
+	r, err := Runs(sp80022Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.PValue-0.500798) > 1e-4 {
+		t.Errorf("runs p-value = %v, want 0.500798 (SP 800-22 example)", r.PValue)
+	}
+}
+
+func TestCumulativeSumsKnownAnswer(t *testing.T) {
+	r, err := CumulativeSums(sp80022Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PValues) != 2 {
+		t.Fatalf("cusum should produce 2 p-values, got %d", len(r.PValues))
+	}
+	if math.Abs(r.PValues[0]-0.219194) > 1e-3 {
+		t.Errorf("forward cusum p-value = %v, want 0.219194 (SP 800-22 example)", r.PValues[0])
+	}
+}
+
+func TestBasicTestsRejectConstantStream(t *testing.T) {
+	bits := constantBits(20000, 1)
+	type namedTest struct {
+		name string
+		run  func([]byte) (Result, error)
+	}
+	for _, tc := range []namedTest{
+		{"monobit", Monobit},
+		{"block frequency", FrequencyWithinBlock},
+		{"runs", Runs},
+		{"longest run", LongestRunOfOnes},
+		{"cusum", CumulativeSums},
+		{"approximate entropy", ApproximateEntropy},
+		{"serial", Serial},
+	} {
+		r, err := tc.run(bits)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		r.Evaluate(DefaultAlpha)
+		if r.Pass {
+			t.Errorf("%s passed an all-ones stream", tc.name)
+		}
+	}
+}
+
+func TestRunsRejectsAlternatingStream(t *testing.T) {
+	r, err := Runs(alternatingBits(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Evaluate(DefaultAlpha)
+	if r.Pass {
+		t.Error("runs test passed a perfectly alternating stream")
+	}
+	s, err := Serial(alternatingBits(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Evaluate(DefaultAlpha)
+	if s.Pass {
+		t.Error("serial test passed a perfectly alternating stream")
+	}
+}
+
+func TestIndividualTestsAcceptPseudorandomStream(t *testing.T) {
+	bits := prngBits(60000, 0x1234567)
+	for _, tc := range []struct {
+		name string
+		run  func([]byte) (Result, error)
+	}{
+		{"monobit", Monobit},
+		{"block frequency", FrequencyWithinBlock},
+		{"runs", Runs},
+		{"longest run", LongestRunOfOnes},
+		{"matrix rank", BinaryMatrixRank},
+		{"dft", DFT},
+		{"non-overlapping", func(b []byte) (Result, error) { return NonOverlappingTemplateMatching(b, nil) }},
+		{"overlapping", OverlappingTemplateMatching},
+		{"serial", Serial},
+		{"approximate entropy", ApproximateEntropy},
+		{"cusum", CumulativeSums},
+	} {
+		r, err := tc.run(bits)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !r.Applicable {
+			t.Errorf("%s reported not applicable for 60k bits: %s", tc.name, r.Detail)
+			continue
+		}
+		r.Evaluate(DefaultAlpha)
+		if !r.Pass {
+			t.Errorf("%s rejected a pseudorandom stream (p=%v)", tc.name, r.PValue)
+		}
+	}
+}
+
+func TestTestsRejectTooShortStreams(t *testing.T) {
+	short := prngBits(10, 1)
+	for _, run := range []func([]byte) (Result, error){
+		Monobit, FrequencyWithinBlock, Runs, LongestRunOfOnes, BinaryMatrixRank, DFT,
+		OverlappingTemplateMatching, Serial, ApproximateEntropy, CumulativeSums,
+		RandomExcursion, RandomExcursionVariant, MaurersUniversal, LinearComplexity,
+	} {
+		if _, err := run(short); err == nil {
+			t.Error("a test accepted a 10-bit stream")
+		}
+	}
+}
+
+func TestTestsRejectInvalidBitValues(t *testing.T) {
+	bad := prngBits(5000, 3)
+	bad[100] = 7
+	if _, err := Monobit(bad); err == nil {
+		t.Error("bit value 7 accepted")
+	}
+}
+
+func TestNotApplicableResults(t *testing.T) {
+	bits := prngBits(20000, 9)
+	m, err := MaurersUniversal(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Applicable {
+		t.Error("Maurer's test should not be applicable to 20k bits")
+	}
+	lc, err := LinearComplexity(prngBits(2000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Applicable {
+		t.Error("linear complexity should not be applicable to 2k bits")
+	}
+	re, err := RandomExcursion(prngBits(2000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Applicable {
+		t.Error("random excursions should not be applicable with so few cycles")
+	}
+	m.Evaluate(DefaultAlpha)
+	if m.Pass {
+		t.Error("inapplicable result must not report Pass")
+	}
+}
+
+func TestNonOverlappingTemplateValidation(t *testing.T) {
+	bits := prngBits(10000, 5)
+	if _, err := NonOverlappingTemplateMatching(bits, [][]byte{}); err == nil {
+		t.Error("empty template list accepted")
+	}
+	long := make([]byte, 5000)
+	if _, err := NonOverlappingTemplateMatching(bits, [][]byte{long}); err == nil {
+		t.Error("template longer than half a block accepted")
+	}
+}
+
+func TestResultEvaluateAndString(t *testing.T) {
+	r := newResult("demo", "", 0.5, 0.0005)
+	r.Evaluate(DefaultAlpha)
+	if !r.Pass {
+		t.Error("p-values above alpha should pass")
+	}
+	if r.PValue != 0.0005 {
+		t.Errorf("headline p-value should be the minimum, got %v", r.PValue)
+	}
+	r2 := newResult("demo", "", 0.5, 0.000001)
+	r2.Evaluate(DefaultAlpha)
+	if r2.Pass {
+		t.Error("a p-value below alpha should fail")
+	}
+	if r.String() == "" || notApplicable("x", "y").String() == "" {
+		t.Error("String() should be non-empty")
+	}
+	clamped := newResult("demo", "", -0.5, 1.5)
+	if clamped.PValues[0] != 0 || clamped.PValues[1] != 1 {
+		t.Errorf("p-values not clamped: %v", clamped.PValues)
+	}
+}
+
+func TestSerialBlockLength(t *testing.T) {
+	if got := serialBlockLength(100); got < 2 || got > 5 {
+		t.Errorf("serialBlockLength(100) = %d, want within [2,5]", got)
+	}
+	if got := serialBlockLength(1 << 20); got != 5 {
+		t.Errorf("serialBlockLength(1M) = %d, want 5", got)
+	}
+}
+
+func TestProportionBounds(t *testing.T) {
+	lo, hi, err := ProportionBounds(DefaultAlpha, 236)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper quotes the acceptable range [0.998, 1] for 236 sequences at
+	// α = 0.0001.
+	if lo < 0.997 || lo > 0.999 || hi != 1 {
+		t.Errorf("ProportionBounds = [%v, %v], want about [0.998, 1]", lo, hi)
+	}
+	if _, _, err := ProportionBounds(0, 10); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, _, err := ProportionBounds(0.5, 0); err == nil {
+		t.Error("zero sequences accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Package postproc implements the post-processing (de-biasing) techniques
+// described in Section 2.2 of the paper: the von Neumann corrector, a simple
+// XOR decimator, and SHA-256 conditioning. D-RaNGe does not need them (RNG
+// cells are selected to be unbiased), but the baselines do, and the paper
+// notes that post-processing can cost up to 80% of raw throughput — the
+// ablation benchmark quantifies that cost.
+package postproc
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Corrector transforms a raw bitstream (one bit per byte) into a
+// post-processed bitstream, typically shorter.
+type Corrector interface {
+	// Name identifies the technique.
+	Name() string
+	// Process returns the corrected bitstream.
+	Process(bits []byte) ([]byte, error)
+}
+
+func validate(bits []byte) error {
+	for i, b := range bits {
+		if b > 1 {
+			return fmt.Errorf("postproc: bit %d has value %d", i, b)
+		}
+	}
+	return nil
+}
+
+// VonNeumann is the classic von Neumann corrector: it consumes bits in
+// pairs, emits the first bit of each 01/10 pair, and discards 00/11 pairs.
+// The output is unbiased whenever the input bits are independent, at the
+// cost of discarding at least half of the input.
+type VonNeumann struct{}
+
+// Name implements Corrector.
+func (VonNeumann) Name() string { return "von Neumann" }
+
+// Process implements Corrector.
+func (VonNeumann) Process(bits []byte) ([]byte, error) {
+	if err := validate(bits); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(bits)/4)
+	for i := 0; i+1 < len(bits); i += 2 {
+		a, b := bits[i], bits[i+1]
+		if a != b {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// XORDecimator XORs non-overlapping groups of Factor bits into single output
+// bits, reducing bias exponentially at a linear throughput cost.
+type XORDecimator struct {
+	Factor int
+}
+
+// Name implements Corrector.
+func (x XORDecimator) Name() string { return fmt.Sprintf("XOR decimator (factor %d)", x.Factor) }
+
+// Process implements Corrector.
+func (x XORDecimator) Process(bits []byte) ([]byte, error) {
+	if x.Factor < 2 {
+		return nil, fmt.Errorf("postproc: XOR decimation factor must be at least 2, got %d", x.Factor)
+	}
+	if err := validate(bits); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(bits)/x.Factor)
+	for i := 0; i+x.Factor <= len(bits); i += x.Factor {
+		var v byte
+		for j := 0; j < x.Factor; j++ {
+			v ^= bits[i+j]
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// SHA256Conditioner hashes fixed-size input blocks with SHA-256 and emits
+// the digest bits, the cryptographic conditioning approach used by the
+// retention-based TRNGs.
+type SHA256Conditioner struct {
+	// InputBlockBits is the number of raw bits consumed per 256-bit digest.
+	// It must be at least 256 for the output rate not to exceed the input
+	// entropy.
+	InputBlockBits int
+}
+
+// Name implements Corrector.
+func (s SHA256Conditioner) Name() string {
+	return fmt.Sprintf("SHA-256 conditioner (%d-bit blocks)", s.InputBlockBits)
+}
+
+// Process implements Corrector.
+func (s SHA256Conditioner) Process(bits []byte) ([]byte, error) {
+	if s.InputBlockBits < 256 {
+		return nil, fmt.Errorf("postproc: SHA-256 input block must be at least 256 bits, got %d", s.InputBlockBits)
+	}
+	if err := validate(bits); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(bits)/s.InputBlockBits*256)
+	for i := 0; i+s.InputBlockBits <= len(bits); i += s.InputBlockBits {
+		block := bits[i : i+s.InputBlockBits]
+		packed := make([]byte, 0, (len(block)+7)/8)
+		for j := 0; j < len(block); j += 8 {
+			var b byte
+			for k := 0; k < 8 && j+k < len(block); k++ {
+				b = b<<1 | block[j+k]
+			}
+			packed = append(packed, b)
+		}
+		digest := sha256.Sum256(packed)
+		for _, db := range digest {
+			for k := 7; k >= 0; k-- {
+				out = append(out, (db>>uint(k))&1)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ThroughputCost returns the fraction of raw throughput lost by the
+// corrector on the given input (0 means no loss, 0.8 means 80% lost — the
+// figure the paper quotes for heavyweight post-processing).
+func ThroughputCost(c Corrector, bits []byte) (float64, error) {
+	if len(bits) == 0 {
+		return 0, fmt.Errorf("postproc: empty input")
+	}
+	out, err := c.Process(bits)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - float64(len(out))/float64(len(bits)), nil
+}
+
+var (
+	_ Corrector = VonNeumann{}
+	_ Corrector = XORDecimator{}
+	_ Corrector = SHA256Conditioner{}
+)

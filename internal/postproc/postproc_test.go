@@ -1,0 +1,169 @@
+package postproc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/entropy"
+)
+
+func biasedBits(n int, pOnePercent int, seed uint64) []byte {
+	bits := make([]byte, n)
+	s := seed | 1
+	for i := range bits {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if int(s%100) < pOnePercent {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+func TestVonNeumannRemovesBias(t *testing.T) {
+	in := biasedBits(200000, 70, 3)
+	out, err := VonNeumann{}.Process(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+	b, err := entropy.Bias(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.5) > 0.02 {
+		t.Errorf("von Neumann output bias = %v, want ~0.5 from a 70%% biased input", b)
+	}
+	// Output must be much shorter than input (it discards ≥ half).
+	if len(out) > len(in)/2 {
+		t.Errorf("von Neumann output length %d exceeds half the input %d", len(out), len(in))
+	}
+}
+
+func TestVonNeumannExactBehaviour(t *testing.T) {
+	out, err := VonNeumann{}.Process([]byte{0, 1, 1, 0, 1, 1, 0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 1}
+	if len(out) != len(want) {
+		t.Fatalf("output %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("output %v, want %v", out, want)
+		}
+	}
+}
+
+func TestXORDecimatorReducesBias(t *testing.T) {
+	in := biasedBits(100000, 70, 5)
+	out, err := XORDecimator{Factor: 4}.Process(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in)/4 {
+		t.Fatalf("output length %d, want %d", len(out), len(in)/4)
+	}
+	inBias, _ := entropy.Bias(in)
+	outBias, err := entropy.Bias(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(outBias-0.5) >= math.Abs(inBias-0.5) {
+		t.Errorf("XOR decimation did not reduce bias: in=%v out=%v", inBias, outBias)
+	}
+	if _, err := (XORDecimator{Factor: 1}).Process(in); err == nil {
+		t.Error("factor 1 accepted")
+	}
+}
+
+func TestSHA256ConditionerBalancesOutput(t *testing.T) {
+	in := biasedBits(64000, 80, 7)
+	c := SHA256Conditioner{InputBlockBits: 1024}
+	out, err := c.Process(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != (len(in)/1024)*256 {
+		t.Fatalf("output length %d, want %d", len(out), (len(in)/1024)*256)
+	}
+	b, err := entropy.Bias(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.5) > 0.02 {
+		t.Errorf("SHA-256 output bias = %v, want ~0.5", b)
+	}
+	if _, err := (SHA256Conditioner{InputBlockBits: 64}).Process(in); err == nil {
+		t.Error("sub-256-bit block accepted")
+	}
+}
+
+func TestThroughputCost(t *testing.T) {
+	in := biasedBits(100000, 50, 9)
+	vnCost, err := ThroughputCost(VonNeumann{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbiased input: von Neumann keeps ~25% of bits, so ~75% cost — this
+	// is the kind of loss the paper's "up to 80%" figure refers to.
+	if vnCost < 0.6 || vnCost > 0.9 {
+		t.Errorf("von Neumann throughput cost = %v, want ~0.75", vnCost)
+	}
+	shaCost, err := ThroughputCost(SHA256Conditioner{InputBlockBits: 1024}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shaCost < 0.7 || shaCost > 0.8 {
+		t.Errorf("SHA-256 (1024→256) throughput cost = %v, want 0.75", shaCost)
+	}
+	xorCost, err := ThroughputCost(XORDecimator{Factor: 4}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xorCost != 0.75 {
+		t.Errorf("XOR factor-4 cost = %v, want exactly 0.75", xorCost)
+	}
+	if _, err := ThroughputCost(VonNeumann{}, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCorrectorsRejectInvalidBits(t *testing.T) {
+	bad := []byte{0, 1, 2}
+	for _, c := range []Corrector{VonNeumann{}, XORDecimator{Factor: 2}, SHA256Conditioner{InputBlockBits: 256}} {
+		if _, err := c.Process(bad); err == nil {
+			t.Errorf("%s accepted invalid bit values", c.Name())
+		}
+		if c.Name() == "" {
+			t.Error("corrector has empty name")
+		}
+	}
+}
+
+func TestVonNeumannOutputBitsAreValidProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		out, err := VonNeumann{}.Process(bits)
+		if err != nil {
+			return false
+		}
+		for _, b := range out {
+			if b > 1 {
+				return false
+			}
+		}
+		return len(out) <= len(bits)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package power implements a DRAMPower-style energy model: per-command
+// energies derived from IDD current specifications plus background energy,
+// evaluated over a memory-controller command trace. The paper uses this kind
+// of model (DRAMPower over Ramulator traces) to report that D-RaNGe costs
+// about 4.4 nJ per generated random bit and that retention-based TRNGs cost
+// on the order of millijoules per bit.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// Model holds the electrical parameters of a DRAM device: supply voltage and
+// the IDD current values from the datasheet (in milliamperes).
+type Model struct {
+	// VDD is the supply voltage in volts.
+	VDD float64
+	// IDD0 is the average current of an ACT-PRE cycle (one bank), mA.
+	IDD0 float64
+	// IDD2N is the precharge-standby current, mA.
+	IDD2N float64
+	// IDD3N is the active-standby current, mA.
+	IDD3N float64
+	// IDD4R is the read-burst current, mA.
+	IDD4R float64
+	// IDD4W is the write-burst current, mA.
+	IDD4W float64
+	// IDD5 is the refresh current, mA.
+	IDD5 float64
+}
+
+// NewLPDDR4Model returns electrical parameters representative of an
+// LPDDR4-3200 x16 channel.
+func NewLPDDR4Model() Model {
+	return Model{
+		VDD:   1.1,
+		IDD0:  65,
+		IDD2N: 30,
+		IDD3N: 42,
+		IDD4R: 150,
+		IDD4W: 160,
+		IDD5:  250,
+	}
+}
+
+// NewDDR3Model returns electrical parameters representative of a DDR3-1600
+// x64 rank.
+func NewDDR3Model() Model {
+	return Model{
+		VDD:   1.5,
+		IDD0:  95,
+		IDD2N: 45,
+		IDD3N: 62,
+		IDD4R: 250,
+		IDD4W: 255,
+		IDD5:  260,
+	}
+}
+
+// Validate reports an error if the model is not physically plausible.
+func (m Model) Validate() error {
+	if m.VDD <= 0 {
+		return fmt.Errorf("power: VDD must be positive, got %v", m.VDD)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"IDD0", m.IDD0}, {"IDD2N", m.IDD2N}, {"IDD3N", m.IDD3N}, {"IDD4R", m.IDD4R}, {"IDD4W", m.IDD4W}, {"IDD5", m.IDD5}} {
+		if c.v <= 0 {
+			return fmt.Errorf("power: %s must be positive, got %v", c.name, c.v)
+		}
+	}
+	if m.IDD3N <= m.IDD2N {
+		return fmt.Errorf("power: IDD3N (%v) must exceed IDD2N (%v)", m.IDD3N, m.IDD2N)
+	}
+	if m.IDD4R <= m.IDD3N || m.IDD4W <= m.IDD3N {
+		return fmt.Errorf("power: burst currents must exceed active standby")
+	}
+	return nil
+}
+
+// Breakdown is the energy of a command trace split by contribution. All
+// values are in nanojoules.
+type Breakdown struct {
+	ActPreNJ     float64
+	ReadNJ       float64
+	WriteNJ      float64
+	RefreshNJ    float64
+	BackgroundNJ float64
+}
+
+// TotalNJ returns the total energy of the breakdown in nanojoules.
+func (b Breakdown) TotalNJ() float64 {
+	return b.ActPreNJ + b.ReadNJ + b.WriteNJ + b.RefreshNJ + b.BackgroundNJ
+}
+
+// energyNJ returns the energy, in nanojoules, of drawing deltaMA
+// milliamperes above baseline for durationNS nanoseconds at VDD volts:
+// mA × V × ns = pJ, so divide by 1000 for nJ.
+func energyNJ(deltaMA, vdd, durationNS float64) float64 {
+	return deltaMA * vdd * durationNS / 1000.0
+}
+
+// AnalyzeTrace computes the energy breakdown of a command trace executed
+// over totalCycles controller cycles with timing parameters p. The
+// background term charges active-standby current for the whole duration
+// (the trace-driven experiments keep rows open for most of the window); use
+// IdleEnergyNJ to compute the baseline to subtract, as the paper does.
+func (m Model) AnalyzeTrace(trace []timing.Command, p timing.Params, totalCycles int64) (Breakdown, error) {
+	if err := m.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if totalCycles < 0 {
+		return Breakdown{}, fmt.Errorf("power: negative trace duration %d", totalCycles)
+	}
+	var b Breakdown
+	burstNS := p.NS(p.BurstCycles())
+	for _, cmd := range trace {
+		switch cmd.Kind {
+		case timing.CmdACT:
+			// The ACT/PRE pair energy is conventionally charged to the ACT.
+			b.ActPreNJ += energyNJ(m.IDD0-m.IDD3N, m.VDD, p.TRC)
+		case timing.CmdPRE:
+			// Accounted with the ACT.
+		case timing.CmdRead:
+			b.ReadNJ += energyNJ(m.IDD4R-m.IDD3N, m.VDD, burstNS)
+		case timing.CmdWrite:
+			b.WriteNJ += energyNJ(m.IDD4W-m.IDD3N, m.VDD, burstNS)
+		case timing.CmdRefresh:
+			b.RefreshNJ += energyNJ(m.IDD5-m.IDD3N, m.VDD, p.TRFC)
+		}
+	}
+	b.BackgroundNJ = energyNJ(m.IDD3N, m.VDD, p.NS(totalCycles))
+	return b, nil
+}
+
+// IdleEnergyNJ returns the energy of the device sitting idle (precharge
+// standby) for the given number of cycles — the baseline the paper subtracts
+// to isolate the energy attributable to random-number generation.
+func (m Model) IdleEnergyNJ(p timing.Params, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return energyNJ(m.IDD2N, m.VDD, p.NS(cycles))
+}
+
+// EnergyPerBitNJ computes the marginal energy per generated random bit: the
+// trace energy minus the idle baseline over the same duration, divided by
+// the number of bits produced.
+func (m Model) EnergyPerBitNJ(trace []timing.Command, p timing.Params, totalCycles int64, bits int64) (float64, error) {
+	if bits <= 0 {
+		return 0, fmt.Errorf("power: bits must be positive, got %d", bits)
+	}
+	b, err := m.AnalyzeTrace(trace, p, totalCycles)
+	if err != nil {
+		return 0, err
+	}
+	marginal := b.TotalNJ() - m.IdleEnergyNJ(p, totalCycles)
+	if marginal < 0 {
+		marginal = 0
+	}
+	return marginal / float64(bits), nil
+}

@@ -1,0 +1,135 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func TestModelsValid(t *testing.T) {
+	for _, m := range []Model{NewLPDDR4Model(), NewDDR3Model()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("built-in model invalid: %v", err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"zero VDD", func(m *Model) { m.VDD = 0 }},
+		{"zero IDD0", func(m *Model) { m.IDD0 = 0 }},
+		{"IDD3N below IDD2N", func(m *Model) { m.IDD3N = m.IDD2N - 1 }},
+		{"IDD4R below IDD3N", func(m *Model) { m.IDD4R = m.IDD3N - 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewLPDDR4Model()
+			tc.mutate(&m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func sampleTrace() []timing.Command {
+	return []timing.Command{
+		{Kind: timing.CmdACT, Bank: 0, Row: 1, IssueCycle: 0},
+		{Kind: timing.CmdRead, Bank: 0, Row: 1, Column: 0, IssueCycle: 16},
+		{Kind: timing.CmdWrite, Bank: 0, Row: 1, Column: 0, IssueCycle: 30},
+		{Kind: timing.CmdPRE, Bank: 0, Row: 1, IssueCycle: 70},
+		{Kind: timing.CmdRefresh, IssueCycle: 100},
+	}
+}
+
+func TestAnalyzeTraceBreakdown(t *testing.T) {
+	m := NewLPDDR4Model()
+	p := timing.NewLPDDR4()
+	b, err := m.AnalyzeTrace(sampleTrace(), p, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ActPreNJ <= 0 || b.ReadNJ <= 0 || b.WriteNJ <= 0 || b.RefreshNJ <= 0 || b.BackgroundNJ <= 0 {
+		t.Errorf("all components should be positive, got %+v", b)
+	}
+	if b.TotalNJ() <= b.BackgroundNJ {
+		t.Error("total should exceed background alone")
+	}
+	// ACT/PRE over tRC=60 ns at (65-42) mA, 1.1 V = 1.518 nJ.
+	if b.ActPreNJ < 1.0 || b.ActPreNJ > 2.0 {
+		t.Errorf("ActPreNJ = %v, want ~1.5 nJ", b.ActPreNJ)
+	}
+}
+
+func TestAnalyzeTraceValidation(t *testing.T) {
+	m := NewLPDDR4Model()
+	p := timing.NewLPDDR4()
+	if _, err := m.AnalyzeTrace(nil, p, -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+	bad := m
+	bad.VDD = 0
+	if _, err := bad.AnalyzeTrace(nil, p, 10); err == nil {
+		t.Error("invalid model accepted")
+	}
+	badP := p
+	badP.TRC = 0
+	if _, err := m.AnalyzeTrace(nil, badP, 10); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	m := NewLPDDR4Model()
+	p := timing.NewLPDDR4()
+	if got := m.IdleEnergyNJ(p, 0); got != 0 {
+		t.Errorf("idle energy of 0 cycles = %v, want 0", got)
+	}
+	e1 := m.IdleEnergyNJ(p, 1000)
+	e2 := m.IdleEnergyNJ(p, 2000)
+	if e1 <= 0 || e2 != 2*e1 {
+		t.Errorf("idle energy not linear: %v, %v", e1, e2)
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	m := NewLPDDR4Model()
+	p := timing.NewLPDDR4()
+	trace := sampleTrace()
+	e, err := m.EnergyPerBitNJ(trace, p, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 {
+		t.Errorf("energy per bit = %v, want positive", e)
+	}
+	// Halving the bit count doubles the per-bit energy.
+	e1, err := m.EnergyPerBitNJ(trace, p, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != 2*e {
+		t.Errorf("energy per bit not inversely proportional to bits: %v vs %v", e1, e)
+	}
+	if _, err := m.EnergyPerBitNJ(trace, p, 400, 0); err == nil {
+		t.Error("zero bits accepted")
+	}
+}
+
+func TestRetentionStyleEnergyIsOrdersOfMagnitudeLarger(t *testing.T) {
+	// A retention-based TRNG waits ~40 s in precharge standby to harvest
+	// 256 bits; its per-bit energy must be in the millijoule range, versus
+	// nanojoules for an access-based mechanism. This is the core of the
+	// Table 2 energy comparison.
+	m := NewLPDDR4Model()
+	p := timing.NewLPDDR4()
+	waitCycles := p.Cycles(40e9) // 40 seconds in ns
+	idle := m.IdleEnergyNJ(p, waitCycles)
+	perBit := idle / 256
+	if perBit < 1e6 {
+		t.Errorf("retention-style energy per bit = %v nJ, want > 1e6 nJ (millijoules)", perBit)
+	}
+}

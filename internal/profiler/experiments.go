@@ -1,0 +1,336 @@
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/entropy"
+	"repro/internal/memctrl"
+	"repro/internal/pattern"
+)
+
+// SpatialMap is the data behind Figure 4: for a window of rows × columns of
+// one bank, which cells experienced at least one activation failure.
+type SpatialMap struct {
+	Region Region
+	// Failed[r][c] is true when the cell at (RowStart+r, window column c)
+	// failed at least once.
+	Failed [][]bool
+	// FailuresPerRow and FailuresPerColumn are marginal counts over the
+	// window.
+	FailuresPerRow    []int
+	FailuresPerColumn []int
+}
+
+// SpatialDistribution runs Algorithm 1 over a rows × cols window of the bank
+// (starting at row 0, word 0) and returns the failure bitmap, reproducing
+// Figure 4. cols must be a multiple of the device's word size.
+func SpatialDistribution(ctrl *memctrl.Controller, bank, rows, cols int, cfg Config) (*SpatialMap, error) {
+	g := ctrl.Device().Geometry()
+	if cols%g.WordBits != 0 {
+		return nil, fmt.Errorf("profiler: cols (%d) must be a multiple of the word size (%d)", cols, g.WordBits)
+	}
+	region := Region{Bank: bank, RowStart: 0, RowCount: rows, WordStart: 0, WordCount: cols / g.WordBits}
+	prof, err := Run(ctrl, region, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &SpatialMap{
+		Region:            region,
+		Failed:            make([][]bool, rows),
+		FailuresPerRow:    make([]int, rows),
+		FailuresPerColumn: make([]int, cols),
+	}
+	for r := range m.Failed {
+		m.Failed[r] = make([]bool, cols)
+	}
+	for c := range prof.Counts {
+		r := c.Row - region.RowStart
+		col := c.Col
+		if r < 0 || r >= rows || col < 0 || col >= cols {
+			continue
+		}
+		if !m.Failed[r][col] {
+			m.Failed[r][col] = true
+			m.FailuresPerRow[r]++
+			m.FailuresPerColumn[col]++
+		}
+	}
+	return m, nil
+}
+
+// FailingColumns returns the window columns that contain at least one
+// failure-prone cell, in ascending order. Figure 4's observation is that
+// these repeat across the rows of a subarray.
+func (m *SpatialMap) FailingColumns() []int {
+	var out []int
+	for col, n := range m.FailuresPerColumn {
+		if n > 0 {
+			out = append(out, col)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PatternCoverage is one bar of Figure 5: the fraction of all
+// failure-prone cells (union over every tested pattern) that a single data
+// pattern discovers, plus the number of cells it finds in the ~50% failure
+// probability band.
+type PatternCoverage struct {
+	Pattern  pattern.Pattern
+	Failures int
+	Coverage float64
+	// MidProbCells is the number of cells with observed Fprob in [40%, 60%].
+	MidProbCells int
+}
+
+// DataPatternDependence runs Algorithm 1 once per data pattern over the same
+// region and reports each pattern's coverage of the union of failure-prone
+// cells (Figure 5), along with the count of cells in the 40–60% failure
+// probability band (the paper's criterion for identifying high-entropy
+// cells, Section 5.2).
+func DataPatternDependence(ctrl *memctrl.Controller, region Region, patterns []pattern.Pattern, cfg Config) ([]PatternCoverage, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("profiler: no patterns supplied")
+	}
+	union := make(map[CellAddr]bool)
+	perPattern := make([]map[CellAddr]int, len(patterns))
+	iterations := cfg.Iterations
+
+	for i, pat := range patterns {
+		c := cfg
+		c.Pattern = pat
+		prof, err := Run(ctrl, region, c)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: pattern %v: %w", pat, err)
+		}
+		perPattern[i] = prof.Counts
+		for cell := range prof.Counts {
+			union[cell] = true
+		}
+	}
+
+	out := make([]PatternCoverage, len(patterns))
+	for i, pat := range patterns {
+		cov := PatternCoverage{Pattern: pat, Failures: len(perPattern[i])}
+		if len(union) > 0 {
+			cov.Coverage = float64(len(perPattern[i])) / float64(len(union))
+		}
+		for _, n := range perPattern[i] {
+			p := float64(n) / float64(iterations)
+			if p >= 0.4 && p <= 0.6 {
+				cov.MidProbCells++
+			}
+		}
+		out[i] = cov
+	}
+	return out, nil
+}
+
+// BestPatternByMidProbCells returns the pattern that discovers the most
+// cells with ~50% failure probability, the selection rule of Section 5.2.
+func BestPatternByMidProbCells(coverages []PatternCoverage) (PatternCoverage, error) {
+	if len(coverages) == 0 {
+		return PatternCoverage{}, fmt.Errorf("profiler: empty coverage list")
+	}
+	best := coverages[0]
+	for _, c := range coverages[1:] {
+		if c.MidProbCells > best.MidProbCells {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// TemperaturePoint is one (Fprob at T, Fprob at T+step) pair for one cell,
+// the underlying data of Figure 6.
+type TemperaturePoint struct {
+	Cell        CellAddr
+	FprobAtT    float64
+	FprobAtTUp  float64
+	BaseTempC   float64
+	TempStepC   float64
+	DeltaFprobe float64
+}
+
+// TemperatureSweepResult aggregates a temperature-effects experiment.
+type TemperatureSweepResult struct {
+	BaseTempC float64
+	StepC     float64
+	Points    []TemperaturePoint
+	// DeltaSummary is the box-and-whisker summary of Fprob(T+step) -
+	// Fprob(T) over all cells that failed at either temperature.
+	DeltaSummary entropy.Summary
+	// IncreasedFraction is the fraction of points whose failure probability
+	// increased with temperature.
+	IncreasedFraction float64
+	// DecreasedFraction is the fraction of points whose failure probability
+	// decreased with temperature (the paper observes fewer than 25% of
+	// points below the x=y line in Figure 6).
+	DecreasedFraction float64
+}
+
+// TemperatureSweep measures each failure-prone cell's failure probability at
+// DRAM temperature baseC and again at baseC+stepC, reproducing Figure 6's
+// core comparison. The device temperature is restored to baseC afterwards.
+func TemperatureSweep(ctrl *memctrl.Controller, region Region, cfg Config, baseC, stepC float64) (*TemperatureSweepResult, error) {
+	if stepC <= 0 {
+		return nil, fmt.Errorf("profiler: temperature step must be positive, got %v", stepC)
+	}
+	dev := ctrl.Device()
+	if err := dev.SetTemperature(baseC); err != nil {
+		return nil, err
+	}
+	base, err := Run(ctrl, region, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.SetTemperature(baseC + stepC); err != nil {
+		return nil, err
+	}
+	up, err := Run(ctrl, region, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.SetTemperature(baseC); err != nil {
+		return nil, err
+	}
+
+	cells := make(map[CellAddr]bool)
+	for c := range base.Counts {
+		cells[c] = true
+	}
+	for c := range up.Counts {
+		cells[c] = true
+	}
+	res := &TemperatureSweepResult{BaseTempC: baseC, StepC: stepC}
+	var deltas []float64
+	increased, decreased := 0, 0
+	for c := range cells {
+		pt := TemperaturePoint{
+			Cell:       c,
+			FprobAtT:   base.Fprob(c),
+			FprobAtTUp: up.Fprob(c),
+			BaseTempC:  baseC,
+			TempStepC:  stepC,
+		}
+		pt.DeltaFprobe = pt.FprobAtTUp - pt.FprobAtT
+		res.Points = append(res.Points, pt)
+		deltas = append(deltas, pt.DeltaFprobe)
+		if pt.DeltaFprobe > 0 {
+			increased++
+		} else if pt.DeltaFprobe < 0 {
+			decreased++
+		}
+	}
+	if len(deltas) > 0 {
+		s, err := entropy.Summarize(deltas)
+		if err != nil {
+			return nil, err
+		}
+		res.DeltaSummary = s
+		res.IncreasedFraction = float64(increased) / float64(len(deltas))
+		res.DecreasedFraction = float64(decreased) / float64(len(deltas))
+	}
+	return res, nil
+}
+
+// StabilityResult summarises the entropy-over-time experiment of
+// Section 5.4: how much each cell's failure probability drifts across
+// repeated profiling rounds.
+type StabilityResult struct {
+	Rounds int
+	// MaxDriftPerCell maps each cell that ever failed to the maximum
+	// absolute difference between its per-round failure probability and its
+	// mean failure probability.
+	MaxDriftPerCell map[CellAddr]float64
+	// MeanFprobPerCell maps each cell to its mean failure probability over
+	// all rounds.
+	MeanFprobPerCell map[CellAddr]float64
+	// WorstDrift is the largest drift observed over any cell.
+	WorstDrift float64
+}
+
+// TimeStability runs the profiling loop `rounds` times (the paper uses 250
+// rounds over 15 days) and reports how stable each cell's failure
+// probability is; the paper's conclusion is that it does not change
+// significantly over time.
+func TimeStability(ctrl *memctrl.Controller, region Region, cfg Config, rounds int) (*StabilityResult, error) {
+	if rounds <= 1 {
+		return nil, fmt.Errorf("profiler: stability needs at least 2 rounds, got %d", rounds)
+	}
+	perRound := make([]map[CellAddr]int, rounds)
+	cells := make(map[CellAddr]bool)
+	for r := 0; r < rounds; r++ {
+		prof, err := Run(ctrl, region, cfg)
+		if err != nil {
+			return nil, err
+		}
+		perRound[r] = prof.Counts
+		for c := range prof.Counts {
+			cells[c] = true
+		}
+	}
+	res := &StabilityResult{
+		Rounds:           rounds,
+		MaxDriftPerCell:  make(map[CellAddr]float64),
+		MeanFprobPerCell: make(map[CellAddr]float64),
+	}
+	for c := range cells {
+		mean := 0.0
+		for r := 0; r < rounds; r++ {
+			mean += float64(perRound[r][c]) / float64(cfg.Iterations)
+		}
+		mean /= float64(rounds)
+		maxDrift := 0.0
+		for r := 0; r < rounds; r++ {
+			p := float64(perRound[r][c]) / float64(cfg.Iterations)
+			d := p - mean
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDrift {
+				maxDrift = d
+			}
+		}
+		res.MeanFprobPerCell[c] = mean
+		res.MaxDriftPerCell[c] = maxDrift
+		if maxDrift > res.WorstDrift {
+			res.WorstDrift = maxDrift
+		}
+	}
+	return res, nil
+}
+
+// TRCDSweepPoint is one point of the tRCD ablation: how many cells fail, and
+// how many fall in the 40–60% failure-probability band, at a given
+// activation latency.
+type TRCDSweepPoint struct {
+	TRCDNS       float64
+	FailingCells int
+	MidProbCells int
+}
+
+// TRCDSweep runs Algorithm 1 at each of the supplied activation latencies
+// and reports the failing-cell and RNG-candidate counts, reproducing the
+// paper's observation that failures are inducible for tRCD roughly between
+// 6 ns and 13 ns and absent at the default 18 ns.
+func TRCDSweep(ctrl *memctrl.Controller, region Region, cfg Config, trcdValuesNS []float64) ([]TRCDSweepPoint, error) {
+	if len(trcdValuesNS) == 0 {
+		return nil, fmt.Errorf("profiler: no tRCD values supplied")
+	}
+	out := make([]TRCDSweepPoint, 0, len(trcdValuesNS))
+	for _, trcd := range trcdValuesNS {
+		c := cfg
+		c.TRCDNS = trcd
+		prof, err := Run(ctrl, region, c)
+		if err != nil {
+			return nil, err
+		}
+		pt := TRCDSweepPoint{TRCDNS: trcd, FailingCells: len(prof.Counts)}
+		pt.MidProbCells = len(prof.CellsWithFprobBetween(0.4, 0.6))
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/pattern"
+)
+
+func TestSpatialDistributionShowsWeakColumnStructure(t *testing.T) {
+	ctrl := newTestController(t, 11, dram.ManufacturerA)
+	cfg := smallConfig()
+	cfg.Iterations = 10
+	m, err := SpatialDistribution(ctrl, 0, 96, 1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Failed) != 96 || len(m.Failed[0]) != 1024 {
+		t.Fatalf("bitmap is %dx%d, want 96x1024", len(m.Failed), len(m.Failed[0]))
+	}
+	cols := m.FailingColumns()
+	if len(cols) == 0 {
+		t.Fatal("no failing columns found")
+	}
+	// Failures must be concentrated in a small set of columns (the weak
+	// local bitlines), far fewer than the number of columns tested.
+	if len(cols) > 1024/4 {
+		t.Errorf("failures spread over %d/1024 columns; expected clustering on weak columns", len(cols))
+	}
+	// Every failing cell must lie on one of the failing columns by
+	// construction; check marginals are consistent.
+	totalByRow, totalByCol := 0, 0
+	for _, n := range m.FailuresPerRow {
+		totalByRow += n
+	}
+	for _, n := range m.FailuresPerColumn {
+		totalByCol += n
+	}
+	if totalByRow != totalByCol {
+		t.Errorf("marginal totals disagree: %d vs %d", totalByRow, totalByCol)
+	}
+}
+
+func TestSpatialDistributionRowGradient(t *testing.T) {
+	// Within one subarray, higher-numbered rows should on aggregate fail
+	// more than lower-numbered rows (Figure 4's second observation). Use a
+	// single subarray worth of rows.
+	ctrl := newTestController(t, 12, dram.ManufacturerA)
+	cfg := smallConfig()
+	cfg.Iterations = 15
+	m, err := SpatialDistribution(ctrl, 0, 64, 2048, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, upper := 0, 0
+	for r := 0; r < 32; r++ {
+		lower += m.FailuresPerRow[r]
+	}
+	for r := 32; r < 64; r++ {
+		upper += m.FailuresPerRow[r]
+	}
+	if upper <= lower {
+		t.Errorf("upper half of the subarray failed %d cells, lower half %d; expected more failures further from the sense amplifiers", upper, lower)
+	}
+}
+
+func TestSpatialDistributionValidation(t *testing.T) {
+	ctrl := newTestController(t, 13, dram.ManufacturerA)
+	if _, err := SpatialDistribution(ctrl, 0, 16, 100, smallConfig()); err == nil {
+		t.Error("cols not a multiple of word size accepted")
+	}
+}
+
+func TestDataPatternDependence(t *testing.T) {
+	ctrl := newTestController(t, 14, dram.ManufacturerA)
+	cfg := smallConfig()
+	cfg.Iterations = 10
+	pats := []pattern.Pattern{pattern.Solid0(), pattern.Solid1(), pattern.Checkered0(), pattern.Checkered1()}
+	cov, err := DataPatternDependence(ctrl, smallRegion(), pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov) != len(pats) {
+		t.Fatalf("got %d coverages, want %d", len(cov), len(pats))
+	}
+	maxCov := 0.0
+	for _, c := range cov {
+		if c.Coverage < 0 || c.Coverage > 1 {
+			t.Errorf("%v coverage %v outside [0,1]", c.Pattern, c.Coverage)
+		}
+		if c.Coverage > maxCov {
+			maxCov = c.Coverage
+		}
+	}
+	if maxCov == 0 {
+		t.Fatal("no pattern discovered any failures")
+	}
+	// For manufacturer A (true-cell dominated) solid 0s must discover more
+	// failure-prone cells than solid 1s.
+	var solid0, solid1 PatternCoverage
+	for _, c := range cov {
+		switch c.Pattern {
+		case pattern.Solid0():
+			solid0 = c
+		case pattern.Solid1():
+			solid1 = c
+		}
+	}
+	if solid0.Failures <= solid1.Failures {
+		t.Errorf("manufacturer A: SOLID0 found %d cells, SOLID1 found %d; expected SOLID0 to dominate", solid0.Failures, solid1.Failures)
+	}
+
+	best, err := BestPatternByMidProbCells(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.MidProbCells < 0 {
+		t.Error("negative mid-probability cell count")
+	}
+}
+
+func TestDataPatternDependenceValidation(t *testing.T) {
+	ctrl := newTestController(t, 15, dram.ManufacturerA)
+	if _, err := DataPatternDependence(ctrl, smallRegion(), nil, smallConfig()); err == nil {
+		t.Error("empty pattern list accepted")
+	}
+	if _, err := BestPatternByMidProbCells(nil); err == nil {
+		t.Error("empty coverage list accepted")
+	}
+}
+
+func TestTemperatureSweepIncreasesFailureProbability(t *testing.T) {
+	ctrl := newTestController(t, 16, dram.ManufacturerA)
+	cfg := smallConfig()
+	cfg.Iterations = 25
+	region := Region{Bank: 0, RowStart: 0, RowCount: 64, WordStart: 0, WordCount: 8}
+	res, err := TemperatureSweep(ctrl, region, cfg, 55, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("temperature sweep found no failure-prone cells")
+	}
+	if res.IncreasedFraction <= res.DecreasedFraction {
+		t.Errorf("increased fraction %.2f should exceed decreased fraction %.2f at +5 °C", res.IncreasedFraction, res.DecreasedFraction)
+	}
+	if res.DecreasedFraction >= 0.5 {
+		t.Errorf("decreased fraction = %.2f; the paper observes fewer than 25%% of points decreasing", res.DecreasedFraction)
+	}
+	if res.DeltaSummary.Median < 0 {
+		t.Errorf("median ΔFprob = %v, expected non-negative", res.DeltaSummary.Median)
+	}
+	// The device temperature must be restored.
+	if ctrl.Device().Temperature() != 55 {
+		t.Errorf("device temperature left at %v, want 55", ctrl.Device().Temperature())
+	}
+}
+
+func TestTemperatureSweepValidation(t *testing.T) {
+	ctrl := newTestController(t, 17, dram.ManufacturerA)
+	if _, err := TemperatureSweep(ctrl, smallRegion(), smallConfig(), 55, 0); err == nil {
+		t.Error("zero temperature step accepted")
+	}
+	if _, err := TemperatureSweep(ctrl, smallRegion(), smallConfig(), 500, 5); err == nil {
+		t.Error("implausible base temperature accepted")
+	}
+}
+
+func TestTimeStability(t *testing.T) {
+	ctrl := newTestController(t, 18, dram.ManufacturerA)
+	cfg := smallConfig()
+	cfg.Iterations = 30
+	res, err := TimeStability(ctrl, smallRegion(), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 {
+		t.Errorf("rounds = %d, want 4", res.Rounds)
+	}
+	if len(res.MeanFprobPerCell) == 0 {
+		t.Fatal("no cells tracked across rounds")
+	}
+	// The model's process variation is fixed at manufacturing time, so
+	// failure probabilities should be stable: sampling noise only. With 30
+	// iterations per round the drift should stay well below 0.5.
+	if res.WorstDrift > 0.45 {
+		t.Errorf("worst per-cell Fprob drift = %v; expected stability over rounds", res.WorstDrift)
+	}
+	if _, err := TimeStability(ctrl, smallRegion(), cfg, 1); err == nil {
+		t.Error("single round accepted")
+	}
+}
+
+func TestTRCDSweep(t *testing.T) {
+	ctrl := newTestController(t, 19, dram.ManufacturerA)
+	cfg := smallConfig()
+	cfg.Iterations = 10
+	points, err := TRCDSweep(ctrl, smallRegion(), cfg, []float64{6, 8, 10, 13, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("got %d points, want 5", len(points))
+	}
+	// Failures must be plentiful at 6-8 ns, present around 10-13 ns, and
+	// absent at the default 18 ns.
+	if points[0].FailingCells == 0 {
+		t.Error("no failures at tRCD=6 ns")
+	}
+	if points[len(points)-1].FailingCells != 0 {
+		t.Errorf("%d failures at the default tRCD=18 ns, want 0", points[len(points)-1].FailingCells)
+	}
+	if points[0].FailingCells < points[2].FailingCells {
+		t.Errorf("failures at 6 ns (%d) should be at least failures at 10 ns (%d)", points[0].FailingCells, points[2].FailingCells)
+	}
+	if _, err := TRCDSweep(ctrl, smallRegion(), cfg, nil); err == nil {
+		t.Error("empty tRCD list accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/pattern"
+)
+
+// testGeometry is a deliberately small device so characterization unit tests
+// run in milliseconds.
+func testGeometry() dram.Geometry {
+	return dram.Geometry{
+		Banks:        2,
+		RowsPerBank:  128,
+		ColsPerRow:   2048,
+		SubarrayRows: 64,
+		WordBits:     256,
+	}
+}
+
+// testProfile boosts the weak-column density so that small test regions
+// contain enough failure-prone cells to characterize.
+func testProfile(m dram.Manufacturer) dram.Profile {
+	p := dram.MustProfile(m)
+	p.WeakColumnDensity = 1.0 / 16.0
+	p.SubarrayRows = 64
+	return p
+}
+
+func newTestController(t *testing.T, seed uint64, m dram.Manufacturer) *memctrl.Controller {
+	t.Helper()
+	prof := testProfile(m)
+	dev, err := dram.NewDevice(dram.Config{
+		Serial:   seed,
+		Profile:  &prof,
+		Geometry: testGeometry(),
+		Noise:    dram.NewDeterministicNoise(seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return memctrl.NewController(dev)
+}
+
+func smallRegion() Region {
+	return Region{Bank: 0, RowStart: 0, RowCount: 48, WordStart: 0, WordCount: 4}
+}
+
+func smallConfig() Config {
+	return Config{TRCDNS: 10.0, Iterations: 20, Pattern: pattern.Solid0()}
+}
+
+func TestRegionValidate(t *testing.T) {
+	ctrl := newTestController(t, 1, dram.ManufacturerA)
+	good := smallRegion()
+	if err := good.Validate(ctrl); err != nil {
+		t.Errorf("valid region rejected: %v", err)
+	}
+	cases := []Region{
+		{Bank: -1, RowCount: 1, WordCount: 1},
+		{Bank: 99, RowCount: 1, WordCount: 1},
+		{Bank: 0, RowCount: 0, WordCount: 1},
+		{Bank: 0, RowCount: 1, WordCount: 0},
+		{Bank: 0, RowStart: 120, RowCount: 100, WordCount: 1},
+		{Bank: 0, RowCount: 1, WordStart: 7, WordCount: 10},
+	}
+	for i, r := range cases {
+		if err := r.Validate(ctrl); err == nil {
+			t.Errorf("invalid region %d accepted: %+v", i, r)
+		}
+	}
+	if got := good.Cells(256); got != 48*4*256 {
+		t.Errorf("Cells = %d, want %d", got, 48*4*256)
+	}
+	wb := WholeBank(ctrl, 1)
+	if err := wb.Validate(ctrl); err != nil {
+		t.Errorf("WholeBank region invalid: %v", err)
+	}
+	if wb.RowCount != 128 || wb.WordCount != 8 {
+		t.Errorf("WholeBank = %+v", wb)
+	}
+}
+
+func TestRunFindsFailures(t *testing.T) {
+	ctrl := newTestController(t, 2, dram.ManufacturerA)
+	prof, err := Run(ctrl, smallRegion(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Counts) == 0 {
+		t.Fatal("no activation failures found at tRCD=10 ns over the test region")
+	}
+	if prof.TotalFailures() < len(prof.Counts) {
+		t.Error("total failures must be at least the number of failing cells")
+	}
+	for _, c := range prof.FailedCells() {
+		p := prof.Fprob(c)
+		if p <= 0 || p > 1 {
+			t.Errorf("cell %+v has Fprob %v outside (0,1]", c, p)
+		}
+		if c.Bank != 0 || c.Row >= 48 || c.Col >= 4*256 {
+			t.Errorf("failure outside region: %+v", c)
+		}
+	}
+	// The controller must be back at the default tRCD.
+	if ctrl.EffectiveTRCD() != ctrl.Params().TRCD {
+		t.Error("Run left the reduced tRCD programmed")
+	}
+}
+
+func TestRunAtDefaultTRCDFindsNothing(t *testing.T) {
+	ctrl := newTestController(t, 3, dram.ManufacturerA)
+	cfg := smallConfig()
+	cfg.TRCDNS = ctrl.Params().TRCD
+	cfg.Iterations = 5
+	prof, err := Run(ctrl, smallRegion(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Counts) != 0 {
+		t.Errorf("found %d failing cells at the default tRCD, want 0", len(prof.Counts))
+	}
+}
+
+func TestRunFailureCountsBoundedByIterations(t *testing.T) {
+	ctrl := newTestController(t, 4, dram.ManufacturerA)
+	cfg := smallConfig()
+	prof, err := Run(ctrl, smallRegion(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, n := range prof.Counts {
+		if n > cfg.Iterations {
+			t.Errorf("cell %+v failed %d times out of %d iterations", c, n, cfg.Iterations)
+		}
+	}
+}
+
+func TestRunIsReproducibleAcrossRuns(t *testing.T) {
+	// Two runs on devices with the same serial and same deterministic noise
+	// seed must find the same set of failing cells (the paper's stability
+	// observation in its strongest form).
+	a, err := Run(newTestController(t, 5, dram.ManufacturerA), smallRegion(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(newTestController(t, 5, dram.ManufacturerA), smallRegion(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatalf("different failure-set sizes: %d vs %d", len(a.Counts), len(b.Counts))
+	}
+	for c, n := range a.Counts {
+		if b.Counts[c] != n {
+			t.Fatalf("cell %+v count %d vs %d", c, n, b.Counts[c])
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctrl := newTestController(t, 6, dram.ManufacturerA)
+	if _, err := Run(ctrl, Region{Bank: 99, RowCount: 1, WordCount: 1}, smallConfig()); err == nil {
+		t.Error("bad region accepted")
+	}
+	cfg := smallConfig()
+	cfg.Iterations = 0
+	if _, err := Run(ctrl, smallRegion(), cfg); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	cfg = smallConfig()
+	cfg.TRCDNS = 100
+	if _, err := Run(ctrl, smallRegion(), cfg); err == nil {
+		t.Error("tRCD above default accepted")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.TRCDNS != 10.0 {
+		t.Errorf("default characterization tRCD = %v, want 10 ns", cfg.TRCDNS)
+	}
+	if cfg.Iterations != 100 {
+		t.Errorf("default iterations = %d, want 100", cfg.Iterations)
+	}
+	if cfg.Pattern != pattern.Solid0() {
+		t.Errorf("default pattern = %v, want SOLID0", cfg.Pattern)
+	}
+}
+
+func TestWritePattern(t *testing.T) {
+	ctrl := newTestController(t, 7, dram.ManufacturerA)
+	region := smallRegion()
+	if err := WritePattern(ctrl, region, pattern.Checkered1()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ctrl.Device().ReadRowRaw(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pattern.Checkered1().FillRow(3, ctrl.Device().Geometry().ColsPerRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if raw[i] != want[i] {
+			t.Fatalf("row 3 word %d = %x, want %x", i, raw[i], want[i])
+		}
+	}
+	if err := WritePattern(ctrl, Region{Bank: 99, RowCount: 1, WordCount: 1}, pattern.Solid0()); err == nil {
+		t.Error("bad region accepted")
+	}
+}
+
+func TestFprobProfileQueries(t *testing.T) {
+	prof := &FailureProfile{Iterations: 100, Counts: map[CellAddr]int{
+		{0, 1, 2}: 50,
+		{0, 1, 3}: 10,
+		{0, 2, 2}: 95,
+	}}
+	mid := prof.CellsWithFprobBetween(0.4, 0.6)
+	if len(mid) != 1 || mid[0] != (CellAddr{0, 1, 2}) {
+		t.Errorf("CellsWithFprobBetween = %v", mid)
+	}
+	if prof.Fprob(CellAddr{9, 9, 9}) != 0 {
+		t.Error("Fprob of a never-failing cell should be 0")
+	}
+	empty := &FailureProfile{}
+	if empty.Fprob(CellAddr{}) != 0 {
+		t.Error("Fprob with zero iterations should be 0")
+	}
+	if prof.TotalFailures() != 155 {
+		t.Errorf("TotalFailures = %d, want 155", prof.TotalFailures())
+	}
+}

@@ -1,0 +1,109 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// DRAMTempOffsetC is the offset the paper maintains between the ambient
+// chamber temperature and the DRAM device temperature using a local heating
+// source (15 °C).
+const DRAMTempOffsetC = 15.0
+
+// Chamber models the temperature-controlled chamber of Section 4: ambient
+// temperature is regulated by heaters and fans driven by a
+// proportional-integral-derivative (PID) loop to within ±0.25 °C over a
+// reliable range of 40–55 °C ambient, and the devices inside are held at
+// ambient + 15 °C.
+type Chamber struct {
+	devices []*dram.Device
+
+	// PID gains for the simulated control loop.
+	kp, ki, kd float64
+
+	setpointC float64
+	ambientC  float64
+	integral  float64
+	prevError float64
+
+	// ToleranceC is the regulation accuracy (0.25 °C in the paper).
+	ToleranceC float64
+
+	// MinAmbientC and MaxAmbientC bound the reliable testing range.
+	MinAmbientC float64
+	MaxAmbientC float64
+}
+
+// NewChamber builds a chamber housing the given devices, initially settled
+// at a 40 °C ambient setpoint.
+func NewChamber(devices ...*dram.Device) *Chamber {
+	c := &Chamber{
+		devices:     devices,
+		kp:          0.6,
+		ki:          0.15,
+		kd:          0.05,
+		setpointC:   40,
+		ambientC:    40,
+		ToleranceC:  0.25,
+		MinAmbientC: 40,
+		MaxAmbientC: 55,
+	}
+	c.applyToDevices()
+	return c
+}
+
+// SetAmbient commands a new ambient setpoint and runs the PID loop until the
+// chamber settles within tolerance. It returns an error if the setpoint is
+// outside the reliable testing range or if the loop fails to settle.
+func (c *Chamber) SetAmbient(targetC float64) error {
+	if targetC < c.MinAmbientC || targetC > c.MaxAmbientC {
+		return fmt.Errorf("testbed: ambient setpoint %.1f °C outside reliable range [%.1f, %.1f]",
+			targetC, c.MinAmbientC, c.MaxAmbientC)
+	}
+	c.setpointC = targetC
+	c.integral = 0
+	c.prevError = 0
+	const maxSteps = 10000
+	for step := 0; step < maxSteps; step++ {
+		err := c.setpointC - c.ambientC
+		if err < c.ToleranceC && err > -c.ToleranceC && step > 5 {
+			c.applyToDevices()
+			return nil
+		}
+		c.integral += err
+		derivative := err - c.prevError
+		c.prevError = err
+		drive := c.kp*err + c.ki*c.integral + c.kd*derivative
+		// The chamber responds sluggishly to the heater/fan drive, and loses
+		// a little heat to the room each step.
+		c.ambientC += 0.2*drive - 0.01*(c.ambientC-22)
+	}
+	return fmt.Errorf("testbed: PID loop failed to settle at %.1f °C", targetC)
+}
+
+// SetDRAMTemperature commands the chamber so that the devices reach the
+// given DRAM temperature (ambient + 15 °C offset).
+func (c *Chamber) SetDRAMTemperature(dramTempC float64) error {
+	return c.SetAmbient(dramTempC - DRAMTempOffsetC)
+}
+
+// Ambient returns the current ambient temperature.
+func (c *Chamber) Ambient() float64 { return c.ambientC }
+
+// DRAMTemperature returns the temperature the housed devices are held at.
+func (c *Chamber) DRAMTemperature() float64 { return c.ambientC + DRAMTempOffsetC }
+
+// ReliableDRAMRange returns the DRAM-temperature range the chamber can hold
+// reliably (55–70 °C in the paper).
+func (c *Chamber) ReliableDRAMRange() (minC, maxC float64) {
+	return c.MinAmbientC + DRAMTempOffsetC, c.MaxAmbientC + DRAMTempOffsetC
+}
+
+func (c *Chamber) applyToDevices() {
+	for _, d := range c.devices {
+		// Device temperature setting only fails for implausible values,
+		// which the setpoint validation already excludes.
+		_ = d.SetTemperature(c.DRAMTemperature())
+	}
+}

@@ -1,0 +1,142 @@
+// Package testbed models the experimental infrastructure of the paper
+// (Section 4): populations of LPDDR4 and DDR3 DRAM devices from the three
+// major manufacturers, and a thermally-controlled chamber whose ambient
+// temperature is regulated by a PID loop, with the DRAM devices held 15 °C
+// above ambient by a local heater.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+// PopulationConfig describes a population of simulated DRAM devices.
+type PopulationConfig struct {
+	// LPDDR4PerManufacturer is the number of LPDDR4 devices instantiated per
+	// manufacturer. The paper characterizes 282 devices total (94 per
+	// manufacturer); smaller populations are used for quick runs.
+	LPDDR4PerManufacturer int
+
+	// DDR3Devices is the number of DDR3 devices (all from a single
+	// manufacturer, as in the paper's cross-validation study).
+	DDR3Devices int
+
+	// Geometry optionally overrides the LPDDR4 device geometry (the DDR3
+	// devices always use the DDR3 default geometry scaled to the same row
+	// count).
+	Geometry dram.Geometry
+
+	// Seed seeds the device serial numbers, so a population is fully
+	// reproducible.
+	Seed uint64
+
+	// Deterministic selects the seeded noise source for every device. When
+	// false, devices use the OS entropy pool, which is what a real
+	// deployment would do.
+	Deterministic bool
+}
+
+// DefaultPopulationConfig returns the paper-scale population: 94 LPDDR4
+// devices per manufacturer (282 total) and 4 DDR3 devices, deterministic
+// noise disabled.
+func DefaultPopulationConfig() PopulationConfig {
+	return PopulationConfig{
+		LPDDR4PerManufacturer: 94,
+		DDR3Devices:           4,
+		Seed:                  0xD0A11CE5,
+	}
+}
+
+// SmallPopulationConfig returns a reduced population (a handful of devices
+// per manufacturer) suitable for unit tests and quick characterization runs.
+func SmallPopulationConfig() PopulationConfig {
+	return PopulationConfig{
+		LPDDR4PerManufacturer: 2,
+		DDR3Devices:           1,
+		Seed:                  7,
+		Deterministic:         true,
+	}
+}
+
+// Population is a collection of simulated devices grouped the way the
+// paper's experiments consume them.
+type Population struct {
+	LPDDR4 map[dram.Manufacturer][]*dram.Device
+	DDR3   []*dram.Device
+}
+
+// NewPopulation instantiates the device population described by cfg.
+func NewPopulation(cfg PopulationConfig) (*Population, error) {
+	if cfg.LPDDR4PerManufacturer < 0 || cfg.DDR3Devices < 0 {
+		return nil, fmt.Errorf("testbed: negative device counts")
+	}
+	if cfg.LPDDR4PerManufacturer == 0 && cfg.DDR3Devices == 0 {
+		return nil, fmt.Errorf("testbed: empty population")
+	}
+	pop := &Population{LPDDR4: make(map[dram.Manufacturer][]*dram.Device)}
+	serial := cfg.Seed
+	newNoise := func() dram.NoiseSource {
+		if cfg.Deterministic {
+			serialCopy := serial
+			return dram.NewDeterministicNoise(serialCopy * 0x9e3779b97f4a7c15)
+		}
+		return dram.NewPhysicalNoise()
+	}
+	for _, m := range dram.AllManufacturers() {
+		for i := 0; i < cfg.LPDDR4PerManufacturer; i++ {
+			serial++
+			d, err := dram.NewDevice(dram.Config{
+				Serial:       serial,
+				Manufacturer: m,
+				Geometry:     cfg.Geometry,
+				Timing:       timing.NewLPDDR4(),
+				Noise:        newNoise(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("testbed: building LPDDR4 device for %v: %w", m, err)
+			}
+			pop.LPDDR4[m] = append(pop.LPDDR4[m], d)
+		}
+	}
+	for i := 0; i < cfg.DDR3Devices; i++ {
+		serial++
+		d, err := dram.NewDevice(dram.Config{
+			Serial:       serial,
+			Manufacturer: dram.ManufacturerA,
+			Timing:       timing.NewDDR3(),
+			Noise:        newNoise(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: building DDR3 device: %w", err)
+		}
+		pop.DDR3 = append(pop.DDR3, d)
+	}
+	return pop, nil
+}
+
+// AllLPDDR4 returns every LPDDR4 device in a stable order (manufacturer A,
+// then B, then C).
+func (p *Population) AllLPDDR4() []*dram.Device {
+	var out []*dram.Device
+	for _, m := range dram.AllManufacturers() {
+		out = append(out, p.LPDDR4[m]...)
+	}
+	return out
+}
+
+// TotalDevices returns the number of devices in the population.
+func (p *Population) TotalDevices() int {
+	return len(p.AllLPDDR4()) + len(p.DDR3)
+}
+
+// Representative returns the first device of the given manufacturer, the
+// "representative chip" the paper uses for single-device figures.
+func (p *Population) Representative(m dram.Manufacturer) (*dram.Device, error) {
+	devs := p.LPDDR4[m]
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("testbed: no LPDDR4 devices for manufacturer %v", m)
+	}
+	return devs[0], nil
+}

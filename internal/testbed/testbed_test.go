@@ -1,0 +1,136 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/timing"
+)
+
+func TestNewPopulationSmall(t *testing.T) {
+	pop, err := NewPopulation(SmallPopulationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pop.TotalDevices(); got != 7 {
+		t.Errorf("TotalDevices = %d, want 7 (2×3 LPDDR4 + 1 DDR3)", got)
+	}
+	for _, m := range dram.AllManufacturers() {
+		if len(pop.LPDDR4[m]) != 2 {
+			t.Errorf("manufacturer %v has %d devices, want 2", m, len(pop.LPDDR4[m]))
+		}
+		for _, d := range pop.LPDDR4[m] {
+			if d.Manufacturer() != m {
+				t.Errorf("device manufacturer = %v, want %v", d.Manufacturer(), m)
+			}
+			if d.Timing().Type != timing.LPDDR4 {
+				t.Errorf("LPDDR4 device has timing type %v", d.Timing().Type)
+			}
+		}
+	}
+	if len(pop.DDR3) != 1 {
+		t.Fatalf("DDR3 devices = %d, want 1", len(pop.DDR3))
+	}
+	if pop.DDR3[0].Timing().Type != timing.DDR3 {
+		t.Errorf("DDR3 device has timing type %v", pop.DDR3[0].Timing().Type)
+	}
+}
+
+func TestNewPopulationDefaultsMatchPaperScale(t *testing.T) {
+	cfg := DefaultPopulationConfig()
+	if cfg.LPDDR4PerManufacturer*3 != 282 {
+		t.Errorf("default population has %d LPDDR4 devices, want 282", cfg.LPDDR4PerManufacturer*3)
+	}
+	if cfg.DDR3Devices != 4 {
+		t.Errorf("default population has %d DDR3 devices, want 4", cfg.DDR3Devices)
+	}
+}
+
+func TestNewPopulationUniqueSerials(t *testing.T) {
+	pop, err := NewPopulation(SmallPopulationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for _, d := range append(pop.AllLPDDR4(), pop.DDR3...) {
+		if seen[d.Serial()] {
+			t.Errorf("duplicate serial %d", d.Serial())
+		}
+		seen[d.Serial()] = true
+	}
+}
+
+func TestNewPopulationRejectsBadConfig(t *testing.T) {
+	if _, err := NewPopulation(PopulationConfig{}); err == nil {
+		t.Error("empty population accepted")
+	}
+	if _, err := NewPopulation(PopulationConfig{LPDDR4PerManufacturer: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestRepresentative(t *testing.T) {
+	pop, err := NewPopulation(SmallPopulationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pop.Representative(dram.ManufacturerB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Manufacturer() != dram.ManufacturerB {
+		t.Errorf("representative manufacturer = %v, want B", d.Manufacturer())
+	}
+	empty := &Population{LPDDR4: map[dram.Manufacturer][]*dram.Device{}}
+	if _, err := empty.Representative(dram.ManufacturerA); err == nil {
+		t.Error("representative of empty population accepted")
+	}
+}
+
+func TestChamberSetAmbient(t *testing.T) {
+	d, err := dram.NewDevice(dram.Config{Serial: 1, Manufacturer: dram.ManufacturerA, Noise: dram.NewDeterministicNoise(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChamber(d)
+	if err := c.SetAmbient(50); err != nil {
+		t.Fatalf("SetAmbient(50): %v", err)
+	}
+	if math.Abs(c.Ambient()-50) > c.ToleranceC {
+		t.Errorf("ambient = %v, want 50 ± %v", c.Ambient(), c.ToleranceC)
+	}
+	if math.Abs(d.Temperature()-(c.Ambient()+DRAMTempOffsetC)) > 1e-9 {
+		t.Errorf("device temperature %v, want ambient+15 = %v", d.Temperature(), c.Ambient()+DRAMTempOffsetC)
+	}
+}
+
+func TestChamberSetDRAMTemperature(t *testing.T) {
+	d, err := dram.NewDevice(dram.Config{Serial: 2, Manufacturer: dram.ManufacturerC, Noise: dram.NewDeterministicNoise(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChamber(d)
+	for _, target := range []float64{55, 60, 65, 70} {
+		if err := c.SetDRAMTemperature(target); err != nil {
+			t.Fatalf("SetDRAMTemperature(%v): %v", target, err)
+		}
+		if math.Abs(d.Temperature()-target) > c.ToleranceC+1e-9 {
+			t.Errorf("device temperature %v, want %v ± %v", d.Temperature(), target, c.ToleranceC)
+		}
+	}
+}
+
+func TestChamberRejectsOutOfRange(t *testing.T) {
+	c := NewChamber()
+	if err := c.SetAmbient(20); err == nil {
+		t.Error("ambient below reliable range accepted")
+	}
+	if err := c.SetAmbient(80); err == nil {
+		t.Error("ambient above reliable range accepted")
+	}
+	lo, hi := c.ReliableDRAMRange()
+	if lo != 55 || hi != 70 {
+		t.Errorf("reliable DRAM range = [%v, %v], want [55, 70]", lo, hi)
+	}
+}

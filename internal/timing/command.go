@@ -1,0 +1,118 @@
+package timing
+
+import "fmt"
+
+// CommandKind enumerates the DRAM commands the memory controller can issue.
+type CommandKind int
+
+const (
+	// CmdACT opens (activates) a row in a bank.
+	CmdACT CommandKind = iota
+	// CmdPRE closes (precharges) the open row in a bank.
+	CmdPRE
+	// CmdRead reads one DRAM word (a burst) from the open row.
+	CmdRead
+	// CmdWrite writes one DRAM word (a burst) into the open row.
+	CmdWrite
+	// CmdRefresh performs an all-bank refresh.
+	CmdRefresh
+)
+
+// String implements fmt.Stringer.
+func (k CommandKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRead:
+		return "READ"
+	case CmdWrite:
+		return "WRITE"
+	case CmdRefresh:
+		return "REF"
+	default:
+		return fmt.Sprintf("CommandKind(%d)", int(k))
+	}
+}
+
+// Command is a single DRAM command as placed on the command bus.
+type Command struct {
+	Kind    CommandKind
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	// Column is the column address in DRAM-word (burst) granularity.
+	Column int
+	// IssueCycle is the command-clock cycle at which the controller issued
+	// the command. Filled in by the scheduler/simulator.
+	IssueCycle int64
+	// TRCDOverrideNS, when positive, records the reduced activation latency
+	// in effect for the READ that follows this ACT. Zero means the default
+	// tRCD of the rank's register file applies.
+	TRCDOverrideNS float64
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	return fmt.Sprintf("%s ch%d rk%d bk%d row%d col%d @%d", c.Kind, c.Channel, c.Rank, c.Bank, c.Row, c.Column, c.IssueCycle)
+}
+
+// BankState is the state of a single DRAM bank's row buffer.
+type BankState int
+
+const (
+	// BankPrecharged means no row is open; an ACT is required before
+	// column accesses.
+	BankPrecharged BankState = iota
+	// BankActivating means an ACT has been issued and the row is being
+	// opened (tRCD has not yet elapsed).
+	BankActivating
+	// BankActive means a row is open and column commands may be issued.
+	BankActive
+	// BankPrecharging means a PRE has been issued and tRP has not yet
+	// elapsed.
+	BankPrecharging
+)
+
+// String implements fmt.Stringer.
+func (s BankState) String() string {
+	switch s {
+	case BankPrecharged:
+		return "precharged"
+	case BankActivating:
+		return "activating"
+	case BankActive:
+		return "active"
+	case BankPrecharging:
+		return "precharging"
+	default:
+		return fmt.Sprintf("BankState(%d)", int(s))
+	}
+}
+
+// Violation describes a timing-parameter violation detected when a command
+// is issued earlier than the relevant constraint allows. D-RaNGe provokes
+// tRCD violations on purpose; all others indicate controller bugs.
+type Violation struct {
+	Parameter string
+	// RequiredCycle is the earliest legal issue cycle.
+	RequiredCycle int64
+	// ActualCycle is the cycle the command was issued at.
+	ActualCycle int64
+	Command     Command
+}
+
+// Error implements the error interface so violations can flow through error
+// paths when they are not intentional.
+func (v Violation) Error() string {
+	return fmt.Sprintf("timing violation of %s: command %v issued at cycle %d, earliest legal cycle %d",
+		v.Parameter, v.Command, v.ActualCycle, v.RequiredCycle)
+}
+
+// Intentional reports whether the violation is of the kind D-RaNGe induces
+// deliberately (a reduced activation latency).
+func (v Violation) Intentional() bool {
+	return v.Parameter == "tRCD"
+}

@@ -1,0 +1,207 @@
+// Package timing defines DRAM command types, JEDEC-style timing parameters,
+// and the bank state machine rules that the memory controller and the cycle
+// simulator share.
+//
+// All durations are expressed both in nanoseconds (float64) and in DRAM clock
+// cycles (int64) for the configured clock. The paper (D-RaNGe, HPCA 2019)
+// manipulates the tRCD parameter specifically; every other parameter is kept
+// at its standard value so that the surrounding system behaves like a
+// commodity part.
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeviceType identifies the DRAM standard a timing set belongs to.
+type DeviceType int
+
+const (
+	// LPDDR4 is the Low Power DDR4 standard used for the 282-chip study.
+	LPDDR4 DeviceType = iota
+	// DDR3 is the standard used for the 4-chip cross-validation study.
+	DDR3
+)
+
+// String implements fmt.Stringer.
+func (d DeviceType) String() string {
+	switch d {
+	case LPDDR4:
+		return "LPDDR4"
+	case DDR3:
+		return "DDR3"
+	default:
+		return fmt.Sprintf("DeviceType(%d)", int(d))
+	}
+}
+
+// Params is a complete set of DRAM timing parameters. Times are in
+// nanoseconds. The zero value is not usable; construct with NewLPDDR4 or
+// NewDDR3 (or build a literal and call Validate).
+type Params struct {
+	Type DeviceType
+
+	// ClockNS is the duration of one DRAM command-bus clock cycle in
+	// nanoseconds (e.g. 0.625 ns for LPDDR4-3200).
+	ClockNS float64
+
+	// DataRate is the number of data transfers per clock (2 for DDR).
+	DataRate int
+
+	// BusWidthBits is the channel data-bus width in bits.
+	BusWidthBits int
+
+	// BurstLength is the number of data-bus beats per READ/WRITE.
+	BurstLength int
+
+	// Core timing parameters (nanoseconds).
+	TRCD  float64 // ACT to READ/WRITE delay
+	TRAS  float64 // ACT to PRE minimum
+	TRP   float64 // PRE to ACT minimum
+	TCL   float64 // READ to data (CAS latency)
+	TCWL  float64 // WRITE to data
+	TRC   float64 // ACT to ACT, same bank
+	TRRD  float64 // ACT to ACT, different banks
+	TFAW  float64 // four-activate window
+	TCCD  float64 // READ to READ (column to column)
+	TWR   float64 // write recovery
+	TWTR  float64 // write to read turnaround
+	TRTP  float64 // read to precharge
+	TRFC  float64 // refresh cycle time
+	TREFI float64 // average refresh interval
+}
+
+// NewLPDDR4 returns the timing parameters of an LPDDR4-3200 device, the
+// configuration characterized in the paper (default tRCD = 18 ns).
+func NewLPDDR4() Params {
+	return Params{
+		Type:         LPDDR4,
+		ClockNS:      0.625, // 1600 MHz command clock, 3200 MT/s
+		DataRate:     2,
+		BusWidthBits: 16,
+		BurstLength:  16,
+		TRCD:         18.0,
+		TRAS:         42.0,
+		TRP:          18.0,
+		TCL:          17.5,
+		TCWL:         11.0,
+		TRC:          60.0,
+		TRRD:         10.0,
+		TFAW:         40.0,
+		TCCD:         5.0,
+		TWR:          18.0,
+		TWTR:         10.0,
+		TRTP:         7.5,
+		TRFC:         180.0,
+		TREFI:        3904.0,
+	}
+}
+
+// NewDDR3 returns the timing parameters of a DDR3-1600 device, matching the
+// SoftMC-based cross-validation platform.
+func NewDDR3() Params {
+	return Params{
+		Type:         DDR3,
+		ClockNS:      1.25, // 800 MHz command clock, 1600 MT/s
+		DataRate:     2,
+		BusWidthBits: 64,
+		BurstLength:  8,
+		TRCD:         13.75,
+		TRAS:         35.0,
+		TRP:          13.75,
+		TCL:          13.75,
+		TCWL:         10.0,
+		TRC:          48.75,
+		TRRD:         6.0,
+		TFAW:         30.0,
+		TCCD:         5.0,
+		TWR:          15.0,
+		TWTR:         7.5,
+		TRTP:         7.5,
+		TRFC:         260.0,
+		TREFI:        7800.0,
+	}
+}
+
+// Validate reports an error if the parameter set is internally inconsistent.
+func (p Params) Validate() error {
+	if p.ClockNS <= 0 {
+		return fmt.Errorf("timing: clock period must be positive, got %v", p.ClockNS)
+	}
+	if p.DataRate <= 0 {
+		return fmt.Errorf("timing: data rate must be positive, got %d", p.DataRate)
+	}
+	if p.BusWidthBits <= 0 {
+		return fmt.Errorf("timing: bus width must be positive, got %d", p.BusWidthBits)
+	}
+	if p.BurstLength <= 0 {
+		return fmt.Errorf("timing: burst length must be positive, got %d", p.BurstLength)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"tRCD", p.TRCD}, {"tRAS", p.TRAS}, {"tRP", p.TRP}, {"tCL", p.TCL},
+		{"tCWL", p.TCWL}, {"tRC", p.TRC}, {"tRRD", p.TRRD}, {"tFAW", p.TFAW},
+		{"tCCD", p.TCCD}, {"tWR", p.TWR}, {"tWTR", p.TWTR}, {"tRTP", p.TRTP},
+		{"tRFC", p.TRFC}, {"tREFI", p.TREFI},
+	} {
+		if c.v <= 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("timing: %s must be positive and finite, got %v", c.name, c.v)
+		}
+	}
+	if p.TRC < p.TRAS+p.TRP {
+		return fmt.Errorf("timing: tRC (%v) must be at least tRAS+tRP (%v)", p.TRC, p.TRAS+p.TRP)
+	}
+	return nil
+}
+
+// Cycles converts a duration in nanoseconds to a whole number of DRAM clock
+// cycles, rounding up (the controller can only wait integral cycles).
+func (p Params) Cycles(ns float64) int64 {
+	if ns <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(ns/p.ClockNS - 1e-9))
+}
+
+// NS converts a cycle count back into nanoseconds.
+func (p Params) NS(cycles int64) float64 {
+	return float64(cycles) * p.ClockNS
+}
+
+// BurstCycles returns the number of command-clock cycles the data bus is
+// occupied by one READ or WRITE burst.
+func (p Params) BurstCycles() int64 {
+	beats := p.BurstLength
+	c := beats / p.DataRate
+	if beats%p.DataRate != 0 {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return int64(c)
+}
+
+// WordBits returns the number of data bits transferred by a single READ
+// burst on one channel: the DRAM word granularity from the paper
+// (64 bytes on a 64-bit wide rank; 32 bytes per x16 LPDDR4 channel burst
+// of 16).
+func (p Params) WordBits() int {
+	return p.BusWidthBits * p.BurstLength
+}
+
+// WithTRCD returns a copy of the parameters with tRCD replaced. It is the
+// programmable-register operation D-RaNGe relies on.
+func (p Params) WithTRCD(ns float64) Params {
+	p.TRCD = ns
+	return p
+}
+
+// BandwidthBitsPerNS returns the peak data-bus bandwidth in bits per
+// nanosecond for one channel.
+func (p Params) BandwidthBitsPerNS() float64 {
+	return float64(p.BusWidthBits) * float64(p.DataRate) / p.ClockNS
+}

@@ -1,0 +1,146 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLPDDR4Valid(t *testing.T) {
+	p := NewLPDDR4()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("LPDDR4 params invalid: %v", err)
+	}
+	if p.Type != LPDDR4 {
+		t.Errorf("Type = %v, want LPDDR4", p.Type)
+	}
+	if p.TRCD != 18.0 {
+		t.Errorf("default tRCD = %v, want 18 ns", p.TRCD)
+	}
+}
+
+func TestNewDDR3Valid(t *testing.T) {
+	p := NewDDR3()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DDR3 params invalid: %v", err)
+	}
+	if p.Type != DDR3 {
+		t.Errorf("Type = %v, want DDR3", p.Type)
+	}
+	if p.BusWidthBits != 64 {
+		t.Errorf("DDR3 bus width = %d, want 64", p.BusWidthBits)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero clock", func(p *Params) { p.ClockNS = 0 }},
+		{"negative tRCD", func(p *Params) { p.TRCD = -1 }},
+		{"zero tRAS", func(p *Params) { p.TRAS = 0 }},
+		{"NaN tRP", func(p *Params) { p.TRP = math.NaN() }},
+		{"inf tCL", func(p *Params) { p.TCL = math.Inf(1) }},
+		{"zero data rate", func(p *Params) { p.DataRate = 0 }},
+		{"zero burst length", func(p *Params) { p.BurstLength = 0 }},
+		{"zero bus width", func(p *Params) { p.BusWidthBits = 0 }},
+		{"tRC below tRAS+tRP", func(p *Params) { p.TRC = p.TRAS }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewLPDDR4()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate() = nil, want error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestCyclesRoundsUp(t *testing.T) {
+	p := NewLPDDR4() // 0.625 ns clock
+	cases := []struct {
+		ns   float64
+		want int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{0.625, 1},
+		{0.626, 2},
+		{18.0, 29}, // 18 / 0.625 = 28.8 -> 29
+		{10.0, 16},
+		{6.25, 10},
+	}
+	for _, tc := range cases {
+		if got := p.Cycles(tc.ns); got != tc.want {
+			t.Errorf("Cycles(%v) = %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestCyclesNSRoundTripProperty(t *testing.T) {
+	p := NewLPDDR4()
+	f := func(raw uint16) bool {
+		ns := float64(raw) * 0.1
+		c := p.Cycles(ns)
+		// Converting back must give at least the requested duration and at
+		// most one extra clock period.
+		back := p.NS(c)
+		return back >= ns-1e-9 && back < ns+p.ClockNS+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBurstCycles(t *testing.T) {
+	lp := NewLPDDR4()
+	if got := lp.BurstCycles(); got != 8 {
+		t.Errorf("LPDDR4 BurstCycles = %d, want 8", got)
+	}
+	d3 := NewDDR3()
+	if got := d3.BurstCycles(); got != 4 {
+		t.Errorf("DDR3 BurstCycles = %d, want 4", got)
+	}
+}
+
+func TestWordBits(t *testing.T) {
+	lp := NewLPDDR4()
+	if got := lp.WordBits(); got != 256 {
+		t.Errorf("LPDDR4 WordBits = %d, want 256", got)
+	}
+	d3 := NewDDR3()
+	if got := d3.WordBits(); got != 512 {
+		t.Errorf("DDR3 WordBits = %d, want 512 (64 bytes)", got)
+	}
+}
+
+func TestWithTRCDDoesNotMutateOriginal(t *testing.T) {
+	p := NewLPDDR4()
+	q := p.WithTRCD(10)
+	if q.TRCD != 10 {
+		t.Errorf("WithTRCD result = %v, want 10", q.TRCD)
+	}
+	if p.TRCD != 18 {
+		t.Errorf("original mutated: tRCD = %v, want 18", p.TRCD)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	p := NewLPDDR4()
+	// 16 bits * 2 transfers / 0.625 ns = 51.2 bits/ns
+	got := p.BandwidthBitsPerNS()
+	if math.Abs(got-51.2) > 1e-9 {
+		t.Errorf("BandwidthBitsPerNS = %v, want 51.2", got)
+	}
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	if LPDDR4.String() != "LPDDR4" || DDR3.String() != "DDR3" {
+		t.Errorf("unexpected DeviceType strings: %v %v", LPDDR4, DDR3)
+	}
+	if DeviceType(99).String() == "" {
+		t.Error("unknown device type should still produce a string")
+	}
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{Banks: 8, RowsPerBank: 1024, WordsPerRow: 32, DurationNS: 100000, Seed: 1}
+}
+
+func TestProfilesDistinctAndOrdered(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 5 {
+		t.Fatalf("want at least 5 workload profiles, got %d", len(ps))
+	}
+	names := make(map[string]bool)
+	for i, p := range ps {
+		if names[p.Name] {
+			t.Errorf("duplicate profile name %q", p.Name)
+		}
+		names[p.Name] = true
+		if i > 0 && p.RequestsPerMicrosecond > ps[i-1].RequestsPerMicrosecond {
+			t.Errorf("profiles not ordered by intensity at %q", p.Name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("mcf-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mcf-like" {
+		t.Errorf("got %q", p.Name)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	cfg := testConfig()
+	for _, p := range Profiles() {
+		reqs, err := Generate(p, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		prev := 0.0
+		for _, r := range reqs {
+			if r.ArrivalNS < prev {
+				t.Fatalf("%s: requests not in arrival order", p.Name)
+			}
+			prev = r.ArrivalNS
+			if r.ArrivalNS > cfg.DurationNS {
+				t.Fatalf("%s: arrival %v beyond duration", p.Name, r.ArrivalNS)
+			}
+			if r.Bank < 0 || r.Bank >= cfg.Banks || r.Row < 0 || r.Row >= cfg.RowsPerBank ||
+				r.WordIdx < 0 || r.WordIdx >= cfg.WordsPerRow {
+				t.Fatalf("%s: request out of bounds: %+v", p.Name, r)
+			}
+		}
+	}
+}
+
+func TestGenerateIntensityScalesWithProfile(t *testing.T) {
+	cfg := testConfig()
+	heavy, err := Generate(Profiles()[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := Generate(Profiles()[len(Profiles())-1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heavy) <= len(light)*2 {
+		t.Errorf("heavy workload (%d reqs) should be much denser than light (%d reqs)", len(heavy), len(light))
+	}
+	// Expected count for the heavy profile: intensity × duration ±50%.
+	want := Profiles()[0].RequestsPerMicrosecond * cfg.DurationNS / 1000
+	if float64(len(heavy)) < want*0.5 || float64(len(heavy)) > want*1.5 {
+		t.Errorf("heavy workload has %d requests, want about %v", len(heavy), want)
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	cfg := testConfig()
+	a, err := Generate(Profiles()[1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Profiles()[1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c, err := Generate(Profiles()[1], cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateRowLocality(t *testing.T) {
+	cfg := testConfig()
+	cfg.DurationNS = 1e6
+	local, err := Generate(Profile{Name: "local", RequestsPerMicrosecond: 20, RowLocality: 0.95}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Generate(Profile{Name: "random", RequestsPerMicrosecond: 20, RowLocality: 0.0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitRate := func(reqs []Request) float64 {
+		last := map[int]int{}
+		hits, total := 0, 0
+		for _, r := range reqs {
+			if prev, ok := last[r.Bank]; ok {
+				total++
+				if prev == r.Row {
+					hits++
+				}
+			}
+			last[r.Bank] = r.Row
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(hits) / float64(total)
+	}
+	if hitRate(local) < hitRate(random)+0.3 {
+		t.Errorf("row locality not reflected: local=%v random=%v", hitRate(local), hitRate(random))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Profiles()[0], Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := testConfig()
+	if _, err := Generate(Profile{Name: "bad", RequestsPerMicrosecond: -1}, cfg); err == nil {
+		t.Error("negative intensity accepted")
+	}
+	if _, err := Generate(Profile{Name: "bad", RowLocality: 2}, cfg); err == nil {
+		t.Error("bad locality accepted")
+	}
+}
+
+func TestGenerateWriteFractionProperty(t *testing.T) {
+	cfg := testConfig()
+	cfg.DurationNS = 2e6
+	f := func(seed uint64) bool {
+		cfg.Seed = seed
+		reqs, err := Generate(Profile{Name: "p", RequestsPerMicrosecond: 10, RowLocality: 0.5, WriteFraction: 0.5}, cfg)
+		if err != nil || len(reqs) < 100 {
+			return false
+		}
+		writes := 0
+		for _, r := range reqs {
+			if r.IsWrite {
+				writes++
+			}
+		}
+		frac := float64(writes) / float64(len(reqs))
+		return frac > 0.3 && frac < 0.7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
