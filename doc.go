@@ -3,10 +3,40 @@
 // entropy from activation failures induced by reading DRAM with a reduced
 // tRCD.
 //
-// The public API lives in the drange package; the simulated substrates
-// (DRAM device model, memory controller, cycle simulator, power model, NIST
-// test suite, prior-work baselines) live under internal/. The benchmark
-// harness in bench_test.go regenerates every table and figure of the paper's
-// evaluation; see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// paper-versus-measured numbers.
+// # Module layout
+//
+// The public API lives in the drange package: drange.New profiles a
+// simulated device, identifies RNG cells and returns a Generator
+// (io.Reader); Generator.Engine starts the concurrent sharded harvesting
+// engine. The simulated substrates live under internal/:
+//
+//   - internal/dram — the device model: per-cell process variation,
+//     activation-failure injection, data-pattern and temperature coupling,
+//     pluggable noise sources (including per-bank deterministic streams).
+//   - internal/memctrl — the cycle-accurate memory controller: programmable
+//     tRCD, per-bank state machines, tRRD/tFAW, bus occupancy, refresh.
+//   - internal/core — D-RaNGe itself: RNG-cell identification (Section
+//     6.1), bank-word selection (Section 6.2), the single-shard TRNG
+//     sampler (Algorithm 2) and the sharded Engine that composes one TRNG
+//     per simulated channel/rank for multi-bank parallel harvesting.
+//   - internal/sim, internal/power, internal/nist, internal/baselines —
+//     the evaluation: loop timing, DRAMPower-style energy, the NIST
+//     SP 800-22 suite, and the prior-work TRNG baselines of Table 2.
+//
+// # TRNG versus Engine
+//
+// core.TRNG is the sequential single-shard core: one memory controller
+// walking its selected banks, buffering harvested bits in a packed 64-bit
+// word queue. core.Engine partitions the bank selections across several
+// controllers — one simulated channel/rank per shard — and runs one
+// harvesting goroutine per shard into bounded per-shard rings of packed
+// words, drained round-robin by a thread-safe io.Reader facade. The
+// per-shard throughput/latency accounting (Engine.Stats) reproduces the
+// paper's claim that D-RaNGe throughput scales with the number of banks and
+// channels sampled in parallel (Figure 8, Table 2).
+//
+// The benchmark harness in bench_test.go regenerates every table and figure
+// of the paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-versus-measured numbers, and README.md for the
+// module guide.
 package repro

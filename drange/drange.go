@@ -16,6 +16,7 @@
 package drange
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/nist"
+	"repro/internal/pattern"
 	"repro/internal/power"
 	"repro/internal/profiler"
 	"repro/internal/sim"
@@ -103,11 +105,13 @@ func (c Config) withDefaults() Config {
 
 // Generator is a ready-to-use D-RaNGe true random number generator over one
 // simulated DRAM channel. It implements io.Reader. It is not safe for
-// concurrent use.
+// concurrent use; for a thread-safe, multi-bank-parallel generator call
+// Engine.
 type Generator struct {
 	cfg        Config
 	device     *dram.Device
 	controller *memctrl.Controller
+	pattern    pattern.Pattern
 	cells      []core.RNGCell
 	selections []core.BankSelection
 	trng       *core.TRNG
@@ -123,7 +127,9 @@ func New(cfg Config) (*Generator, error) {
 	}
 	var noise dram.NoiseSource
 	if cfg.Deterministic {
-		noise = dram.NewDeterministicNoise(cfg.Serial ^ 0xD0A11CE5)
+		// Per-bank streams keep deterministic output reproducible even when
+		// a sharded Engine harvests several banks concurrently.
+		noise = dram.NewDeterministicBankNoise(cfg.Serial ^ 0xD0A11CE5)
 	}
 	dev, err := dram.NewDevice(dram.Config{
 		Serial:       cfg.Serial,
@@ -139,6 +145,7 @@ func New(cfg Config) (*Generator, error) {
 	g := &Generator{cfg: cfg, device: dev, controller: ctrl}
 
 	idCfg := core.DefaultIdentifyConfig(cfg.Manufacturer)
+	g.pattern = idCfg.Pattern
 	idCfg.TRCDNS = cfg.ReducedTRCDNS
 	idCfg.Samples = cfg.Samples
 	idCfg.Tolerance = cfg.Tolerance
@@ -253,3 +260,64 @@ func (g *Generator) RunNIST(bits int, alpha float64) (nist.SuiteResult, error) {
 }
 
 var _ io.Reader = (*Generator)(nil)
+
+// EngineStats and ShardStats re-export the engine's per-shard and aggregate
+// throughput/latency accounting.
+type (
+	EngineStats = core.EngineStats
+	ShardStats  = core.ShardStats
+)
+
+// Engine is a concurrent sharded D-RaNGe generator: the Generator's bank
+// selections partitioned across per-shard memory controllers (one simulated
+// channel/rank per shard) harvesting in parallel into a bounded packed-bit
+// ring. It is safe for concurrent use and implements io.Reader. See
+// core.Engine for the sharding and determinism semantics.
+type Engine struct {
+	eng *core.Engine
+}
+
+// Engine starts a sharded harvesting engine over the generator's device and
+// bank selections; shards <= 0 selects the default (one shard per bank, at
+// most four). The engine stops when ctx is cancelled or Close is called.
+//
+// The engine's controllers take over the device, so use either the Engine or
+// the Generator's own Read at a time, not both: Generator reads issued after
+// the engine starts fail loudly with a bank-state error.
+func (g *Generator) Engine(ctx context.Context, shards int) (*Engine, error) {
+	if shards < 0 {
+		shards = 0
+	}
+	eng, err := core.NewEngine(ctx, g.device, g.selections, core.EngineConfig{
+		Shards: shards,
+		TRNG:   core.TRNGConfig{TRCDNS: g.cfg.ReducedTRCDNS, Pattern: g.pattern},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("drange: %w", err)
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// Read fills p with true random bytes (io.Reader). Safe for concurrent use.
+func (e *Engine) Read(p []byte) (int, error) { return e.eng.Read(p) }
+
+// ReadBits returns n random bits, one per byte. Safe for concurrent use.
+func (e *Engine) ReadBits(n int) ([]byte, error) { return e.eng.ReadBits(n) }
+
+// Uint64 returns a 64-bit random value. Safe for concurrent use.
+func (e *Engine) Uint64() (uint64, error) { return e.eng.Uint64() }
+
+// Shards returns the number of harvesting shards.
+func (e *Engine) Shards() int { return e.eng.Shards() }
+
+// Stats returns the per-shard and aggregate throughput/latency accounting in
+// simulated DRAM time.
+func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
+// Close stops the harvesting goroutines and waits for them to exit.
+func (e *Engine) Close() error { return e.eng.Close() }
+
+var (
+	_ io.Reader = (*Engine)(nil)
+	_ io.Closer = (*Engine)(nil)
+)

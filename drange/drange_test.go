@@ -1,9 +1,11 @@
 package drange
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"repro/internal/baselines"
 	"repro/internal/dram"
 	"repro/internal/entropy"
 )
@@ -141,6 +143,48 @@ func TestGeneratorNISTSmokeTest(t *testing.T) {
 	}
 	if !runs.Pass {
 		t.Errorf("runs failed on D-RaNGe output (p=%v)", runs.PValue)
+	}
+}
+
+func TestGeneratorEngine(t *testing.T) {
+	g := newGenerator(t)
+	eng, err := g.Engine(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Shards() == 0 {
+		t.Fatal("engine has no shards")
+	}
+
+	buf := make([]byte, 256)
+	if n, err := eng.Read(buf); n != len(buf) || err != nil {
+		t.Fatalf("Read = (%d, %v)", n, err)
+	}
+	bits := entropy.BytesToBits(buf)
+	bias, err := entropy.Bias(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bias-0.5) > 0.06 {
+		t.Errorf("engine output bias %v, want ~0.5", bias)
+	}
+
+	st := eng.Stats()
+	if st.BitsDelivered != int64(len(buf)*8) {
+		t.Errorf("BitsDelivered = %d, want %d", st.BitsDelivered, len(buf)*8)
+	}
+	if st.AggregateThroughputMbps <= 0 || st.Latency64NS <= 0 {
+		t.Errorf("stats = %+v, want positive throughput and latency", st)
+	}
+	if len(st.Shards) != eng.Shards() {
+		t.Errorf("got %d shard stats for %d shards", len(st.Shards), eng.Shards())
+	}
+
+	// The engine's Table 2 row reports the measured aggregate figures.
+	row := baselines.DRangeRowFromEngine(st, 4.4)
+	if row.PeakThroughputMbps != st.AggregateThroughputMbps || row.Latency64NS != st.Latency64NS {
+		t.Errorf("DRangeRowFromEngine = %+v, want engine's measured figures", row)
 	}
 }
 

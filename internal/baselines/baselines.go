@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/power"
 	"repro/internal/timing"
@@ -94,6 +95,12 @@ func (c CommandScheduleTRNG) Harvest(dev *dram.Device, n int) ([]byte, error) {
 	}
 	if dev == nil {
 		return nil, fmt.Errorf("baselines: nil device")
+	}
+	// One harvest observes at most one access per DRAM cell's worth of
+	// schedule slots; bound the request before allocating caller-controlled
+	// amounts of memory.
+	if capacity := dev.Geometry().CellsPerDevice(); n > capacity {
+		return nil, fmt.Errorf("baselines: %d bits exceed the device's %d schedule slots per harvest", n, capacity)
 	}
 	// Access latencies alternate deterministically with refresh position;
 	// harvest the LSB of a synthetic latency counter.
@@ -250,6 +257,13 @@ func (s StartupTRNG) Harvest(dev *dram.Device, n int) ([]byte, error) {
 		return nil, fmt.Errorf("baselines: bit count must be positive, got %d", n)
 	}
 	g := dev.Geometry()
+	// The harvest reads bank 0 only, so the device can supply at most one
+	// bank's worth of startup bits. Validate before allocating: n is
+	// caller-controlled and an unconditional prealloc of n bytes lets a
+	// single oversized request (e.g. 1<<40) kill the process.
+	if n > g.CellsPerBank() {
+		return nil, fmt.Errorf("baselines: device too small for %d startup bits (bank holds %d)", n, g.CellsPerBank())
+	}
 	bits := make([]byte, 0, n)
 	for row := 0; row < g.RowsPerBank && len(bits) < n; row++ {
 		data, err := dev.StartupRow(0, row)
@@ -283,6 +297,15 @@ func DRangeRow(latency64NS, energyPerBitNJ, peakThroughputMbps float64) Metrics 
 		EnergyPerBitNJ:     energyPerBitNJ,
 		PeakThroughputMbps: peakThroughputMbps,
 	}
+}
+
+// DRangeRowFromEngine builds the D-RaNGe row of Table 2 from a sharded
+// harvesting engine's measured aggregate accounting: the summed per-shard
+// throughput models the multi-bank/multi-channel scaling the paper reports,
+// and the aggregate 64-bit latency is 64 bits at that rate. The energy per
+// bit still comes from the command-trace energy model (core.EnergyEstimate).
+func DRangeRowFromEngine(st core.EngineStats, energyPerBitNJ float64) Metrics {
+	return DRangeRow(st.Latency64NS, energyPerBitNJ, st.AggregateThroughputMbps)
 }
 
 // Table2 assembles the full comparison table given D-RaNGe's measured

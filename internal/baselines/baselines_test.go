@@ -70,6 +70,9 @@ func TestCommandScheduleHarvestDeterministic(t *testing.T) {
 	if _, err := c.Harvest(dev, 0); err == nil {
 		t.Error("zero bits accepted")
 	}
+	if _, err := c.Harvest(dev, 1<<40); err == nil {
+		t.Error("request beyond device capacity accepted (would preallocate 1 TiB)")
+	}
 }
 
 func TestRetentionMetricsOrdersOfMagnitude(t *testing.T) {

@@ -1,0 +1,98 @@
+package core
+
+// bitBuffer is a FIFO of bits packed 64 per uint64 word. It replaces the
+// byte-per-bit queue the original TRNG used: an 8× smaller footprint for the
+// same number of buffered bits, and a representation the Engine's packed-word
+// ring can drain without re-encoding. The zero value is an empty buffer.
+type bitBuffer struct {
+	words []uint64
+	// head and tail are absolute bit offsets into words: head is the first
+	// unconsumed bit, tail is one past the last appended bit.
+	head int
+	tail int
+}
+
+// Len returns the number of buffered (unconsumed) bits.
+func (b *bitBuffer) Len() int { return b.tail - b.head }
+
+// Append adds one bit (0 or 1) at the tail.
+func (b *bitBuffer) Append(bit byte) {
+	if b.tail == len(b.words)*64 {
+		b.words = append(b.words, 0)
+	}
+	if bit != 0 {
+		b.words[b.tail>>6] |= 1 << uint(b.tail&63)
+	} else {
+		b.words[b.tail>>6] &^= 1 << uint(b.tail&63)
+	}
+	b.tail++
+}
+
+// popBit removes and returns the bit at the head. It panics on an empty
+// buffer; callers check Len first.
+func (b *bitBuffer) popBit() byte {
+	bit := byte((b.words[b.head>>6] >> uint(b.head&63)) & 1)
+	b.head++
+	b.compact()
+	return bit
+}
+
+// PopBits removes the first n bits and returns them one per byte (values 0
+// or 1). It panics if fewer than n bits are buffered.
+func (b *bitBuffer) PopBits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b.popBit()
+	}
+	return out
+}
+
+// PopWord removes up to 64 bits and returns them packed LSB-first together
+// with the number of valid bits. An empty buffer returns (0, 0).
+func (b *bitBuffer) PopWord() (word uint64, n int) {
+	n = b.Len()
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		word |= uint64(b.popBit()) << uint(i)
+	}
+	return word, n
+}
+
+// packBitsMSBFirst packs bits (one value-0/1 byte each) into p, eight bits
+// per output byte, most significant bit first. len(bits) must be 8*len(p).
+// TRNG and Engine share it so their byte encodings cannot diverge.
+func packBitsMSBFirst(bits []byte, p []byte) {
+	for i := range p {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b = b<<1 | (bits[i*8+j] & 1)
+		}
+		p[i] = b
+	}
+}
+
+// beUint64 assembles a big-endian 64-bit value from buf.
+func beUint64(buf [8]byte) uint64 {
+	var v uint64
+	for _, b := range buf {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+// compact reclaims fully-consumed leading words and resets an empty buffer so
+// long-lived buffers do not grow without bound.
+func (b *bitBuffer) compact() {
+	if b.head == b.tail {
+		b.words = b.words[:0]
+		b.head, b.tail = 0, 0
+		return
+	}
+	if w := b.head >> 6; w > 0 {
+		b.words = append(b.words[:0], b.words[w:]...)
+		b.head -= w << 6
+		b.tail -= w << 6
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "testing"
+
+func TestBitBufferRoundTrip(t *testing.T) {
+	var b bitBuffer
+	var want []byte
+	for i := 0; i < 300; i++ {
+		bit := byte((i * 7 / 3) & 1)
+		b.Append(bit)
+		want = append(want, bit)
+	}
+	if b.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", b.Len())
+	}
+	got := b.PopBits(300)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bit %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", b.Len())
+	}
+}
+
+func TestBitBufferPopWordPacksLSBFirst(t *testing.T) {
+	var b bitBuffer
+	// 64 bits: alternating 1,0,1,0,... => 0x5555... pattern.
+	for i := 0; i < 64; i++ {
+		b.Append(byte((i + 1) & 1))
+	}
+	word, n := b.PopWord()
+	if n != 64 {
+		t.Fatalf("PopWord n = %d, want 64", n)
+	}
+	if word != 0x5555555555555555 {
+		t.Fatalf("PopWord = %#x, want 0x5555555555555555", word)
+	}
+	// Partial word.
+	b.Append(1)
+	b.Append(1)
+	b.Append(0)
+	word, n = b.PopWord()
+	if n != 3 || word != 0b011 {
+		t.Fatalf("PopWord = (%#b, %d), want (0b11, 3)", word, n)
+	}
+	if word, n := b.PopWord(); n != 0 || word != 0 {
+		t.Fatalf("PopWord on empty buffer = (%d, %d), want (0, 0)", word, n)
+	}
+}
+
+func TestBitBufferInterleavedAppendPop(t *testing.T) {
+	var b bitBuffer
+	next, popped := 0, 0
+	bitAt := func(i int) byte { return byte((i*i + i/5) & 1) }
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 37; i++ {
+			b.Append(bitAt(next))
+			next++
+		}
+		for _, bit := range b.PopBits(29) {
+			if bit != bitAt(popped) {
+				t.Fatalf("bit %d corrupted across interleaved append/pop", popped)
+			}
+			popped++
+		}
+	}
+	if b.Len() != next-popped {
+		t.Fatalf("Len = %d, want %d", b.Len(), next-popped)
+	}
+	// The buffer must not retain consumed words: with ~8 words of live bits
+	// the backing array should stay small.
+	if len(b.words) > 32 {
+		t.Errorf("buffer retains %d words for %d live bits; compaction failed", len(b.words), b.Len())
+	}
+}

@@ -30,16 +30,19 @@ func DefaultTRNGConfig(manufacturer string) TRNGConfig {
 
 // TRNG is the D-RaNGe true random number generator: it continuously samples
 // previously-identified RNG cells by inducing activation failures, and
-// exposes the harvested bits as an io.Reader. It is not safe for concurrent
-// use; wrap it if multiple goroutines need random data.
+// exposes the harvested bits as an io.Reader. It is the single-shard
+// harvesting core: one TRNG drives one controller (one simulated
+// channel/rank) over its subset of banks. Engine composes several of them
+// for the paper's multi-bank/multi-channel parallelism. A TRNG is not safe
+// for concurrent use; Engine provides the thread-safe facade.
 type TRNG struct {
 	ctrl *memctrl.Controller
 	cfg  TRNGConfig
 
 	sels []trngBank
 
-	// bitQueue holds harvested bits (one per byte entry) not yet consumed.
-	bitQueue []byte
+	// bits holds harvested bits, packed 64 per word, not yet consumed.
+	bits bitBuffer
 
 	bitsGenerated int64
 }
@@ -178,7 +181,7 @@ func (t *TRNG) sampleWord(bank int, w *trngWord) error {
 	}
 	for _, col := range w.cols {
 		bit := byte((got[col/64] >> uint(col%64)) & 1)
-		t.bitQueue = append(t.bitQueue, bit)
+		t.bits.Append(bit)
 		t.bitsGenerated++
 	}
 	if _, err := t.ctrl.WriteWord(bank, w.row, w.wordIdx, w.original); err != nil {
@@ -193,7 +196,7 @@ func (t *TRNG) harvest(n int) error {
 		return err
 	}
 	defer t.ctrl.ResetTRCD()
-	for len(t.bitQueue) < n {
+	for t.bits.Len() < n {
 		for i := range t.sels {
 			s := &t.sels[i]
 			if err := t.sampleWord(s.bank, &s.word1); err != nil {
@@ -215,10 +218,7 @@ func (t *TRNG) ReadBits(n int) ([]byte, error) {
 	if err := t.harvest(n); err != nil {
 		return nil, err
 	}
-	out := make([]byte, n)
-	copy(out, t.bitQueue[:n])
-	t.bitQueue = t.bitQueue[n:]
-	return out, nil
+	return t.bits.PopBits(n), nil
 }
 
 // Read fills p with random bytes, implementing io.Reader. It never returns a
@@ -231,13 +231,7 @@ func (t *TRNG) Read(p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	for i := range p {
-		var b byte
-		for j := 0; j < 8; j++ {
-			b = b<<1 | (bits[i*8+j] & 1)
-		}
-		p[i] = b
-	}
+	packBitsMSBFirst(bits, p)
 	return len(p), nil
 }
 
@@ -247,14 +241,14 @@ func (t *TRNG) Uint64() (uint64, error) {
 	if _, err := t.Read(buf[:]); err != nil {
 		return 0, err
 	}
-	var v uint64
-	for _, b := range buf {
-		v = v<<8 | uint64(b)
-	}
-	return v, nil
+	return beUint64(buf), nil
 }
 
 var _ io.Reader = (*TRNG)(nil)
+
+// maxSamplePrealloc bounds the up-front allocation of SampleCell's output
+// buffer (one byte per sample); larger requests grow incrementally.
+const maxSamplePrealloc = 1 << 20
 
 // SampleCell reads a single identified RNG cell n times with the reduced
 // activation latency and returns its value stream (one bit per byte). This
@@ -299,7 +293,13 @@ func SampleCell(ctrl *memctrl.Controller, cell RNGCell, pat pattern.Pattern, trc
 	defer ctrl.ResetTRCD()
 
 	colInWord := addr.Col - wordIdx*g.WordBits
-	out := make([]byte, 0, n)
+	// n is caller-controlled; cap the prealloc and let append grow the slice
+	// so an oversized request cannot allocate unbounded memory up front.
+	prealloc := n
+	if prealloc > maxSamplePrealloc {
+		prealloc = maxSamplePrealloc
+	}
+	out := make([]byte, 0, prealloc)
 	for i := 0; i < n; i++ {
 		got, _, err := ctrl.ReadWord(addr.Bank, addr.Row, wordIdx)
 		if err != nil {

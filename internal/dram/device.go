@@ -49,6 +49,10 @@ type Device struct {
 	geom    Geometry
 	timing  timing.Params
 	noise   NoiseSource
+	// bankNoise caches the BankNoiseSource capability of noise (nil when
+	// unsupported) so the per-word failure-injection path does not repeat
+	// the type assertion.
+	bankNoise BankNoiseSource
 
 	mu           sync.Mutex
 	temperatureC float64
@@ -135,12 +139,14 @@ func NewDevice(cfg Config) (*Device, error) {
 		noise = NewPhysicalNoise()
 	}
 
+	bankNoise, _ := noise.(BankNoiseSource)
 	d := &Device{
 		serial:       cfg.Serial,
 		profile:      prof,
 		geom:         geom,
 		timing:       tp,
 		noise:        noise,
+		bankNoise:    bankNoise,
 		temperatureC: BaselineTemperatureC,
 		banks:        make([]*bankStorage, geom.Banks),
 		weakCols:     make(map[weakKey][][]int),
@@ -517,19 +523,30 @@ func (d *Device) injectFailuresLocked(bank, row, wordIdx int, trcdNS float64, da
 		// noise. Below the metastable window the sense amplifier latches the
 		// wrong value; inside the window it is metastable and resolves from
 		// symmetric noise — a fair coin flip drawn from the noise source.
-		differential := margin + c.NoiseSigmaNS*d.noise.Gaussian()
+		differential := margin + c.NoiseSigmaNS*d.gaussianFor(bank)
 		fail := false
 		switch {
 		case differential < -c.MetastableWindowNS:
 			fail = true
 		case differential <= c.MetastableWindowNS:
-			fail = d.noise.Gaussian() < 0
+			fail = d.gaussianFor(bank) < 0
 		}
 		if fail {
 			flipBit(data, col)
 			d.stats.InjectedFlips++
 		}
 	}
+}
+
+// gaussianFor returns one analog-noise sample attributed to bank. Per-bank
+// noise sources tie each draw to the bank being accessed, so a bank's
+// failure outcomes depend only on its own command order (see
+// BankNoiseSource); other sources draw from their single shared stream.
+func (d *Device) gaussianFor(bank int) float64 {
+	if d.bankNoise != nil {
+		return d.bankNoise.GaussianFor(bank)
+	}
+	return d.noise.Gaussian()
 }
 
 // differingNeighborsLocked counts the neighbouring cells (left, right, above,

@@ -94,7 +94,65 @@ func (d *DeterministicNoise) Gaussian() float64 {
 	return boxMuller(unitFloat(d.next()), unitFloat(d.next()))
 }
 
+// BankNoiseSource is an optional NoiseSource extension providing one
+// independent noise stream per bank. When a Device's noise source implements
+// it, activation-failure injection draws from the stream of the bank being
+// accessed, so the bit sequence harvested from a bank depends only on that
+// bank's own command order. This models per-bank sense amplifiers having
+// independent analog noise, and it is what makes concurrent multi-bank
+// harvesting reproducible: goroutines driving disjoint banks cannot perturb
+// each other's noise draws no matter how the scheduler interleaves them.
+type BankNoiseSource interface {
+	NoiseSource
+	// GaussianFor returns one standard-normal sample from the stream
+	// dedicated to bank.
+	GaussianFor(bank int) float64
+}
+
+// DeterministicBankNoise is a seeded NoiseSource with an independent
+// reproducible SplitMix64 stream per bank. Like DeterministicNoise it is for
+// tests, characterization and benchmarks only — never for generating keys.
+type DeterministicBankNoise struct {
+	mu      sync.Mutex
+	seed    uint64
+	streams map[int]*uint64
+}
+
+// NewDeterministicBankNoise returns a reproducible per-bank noise source
+// seeded with seed.
+func NewDeterministicBankNoise(seed uint64) *DeterministicBankNoise {
+	return &DeterministicBankNoise{seed: seed, streams: make(map[int]*uint64)}
+}
+
+func (d *DeterministicBankNoise) nextFor(bank int) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	state, ok := d.streams[bank]
+	if !ok {
+		// Derive the stream seed from (seed, bank) so streams are
+		// decorrelated; run one splitmix round over the mix for diffusion.
+		s, _ := splitmix64(d.seed ^ (uint64(bank)+1)*0x9e3779b97f4a7c15)
+		state = &s
+		d.streams[bank] = state
+	}
+	var out uint64
+	*state, out = splitmix64(*state)
+	return out
+}
+
+// GaussianFor implements BankNoiseSource.
+func (d *DeterministicBankNoise) GaussianFor(bank int) float64 {
+	return boxMuller(unitFloat(d.nextFor(bank)), unitFloat(d.nextFor(bank)))
+}
+
+// Gaussian implements NoiseSource; draws not attributable to a bank (e.g. the
+// retention baseline's block perturbation) come from a dedicated stream.
+func (d *DeterministicBankNoise) Gaussian() float64 {
+	return d.GaussianFor(-1)
+}
+
 var (
-	_ NoiseSource = (*PhysicalNoise)(nil)
-	_ NoiseSource = (*DeterministicNoise)(nil)
+	_ NoiseSource     = (*PhysicalNoise)(nil)
+	_ NoiseSource     = (*DeterministicNoise)(nil)
+	_ BankNoiseSource = (*DeterministicBankNoise)(nil)
 )

@@ -59,8 +59,42 @@ func TestDeterministicNoiseSeedSensitivity(t *testing.T) {
 	}
 }
 
+func TestDeterministicBankNoiseMoments(t *testing.T) {
+	checkGaussianMoments(t, "DeterministicBankNoise", NewDeterministicBankNoise(7), 5000)
+}
+
+func TestDeterministicBankNoiseStreamsIndependent(t *testing.T) {
+	// Draws on one bank's stream must not advance another bank's stream, no
+	// matter how draws interleave across banks.
+	a := NewDeterministicBankNoise(42)
+	b := NewDeterministicBankNoise(42)
+	var seqA []float64
+	for i := 0; i < 50; i++ {
+		seqA = append(seqA, a.GaussianFor(2))
+	}
+	for i := 0; i < 50; i++ {
+		_ = b.GaussianFor(0)
+		got := b.GaussianFor(2)
+		_ = b.GaussianFor(5)
+		if got != seqA[i] {
+			t.Fatalf("bank-2 stream diverged at sample %d when interleaved with other banks", i)
+		}
+	}
+	// Distinct banks must produce decorrelated streams.
+	c := NewDeterministicBankNoise(42)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.GaussianFor(0) == c.GaussianFor(1) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("banks 0 and 1 produced %d/100 identical samples", same)
+	}
+}
+
 func TestNoiseSourcesConcurrentUse(t *testing.T) {
-	for _, src := range []NoiseSource{NewPhysicalNoise(), NewDeterministicNoise(3)} {
+	for _, src := range []NoiseSource{NewPhysicalNoise(), NewDeterministicNoise(3), NewDeterministicBankNoise(3)} {
 		var wg sync.WaitGroup
 		for g := 0; g < 8; g++ {
 			wg.Add(1)
