@@ -2,19 +2,24 @@
 // one simulated device and prints their data: the spatial distribution of
 // activation failures (Figure 4), data-pattern dependence (Figure 5), the
 // temperature sweep (Figure 6), stability over time (Section 5.4) and the
-// tRCD sweep.
+// tRCD sweep. With -profile-out it instead runs the Section 6.1–6.2 RNG-cell
+// identification through the public API and saves the resulting device
+// profile, which drange-gen -profile-in reopens without re-characterizing.
 //
 // Example:
 //
 //	drange-char -manufacturer A -experiment spatial
 //	drange-char -experiment patterns -iterations 50
+//	drange-char -profile-out device.json -rows 64 -banks 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/drange"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/pattern"
@@ -29,10 +34,17 @@ func main() {
 		iterations    = flag.Int("iterations", 20, "profiling iterations per cell")
 		rows          = flag.Int("rows", 256, "rows of bank 0 to profile")
 		words         = flag.Int("words", 8, "DRAM words per row to profile")
+		banks         = flag.Int("banks", 2, "banks to profile for -profile-out (0 = all)")
 		trcd          = flag.Float64("trcd", 10.0, "reduced activation latency in ns")
 		deterministic = flag.Bool("deterministic", true, "use a seeded noise source for reproducible characterization")
+		profileOut    = flag.String("profile-out", "", "identify RNG cells and write the device profile (JSON) to this file instead of running an experiment")
 	)
 	flag.Parse()
+
+	if *profileOut != "" {
+		writeProfile(*profileOut, *manufacturer, *serial, *deterministic, *rows, *words, *banks, *trcd)
+		return
+	}
 
 	var noise dram.NoiseSource
 	if *deterministic {
@@ -70,6 +82,34 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "drange-char: %v\n", err)
 	os.Exit(1)
+}
+
+// writeProfile runs the one-time-per-device RNG-cell identification through
+// the public API and saves the serializable profile.
+func writeProfile(path, manufacturer string, serial uint64, deterministic bool, rows, words, banks int, trcd float64) {
+	profile, err := drange.Characterize(context.Background(),
+		drange.WithManufacturer(manufacturer),
+		drange.WithSerial(serial),
+		drange.WithDeterministic(deterministic),
+		drange.WithTRCD(trcd),
+		drange.WithProfilingRegion(rows, words, banks),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		fatal(err)
+	}
+	if err := profile.Save(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# identified %d RNG cells across %d banks; profile written to %s\n",
+		len(profile.Cells), profile.Banks(), path)
+	fmt.Printf("# reopen without re-characterizing: drange-gen -profile-in %s\n", path)
 }
 
 func runSpatial(ctrl *memctrl.Controller, cfg profiler.Config, rows int) {

@@ -3,6 +3,11 @@
 // series the paper reports. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for paper-versus-measured numbers.
 //
+// The generator-level results go through the public profile-centric API
+// (drange.Characterize once, drange.Open per configuration); the Section 5
+// characterization experiments drive a raw simulated device through the
+// internal profiler, as the paper's methodology does.
+//
 // Examples:
 //
 //	drange-figures -fig 8          # TRNG throughput vs number of banks
@@ -20,6 +25,7 @@ import (
 	"repro/drange"
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/nist"
 	"repro/internal/pattern"
@@ -30,7 +36,13 @@ import (
 )
 
 type harness struct {
-	gen *drange.Generator
+	manufacturer string
+	profile      *drange.Profile
+	gen          *drange.Generator
+	// expDev is a raw simulated device of the same identity used by the
+	// Section 5 characterization experiments, which operate below the
+	// public API.
+	expDev *dram.Device
 }
 
 func main() {
@@ -49,17 +61,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	gen, err := drange.New(drange.Config{
-		Manufacturer:  *manufacturer,
-		Serial:        *serial,
-		Deterministic: true,
+	ctx := context.Background()
+	profile, err := drange.Characterize(ctx,
+		drange.WithManufacturer(*manufacturer),
+		drange.WithSerial(*serial),
+		drange.WithDeterministic(true),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := drange.Open(ctx, profile)
+	if err != nil {
+		fatal(err)
+	}
+	defer src.Close()
+	// The experiment device shares the profiled device's process variation
+	// (same serial and manufacturer, so identical weak cells) but draws its
+	// own seeded noise stream: per-cell failure outcomes are statistically
+	// equivalent, not draw-for-draw identical, to the characterization run.
+	expDev, err := dram.NewDevice(dram.Config{
+		Serial:       *serial,
+		Manufacturer: dram.Manufacturer(*manufacturer),
+		Noise:        dram.NewDeterministicBankNoise(*serial),
 	})
 	if err != nil {
 		fatal(err)
 	}
-	h := &harness{gen: gen}
+	h := &harness{
+		manufacturer: *manufacturer,
+		profile:      profile,
+		gen:          src.(*drange.Generator),
+		expDev:       expDev,
+	}
 	fmt.Printf("# device: manufacturer %s, serial %d, %d RNG cells identified across %d banks\n\n",
-		*manufacturer, *serial, len(gen.Cells()), gen.Banks())
+		*manufacturer, *serial, len(profile.Cells), profile.Banks())
 
 	run := func(name string, f func() error) {
 		fmt.Printf("== %s ==\n", name)
@@ -116,12 +151,12 @@ func fatal(err error) {
 }
 
 func (h *harness) charConfig(iterations int) profiler.Config {
-	return profiler.Config{TRCDNS: 10.0, Iterations: iterations, Pattern: pattern.BestFor(string(h.gen.Device().Manufacturer()))}
+	return profiler.Config{TRCDNS: 10.0, Iterations: iterations, Pattern: pattern.BestFor(h.manufacturer)}
 }
 
 func (h *harness) figure4() error {
-	ctrl := memctrl.NewController(h.gen.Device())
-	rows := h.gen.Device().Geometry().RowsPerBank
+	ctrl := memctrl.NewController(h.expDev)
+	rows := h.expDev.Geometry().RowsPerBank
 	if rows > 512 {
 		rows = 512
 	}
@@ -142,7 +177,7 @@ func (h *harness) figure4() error {
 }
 
 func (h *harness) figure5() error {
-	ctrl := memctrl.NewController(h.gen.Device())
+	ctrl := memctrl.NewController(h.expDev)
 	region := profiler.Region{Bank: 0, RowStart: 0, RowCount: 128, WordStart: 0, WordCount: 8}
 	cov, err := profiler.DataPatternDependence(ctrl, region, pattern.All(), h.charConfig(10))
 	if err != nil {
@@ -161,7 +196,7 @@ func (h *harness) figure5() error {
 }
 
 func (h *harness) figure6() error {
-	ctrl := memctrl.NewController(h.gen.Device())
+	ctrl := memctrl.NewController(h.expDev)
 	region := profiler.Region{Bank: 0, RowStart: 0, RowCount: 128, WordStart: 0, WordCount: 8}
 	fmt.Println("baseT cells increased decreased median_delta")
 	for _, base := range []float64{55, 60, 65} {
@@ -175,7 +210,7 @@ func (h *harness) figure6() error {
 }
 
 func (h *harness) timeStability() error {
-	ctrl := memctrl.NewController(h.gen.Device())
+	ctrl := memctrl.NewController(h.expDev)
 	region := profiler.Region{Bank: 0, RowStart: 0, RowCount: 64, WordStart: 0, WordCount: 8}
 	res, err := profiler.TimeStability(ctrl, region, h.charConfig(25), 5)
 	if err != nil {
@@ -187,7 +222,7 @@ func (h *harness) timeStability() error {
 }
 
 func (h *harness) trcdSweep() error {
-	ctrl := memctrl.NewController(h.gen.Device())
+	ctrl := memctrl.NewController(h.expDev)
 	region := profiler.Region{Bank: 0, RowStart: 0, RowCount: 64, WordStart: 0, WordCount: 8}
 	points, err := profiler.TRCDSweep(ctrl, region, h.charConfig(10), []float64{6, 8, 10, 12, 13, 14, 16, 18})
 	if err != nil {
@@ -201,7 +236,7 @@ func (h *harness) trcdSweep() error {
 }
 
 func (h *harness) table1(bitsPerStream, nCells int) error {
-	cells := h.gen.Cells()
+	cells := h.profile.Cells
 	if nCells > len(cells) {
 		nCells = len(cells)
 	}
@@ -210,8 +245,14 @@ func (h *harness) table1(bitsPerStream, nCells int) error {
 	}
 	agg := make(map[string][]float64)
 	for i := 0; i < nCells; i++ {
-		ctrl := memctrl.NewController(h.gen.Device())
-		stream, err := core.SampleCell(ctrl, cells[i], pattern.BestFor(string(h.gen.Device().Manufacturer())), 10.0, bitsPerStream)
+		cell := core.RNGCell{
+			Addr:          profiler.CellAddr{Bank: cells[i].Bank, Row: cells[i].Row, Col: cells[i].Col},
+			WordIdx:       cells[i].Word,
+			Fprob:         cells[i].FailProbability,
+			SymbolEntropy: cells[i].SymbolEntropy,
+		}
+		ctrl := memctrl.NewController(h.expDev)
+		stream, err := core.SampleCell(ctrl, cell, pattern.BestFor(h.manufacturer), 10.0, bitsPerStream)
 		if err != nil {
 			return err
 		}
@@ -251,7 +292,7 @@ func (h *harness) table1(bitsPerStream, nCells int) error {
 }
 
 func (h *harness) figure7() error {
-	hists := h.gen.DensityHistograms()
+	hists := h.profile.DensityHistograms()
 	fmt.Println("bank words_with_1 words_with_2 words_with_3 words_with_4+ total_rng_cells max_per_word")
 	for _, hist := range hists {
 		fourPlus := 0
@@ -268,9 +309,8 @@ func (h *harness) figure7() error {
 }
 
 func (h *harness) figure8() error {
-	sels := h.gen.Selections()
 	fmt.Println("banks Mb/s_per_channel Mb/s_4_channels")
-	for banks := 1; banks <= len(sels) && banks <= 8; banks++ {
+	for banks := 1; banks <= h.profile.Banks() && banks <= 8; banks++ {
 		res, err := h.gen.EstimateThroughput(banks, 200)
 		if err != nil {
 			return err
@@ -285,30 +325,31 @@ func (h *harness) figure8() error {
 }
 
 // engineScaling measures the sharded harvesting engine at increasing shard
-// counts: each shard is an independent channel/rank controller over a subset
-// of the selected banks, so the aggregate simulated throughput reproduces
-// the paper's claim that D-RaNGe scales with the banks and channels sampled
-// in parallel. The final row is the Table 2 D-RaNGe entry built from the
-// largest measured configuration.
+// counts by opening the same profile with WithShards: each shard is an
+// independent channel/rank controller over a subset of the selected banks,
+// so the aggregate simulated throughput reproduces the paper's claim that
+// D-RaNGe scales with the banks and channels sampled in parallel. The final
+// row is the Table 2 D-RaNGe entry built from the largest measured
+// configuration.
 func (h *harness) engineScaling() error {
-	sels := h.gen.Selections()
+	ctx := context.Background()
 	fmt.Println("shards banks Mb/s_aggregate latency64_ns")
-	var last drange.EngineStats
+	var last drange.Stats
 	for _, shards := range []int{1, 2, 4} {
-		if shards > len(sels) {
+		if shards > h.profile.Banks() {
 			continue
 		}
-		eng, err := h.gen.Engine(context.Background(), shards)
+		src, err := drange.Open(ctx, h.profile, drange.WithShards(shards))
 		if err != nil {
 			return err
 		}
 		// Pull enough bits through every shard for a stable measurement.
-		if _, err := eng.ReadBits(4096 * eng.Shards()); err != nil {
-			eng.Close()
+		if _, err := src.ReadBits(4096 * shards); err != nil {
+			src.Close()
 			return err
 		}
-		st := eng.Stats()
-		eng.Close()
+		st := src.Stats()
+		src.Close()
 		banks := 0
 		for _, ss := range st.Shards {
 			banks += ss.Banks
@@ -320,7 +361,7 @@ func (h *harness) engineScaling() error {
 	if err != nil {
 		return err
 	}
-	row := baselines.DRangeRowFromEngine(last, energy)
+	row := baselines.DRangeRow(last.Latency64NS, energy, last.AggregateThroughputMbps)
 	fmt.Printf("Table 2 row from measured engine figures: %.0f ns / 64 bits, %.2f nJ/bit, %.1f Mb/s peak\n",
 		row.Latency64NS, row.EnergyPerBitNJ, row.PeakThroughputMbps)
 	return nil
@@ -331,8 +372,7 @@ func (h *harness) latency() error {
 	if err != nil {
 		return err
 	}
-	ctrl := memctrl.NewController(h.gen.Device())
-	slow, err := core.LatencyEstimate(ctrl, h.gen.Selections(), 10.0, 1, 64)
+	slow, err := h.gen.EstimateLatency(1, 64)
 	if err != nil {
 		return err
 	}
@@ -352,7 +392,7 @@ func (h *harness) energy() error {
 }
 
 func (h *harness) interference() error {
-	geom := h.gen.Device().Geometry()
+	geom := h.profile.Geometry
 	standalone, err := h.gen.EstimateThroughput(h.gen.Banks(), 200)
 	if err != nil {
 		return err
@@ -362,13 +402,13 @@ func (h *harness) interference() error {
 	profiles := workload.Profiles()
 	for _, p := range profiles {
 		reqs, err := workload.Generate(p, workload.Config{
-			Banks: geom.Banks, RowsPerBank: geom.RowsPerBank, WordsPerRow: geom.WordsPerRow(),
+			Banks: geom.Banks, RowsPerBank: geom.RowsPerBank, WordsPerRow: geom.ColsPerRow / geom.WordBits,
 			DurationNS: 200000, Seed: 11,
 		})
 		if err != nil {
 			return err
 		}
-		rep, err := sim.ReplayWorkload(memctrl.NewController(h.gen.Device()), reqs)
+		rep, err := sim.ReplayWorkload(memctrl.NewController(h.expDev), reqs)
 		if err != nil {
 			return err
 		}
@@ -407,7 +447,7 @@ func (h *harness) table2() error {
 	if err != nil {
 		return err
 	}
-	rows, err := baselines.Table2(h.gen.Device().Timing(), power.NewLPDDR4Model(), baselines.DRangeRow(latency, energy, peak))
+	rows, err := baselines.Table2(h.expDev.Timing(), power.NewLPDDR4Model(), baselines.DRangeRow(latency, energy, peak))
 	if err != nil {
 		return err
 	}

@@ -1,11 +1,17 @@
 // Command drange-gen generates random bytes from a simulated DRAM device
 // using D-RaNGe and writes them to stdout (hex) or a file (raw).
 //
+// Characterization is a one-time-per-device step: run it once and save the
+// device profile with -profile-out, then start generating in milliseconds on
+// later runs with -profile-in.
+//
 // Example:
 //
 //	drange-gen -bytes 64
 //	drange-gen -bytes 1048576 -out random.bin -manufacturer B
 //	drange-gen -bytes 4096 -parallel 4   # sharded engine, 4 channel controllers
+//	drange-gen -profile-out device.json -bytes 32   # characterize once, save
+//	drange-gen -profile-in device.json -bytes 4096  # reopen without re-profiling
 package main
 
 import (
@@ -25,7 +31,9 @@ func main() {
 		nBytes        = flag.Int("bytes", 32, "number of random bytes to generate")
 		out           = flag.String("out", "", "write raw bytes to this file instead of hex to stdout")
 		deterministic = flag.Bool("deterministic", false, "use a seeded noise source (reproducible output, NOT for keys)")
-		parallel      = flag.Int("parallel", 0, "harvest with a sharded engine using this many parallel controllers, clamped to the bank count (0 = sequential TRNG)")
+		parallel      = flag.Int("parallel", 0, "harvest with a sharded engine using this many parallel controllers, clamped to the bank count (0 = sequential)")
+		profileIn     = flag.String("profile-in", "", "open this saved device profile instead of re-running characterization")
+		profileOut    = flag.String("profile-out", "", "write the device profile (JSON) to this file after characterization")
 	)
 	flag.Parse()
 
@@ -38,45 +46,94 @@ func main() {
 		os.Exit(2)
 	}
 
-	gen, err := drange.New(drange.Config{
-		Manufacturer:  *manufacturer,
-		Serial:        *serial,
-		Deterministic: *deterministic,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "drange-gen: %v\n", err)
-		os.Exit(1)
+	// Track which identity flags were set explicitly, so loading a profile
+	// for a different device still errors loudly on a mismatch while plain
+	// `-profile-in file` works without repeating the identity flags.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	ctx := context.Background()
+	var profile *drange.Profile
+	if *profileIn != "" {
+		data, err := os.ReadFile(*profileIn)
+		if err != nil {
+			fatal(err)
+		}
+		profile, err = drange.DecodeProfile(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "drange-gen: loaded profile %s (manufacturer %s, serial %d, %d RNG cells, %d banks)\n",
+			*profileIn, profile.Manufacturer, profile.Serial, len(profile.Cells), profile.Banks())
+	} else {
+		var err error
+		profile, err = drange.Characterize(ctx,
+			drange.WithManufacturer(*manufacturer),
+			drange.WithSerial(*serial),
+			drange.WithDeterministic(*deterministic),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "drange-gen: identified %d RNG cells across %d banks\n",
+			len(profile.Cells), profile.Banks())
 	}
-	fmt.Fprintf(os.Stderr, "drange-gen: identified %d RNG cells across %d banks\n", len(gen.Cells()), gen.Banks())
+	if *profileOut != "" {
+		f, err := os.OpenFile(*profileOut, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+		if err != nil {
+			fatal(err)
+		}
+		if err := profile.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "drange-gen: wrote profile to %s\n", *profileOut)
+	}
+
+	opts := []drange.Option{drange.WithShards(*parallel)}
+	if *profileIn != "" {
+		// Explicit identity flags cross-check the loaded profile. The
+		// deterministic flag is checked here because Open treats
+		// WithDeterministic as an override, not an identity.
+		if explicit["manufacturer"] {
+			opts = append(opts, drange.WithManufacturer(*manufacturer))
+		}
+		if explicit["serial"] {
+			opts = append(opts, drange.WithSerial(*serial))
+		}
+		if explicit["deterministic"] && *deterministic != profile.Characterization.Deterministic {
+			fatal(fmt.Errorf("profile %s was characterized with deterministic=%v, not %v",
+				*profileIn, profile.Characterization.Deterministic, *deterministic))
+		}
+	}
+	src, err := drange.Open(ctx, profile, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer src.Close()
 
 	buf := make([]byte, *nBytes)
-	if *parallel == 0 {
-		if _, err := gen.Read(buf); err != nil {
-			fmt.Fprintf(os.Stderr, "drange-gen: %v\n", err)
-			os.Exit(1)
-		}
-	} else {
-		eng, err := gen.Engine(context.Background(), *parallel)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "drange-gen: %v\n", err)
-			os.Exit(1)
-		}
-		if _, err := eng.Read(buf); err != nil {
-			fmt.Fprintf(os.Stderr, "drange-gen: %v\n", err)
-			os.Exit(1)
-		}
-		st := eng.Stats()
-		eng.Close()
+	if _, err := src.Read(buf); err != nil {
+		fatal(err)
+	}
+	if *parallel > 0 {
+		st := src.Stats()
 		fmt.Fprintf(os.Stderr, "drange-gen: %d shards, aggregate %.1f Mb/s simulated (64-bit latency %.0f ns)\n",
-			eng.Shards(), st.AggregateThroughputMbps, st.Latency64NS)
+			len(st.Shards), st.AggregateThroughputMbps, st.Latency64NS)
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, buf, 0o600); err != nil {
-			fmt.Fprintf(os.Stderr, "drange-gen: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "drange-gen: wrote %d bytes to %s\n", len(buf), *out)
 		return
 	}
 	fmt.Println(hex.EncodeToString(buf))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "drange-gen: %v\n", err)
+	os.Exit(1)
 }

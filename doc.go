@@ -5,10 +5,15 @@
 //
 // # Module layout
 //
-// The public API lives in the drange package: drange.New profiles a
-// simulated device, identifies RNG cells and returns a Generator
-// (io.Reader); Generator.Engine starts the concurrent sharded harvesting
-// engine. The simulated substrates live under internal/:
+// The public API lives in the drange package and mirrors the paper's
+// two-phase lifecycle: drange.Characterize runs the one-time-per-device
+// RNG-cell identification (Sections 6.1–6.2) and returns a serializable
+// drange.Profile; drange.Open starts a drange.Source against a device
+// matching the profile without re-running identification. WithShards selects
+// the sequential sampler (0) or the concurrent sharded engine (n > 0) behind
+// the same Source interface, and WithPostprocess attaches the Section 2.2
+// corrector chain. No internal type appears in an exported drange
+// signature. The simulated substrates live under internal/:
 //
 //   - internal/dram — the device model: per-cell process variation,
 //     activation-failure injection, data-pattern and temperature coupling,
@@ -23,6 +28,19 @@
 //     the evaluation: loop timing, DRAMPower-style energy, the NIST
 //     SP 800-22 suite, and the prior-work TRNG baselines of Table 2.
 //
+// # Profiles: characterize once, open many
+//
+// Characterization is expensive (it deep-profiles every candidate cell) and
+// per-device (RNG-cell locations are process variation), but it is also
+// stable over time — the paper observes no significant change over 15 days.
+// drange.Profile therefore captures its entire result: device identity,
+// geometry, identified cells, per-bank word selections, and the
+// identification parameters, as versioned JSON with an integrity checksum.
+// drange.Open validates the profile against the device it is asked to open
+// (erroring loudly on identity or geometry mismatch) and starts generating
+// in milliseconds. cmd/drange-char -profile-out and cmd/drange-gen
+// -profile-in demonstrate the workflow end to end.
+//
 // # TRNG versus Engine
 //
 // core.TRNG is the sequential single-shard core: one memory controller
@@ -31,12 +49,12 @@
 // controllers — one simulated channel/rank per shard — and runs one
 // harvesting goroutine per shard into bounded per-shard rings of packed
 // words, drained round-robin by a thread-safe io.Reader facade. The
-// per-shard throughput/latency accounting (Engine.Stats) reproduces the
+// per-shard throughput/latency accounting (Source.Stats) reproduces the
 // paper's claim that D-RaNGe throughput scales with the number of banks and
 // channels sampled in parallel (Figure 8, Table 2).
 //
 // The benchmark harness in bench_test.go regenerates every table and figure
 // of the paper's evaluation; see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for paper-versus-measured numbers, and README.md for the
-// module guide.
+// module guide and the migration table from the deprecated drange.New API.
 package repro

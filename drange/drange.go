@@ -1,24 +1,38 @@
-// Package drange is the public facade of the D-RaNGe reproduction: it wires
-// the simulated DRAM substrate, the memory controller, the characterization
-// pipeline and the Algorithm 2 sampler into a single high-level API.
+// Package drange is the public facade of the D-RaNGe reproduction (Kim et
+// al., HPCA 2019). Its API mirrors the paper's two-phase lifecycle:
 //
-// Typical use:
+//   - Characterize runs the one-time-per-device identification of RNG cells
+//     (Sections 6.1–6.2) and returns a serializable Profile;
+//   - Open starts a random number Source against a device matching a
+//     profile, skipping identification entirely.
 //
-//	gen, err := drange.New(drange.Config{Manufacturer: "A"})
+// Typical use — characterize once, open many times:
+//
+//	profile, err := drange.Characterize(ctx, drange.WithManufacturer("A"))
 //	if err != nil { ... }
-//	buf := make([]byte, 32)
-//	if _, err := gen.Read(buf); err != nil { ... } // 32 random bytes
+//	// persist: data, _ := profile.Encode(); os.WriteFile("device.json", data, 0o600)
 //
-// New profiles the simulated device, identifies RNG cells (Section 6.1 of
-// the paper), selects the best two DRAM words per bank (Section 6.2), and
-// returns a Generator whose Read method streams true random bytes produced
-// by deliberately violating the DRAM activation latency.
+//	src, err := drange.Open(ctx, profile)            // sequential sampler
+//	src, err = drange.Open(ctx, profile, drange.WithShards(4)) // sharded engine
+//	if err != nil { ... }
+//	defer src.Close()
+//	buf := make([]byte, 32)
+//	if _, err := src.Read(buf); err != nil { ... }   // 32 true random bytes
+//
+// Both forms return the same Source interface (io.ReadCloser + ReadBits +
+// Uint64 + Stats); WithShards only changes throughput and thread scheduling.
+// Configuration uses functional options (WithManufacturer, WithSerial,
+// WithDeterministic, WithGeometry, WithTRCD, WithProfilingRegion,
+// WithPaperIdentification, WithShards, WithPostprocess, ...), which
+// distinguish unset parameters from explicit zeros. The deprecated New and
+// Config remain as thin shims over the new API.
 package drange
 
 import (
 	"context"
 	"fmt"
-	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -27,297 +41,577 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/power"
 	"repro/internal/profiler"
-	"repro/internal/sim"
 	"repro/internal/timing"
 )
 
-// Config describes how to open a simulated device and prepare it for random
-// number generation. The zero value is usable: it opens a manufacturer-A
-// LPDDR4 device with OS-entropy-backed noise and profiles a modest region of
-// every bank.
-type Config struct {
-	// Manufacturer selects the device profile: "A", "B" or "C".
-	Manufacturer string
-	// Serial selects the simulated device instance (process variation).
-	Serial uint64
-	// Deterministic replaces the OS-entropy noise source with a seeded one,
-	// making the generator reproducible. Never use this for real keys.
-	Deterministic bool
-	// Geometry optionally overrides the simulated device geometry.
-	Geometry dram.Geometry
+// deterministicNoiseSalt decorrelates the seeded noise stream from the
+// device serial (which also seeds the process variation).
+const deterministicNoiseSalt = 0xD0A11CE5
 
-	// ReducedTRCDNS is the activation latency used for profiling and
-	// generation; 0 selects the paper's 10 ns.
-	ReducedTRCDNS float64
-
-	// ProfileRowsPerBank and ProfileWordsPerRow bound the region profiled in
-	// each bank during RNG-cell identification; 0 selects 128 rows and 8
-	// words. Larger regions find more RNG cells (higher throughput) at the
-	// cost of a longer identification phase.
-	ProfileRowsPerBank int
-	ProfileWordsPerRow int
-	// ProfileBanks is the number of banks to profile; 0 profiles all banks.
-	ProfileBanks int
-
-	// Identification parameters; zero values select practical defaults
-	// (600 samples, ±35% symbol tolerance, ±2% bias bound).
-	// PaperIdentification selects the paper's exact criterion (1000
-	// samples, ±10%), which is slower and much more selective.
-	Samples             int
-	Tolerance           float64
-	MaxBiasDelta        float64
-	ScreenIterations    int
-	PaperIdentification bool
-}
-
-func (c Config) withDefaults() Config {
-	if c.Manufacturer == "" {
-		c.Manufacturer = "A"
-	}
-	if c.ReducedTRCDNS == 0 {
-		c.ReducedTRCDNS = 10.0
-	}
-	if c.ProfileRowsPerBank == 0 {
-		c.ProfileRowsPerBank = 128
-	}
-	if c.ProfileWordsPerRow == 0 {
-		c.ProfileWordsPerRow = 8
-	}
-	if c.Samples == 0 {
-		c.Samples = 600
-	}
-	if c.Tolerance == 0 {
-		c.Tolerance = 0.35
-	}
-	if c.MaxBiasDelta == 0 {
-		c.MaxBiasDelta = 0.02
-	}
-	if c.ScreenIterations == 0 {
-		c.ScreenIterations = 50
-	}
-	if c.PaperIdentification {
-		c.Samples = 1000
-		c.Tolerance = 0.10
-		c.ScreenIterations = 100
-	}
-	return c
-}
-
-// Generator is a ready-to-use D-RaNGe true random number generator over one
-// simulated DRAM channel. It implements io.Reader. It is not safe for
-// concurrent use; for a thread-safe, multi-bank-parallel generator call
-// Engine.
-type Generator struct {
-	cfg        Config
-	device     *dram.Device
-	controller *memctrl.Controller
-	pattern    pattern.Pattern
-	cells      []core.RNGCell
-	selections []core.BankSelection
-	trng       *core.TRNG
-}
-
-// New opens a simulated device, identifies its RNG cells and prepares the
-// Algorithm 2 sampler.
-func New(cfg Config) (*Generator, error) {
-	cfg = cfg.withDefaults()
-	m := dram.Manufacturer(cfg.Manufacturer)
+// newDevice opens a simulated device for the given identity. Deterministic
+// devices use per-bank seeded noise streams, so multi-shard harvests stay
+// reproducible.
+func newDevice(manufacturer string, serial uint64, deterministic bool, geom Geometry) (*dram.Device, error) {
+	m := dram.Manufacturer(manufacturer)
 	if _, err := dram.ProfileFor(m); err != nil {
 		return nil, fmt.Errorf("drange: %w", err)
 	}
 	var noise dram.NoiseSource
-	if cfg.Deterministic {
-		// Per-bank streams keep deterministic output reproducible even when
-		// a sharded Engine harvests several banks concurrently.
-		noise = dram.NewDeterministicBankNoise(cfg.Serial ^ 0xD0A11CE5)
+	if deterministic {
+		noise = dram.NewDeterministicBankNoise(serial ^ deterministicNoiseSalt)
 	}
 	dev, err := dram.NewDevice(dram.Config{
-		Serial:       cfg.Serial,
+		Serial:       serial,
 		Manufacturer: m,
-		Geometry:     cfg.Geometry,
+		Geometry:     geom.internal(),
 		Timing:       timing.NewLPDDR4(),
 		Noise:        noise,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("drange: %w", err)
 	}
-	ctrl := memctrl.NewController(dev, memctrl.WithTrace())
-	g := &Generator{cfg: cfg, device: dev, controller: ctrl}
+	return dev, nil
+}
 
-	idCfg := core.DefaultIdentifyConfig(cfg.Manufacturer)
-	g.pattern = idCfg.Pattern
-	idCfg.TRCDNS = cfg.ReducedTRCDNS
-	idCfg.Samples = cfg.Samples
-	idCfg.Tolerance = cfg.Tolerance
-	idCfg.MaxBiasDelta = cfg.MaxBiasDelta
-	idCfg.ScreenIterations = cfg.ScreenIterations
+// characterize runs RNG-cell identification and word selection over the
+// controller's device and builds the sealed profile.
+func characterize(ctx context.Context, ctrl *memctrl.Controller, p charParams) (*Profile, []core.BankSelection, error) {
+	idCfg := core.DefaultIdentifyConfig(p.Manufacturer)
+	idCfg.TRCDNS = p.TRCDNS
+	idCfg.Samples = p.Samples
+	idCfg.Tolerance = p.Tolerance
+	idCfg.MaxBiasDelta = p.MaxBiasDelta
+	idCfg.ScreenIterations = p.ScreenIterations
 
-	geom := dev.Geometry()
-	banks := cfg.ProfileBanks
+	geom := ctrl.Device().Geometry()
+	banks := p.Banks
 	if banks <= 0 || banks > geom.Banks {
 		banks = geom.Banks
 	}
-	rows := cfg.ProfileRowsPerBank
+	rows := p.RowsPerBank
 	if rows > geom.RowsPerBank {
 		rows = geom.RowsPerBank
 	}
-	words := cfg.ProfileWordsPerRow
+	words := p.WordsPerRow
 	if words > geom.WordsPerRow() {
 		words = geom.WordsPerRow()
 	}
+	var cells []core.RNGCell
 	for bank := 0; bank < banks; bank++ {
-		region := profiler.Region{Bank: bank, RowStart: 0, RowCount: rows, WordStart: 0, WordCount: words}
-		cells, err := core.IdentifyRNGCells(ctrl, region, idCfg)
-		if err != nil {
-			return nil, fmt.Errorf("drange: identifying RNG cells in bank %d: %w", bank, err)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("drange: characterization cancelled: %w", err)
 		}
-		g.cells = append(g.cells, cells...)
+		region := profiler.Region{Bank: bank, RowStart: 0, RowCount: rows, WordStart: 0, WordCount: words}
+		found, err := core.IdentifyRNGCells(ctrl, region, idCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("drange: identifying RNG cells in bank %d: %w", bank, err)
+		}
+		cells = append(cells, found...)
 	}
-	if len(g.cells) == 0 {
-		return nil, fmt.Errorf("drange: no RNG cells found; enlarge the profiling region or loosen the tolerance")
+	if len(cells) == 0 {
+		return nil, nil, fmt.Errorf("drange: no RNG cells found; enlarge the profiling region or loosen the tolerance")
 	}
-	sels, err := core.SelectBankWords(g.cells)
+	sels, err := core.SelectBankWords(cells)
 	if err != nil {
-		return nil, fmt.Errorf("drange: %w", err)
+		return nil, nil, fmt.Errorf("drange: %w", err)
 	}
-	g.selections = sels
-	trng, err := core.NewTRNG(ctrl, sels, core.TRNGConfig{
-		TRCDNS:  cfg.ReducedTRCDNS,
-		Pattern: idCfg.Pattern,
-	})
+
+	profile := &Profile{
+		Version:      ProfileVersion,
+		Manufacturer: p.Manufacturer,
+		Serial:       p.Serial,
+		Geometry:     geometryFromInternal(geom),
+		Characterization: CharacterizationParams{
+			TRCDNS:           p.TRCDNS,
+			Samples:          p.Samples,
+			Tolerance:        p.Tolerance,
+			MaxBiasDelta:     p.MaxBiasDelta,
+			ScreenIterations: p.ScreenIterations,
+			Pattern:          idCfg.Pattern.String(),
+			RowsPerBank:      rows,
+			WordsPerRow:      words,
+			Banks:            banks,
+			Deterministic:    p.Deterministic,
+		},
+	}
+	for _, c := range cells {
+		profile.Cells = append(profile.Cells, cellFromCore(c))
+	}
+	for _, s := range sels {
+		profile.Selections = append(profile.Selections, selectionFromCore(s))
+	}
+	if err := profile.Seal(); err != nil {
+		return nil, nil, err
+	}
+	return profile, sels, nil
+}
+
+// Characterize opens a simulated device and runs the paper's
+// one-time-per-device characterization: it identifies the device's RNG cells
+// (Section 6.1) and selects the best two DRAM words per bank (Section 6.2),
+// returning a serializable Profile. Persist the profile (Profile.Encode /
+// Profile.Save) and hand it to Open — possibly in another process, much
+// later — to start generating without repeating this work.
+//
+// ctx cancellation is observed between banks. Generation options
+// (WithShards, WithPostprocess) are rejected here; they belong to Open.
+func Characterize(ctx context.Context, opts ...Option) (*Profile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := buildOptions(opts)
+	if o.shards != nil || len(o.post) > 0 {
+		return nil, fmt.Errorf("drange: generation options (WithShards, WithPostprocess) apply to Open, not Characterize")
+	}
+	p := o.charParams()
+	dev, err := newDevice(p.Manufacturer, p.Serial, p.Deterministic, p.Geometry)
 	if err != nil {
-		return nil, fmt.Errorf("drange: %w", err)
+		return nil, err
 	}
-	g.trng = trng
+	ctrl := memctrl.NewController(dev)
+	profile, _, err := characterize(ctx, ctrl, p)
+	return profile, err
+}
+
+// Open starts a random number Source against a device matching the profile.
+// It never re-runs identification: the profile's cells and selections are
+// loaded directly, so Open completes in milliseconds regardless of device
+// size. Opening a profile against a different device identity
+// (WithManufacturer, WithSerial or WithGeometry disagreeing with the
+// profile) errors loudly — RNG-cell locations are per-device process
+// variation, and sampling the wrong device's cells would not be random.
+//
+// WithShards(0), the default, opens the sequential single-controller
+// sampler; WithShards(n) for n > 0 starts the concurrent sharded engine, and
+// ctx cancellation stops its harvesting goroutines. Both return the same
+// Source interface and, under deterministic noise, the same byte stream per
+// shard layout. The concrete type is *Generator, which additionally exposes
+// the profile and the paper's throughput/latency/energy estimators.
+func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("drange: nil profile")
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	if err := o.rejectCharacterizationOnly(); err != nil {
+		return nil, err
+	}
+	if o.manufacturer != nil && *o.manufacturer != profile.Manufacturer {
+		return nil, fmt.Errorf("drange: device mismatch: profile was characterized on manufacturer %q, not %q", profile.Manufacturer, *o.manufacturer)
+	}
+	if o.serial != nil && *o.serial != profile.Serial {
+		return nil, fmt.Errorf("drange: device mismatch: profile was characterized on serial %d, not %d", profile.Serial, *o.serial)
+	}
+	if o.geometry != nil && *o.geometry != profile.Geometry {
+		return nil, fmt.Errorf("drange: device mismatch: profile geometry %+v differs from requested %+v", profile.Geometry, *o.geometry)
+	}
+
+	deterministic := profile.Characterization.Deterministic
+	if o.deterministic != nil {
+		deterministic = *o.deterministic
+	}
+	trcd := profile.Characterization.TRCDNS
+	if o.trcdNS != nil {
+		trcd = *o.trcdNS
+	}
+	pat, err := parsePattern(profile.Characterization.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	sels, err := coreSelections(profile.Cells, profile.Selections)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := newDevice(profile.Manufacturer, profile.Serial, deterministic, profile.Geometry)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Generator{
+		profile: profile,
+		dev:     dev,
+		pat:     pat,
+		trcdNS:  trcd,
+		sels:    sels,
+	}
+	if len(o.post) > 0 {
+		chain, err := newPostChain(o.post)
+		if err != nil {
+			return nil, err
+		}
+		g.post = chain
+	}
+	shards := 0
+	if o.shards != nil {
+		shards = *o.shards
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("drange: negative shard count %d", shards)
+	}
+	if shards == 0 {
+		ctrl := memctrl.NewController(dev)
+		trng, err := core.NewTRNG(ctrl, sels, core.TRNGConfig{TRCDNS: trcd, Pattern: pat})
+		if err != nil {
+			return nil, fmt.Errorf("drange: %w", err)
+		}
+		g.ctrl, g.trng = ctrl, trng
+	} else {
+		eng, err := core.NewEngine(ctx, dev, sels, core.EngineConfig{
+			Shards: shards,
+			TRNG:   core.TRNGConfig{TRCDNS: trcd, Pattern: pat},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("drange: %w", err)
+		}
+		g.eng = eng
+	}
 	return g, nil
 }
 
-// Read fills p with true random bytes (io.Reader).
-func (g *Generator) Read(p []byte) (int, error) { return g.trng.Read(p) }
+// Generator is the concrete Source returned by Open (and by the deprecated
+// New). Beyond the Source interface it exposes the profile it runs under and
+// the evaluation estimators of Section 7.3. It is safe for concurrent use.
+type Generator struct {
+	mu sync.Mutex
 
-// ReadBits returns n random bits, one per byte.
-func (g *Generator) ReadBits(n int) ([]byte, error) { return g.trng.ReadBits(n) }
+	profile *Profile
+	dev     *dram.Device
+	pat     pattern.Pattern
+	trcdNS  float64
+	sels    []core.BankSelection
 
-// Uint64 returns a 64-bit random value.
-func (g *Generator) Uint64() (uint64, error) { return g.trng.Uint64() }
+	// Exactly one of trng (sequential) and eng (sharded) is non-nil.
+	ctrl *memctrl.Controller
+	trng *core.TRNG
+	eng  *core.Engine
+
+	// legacy is the Engine attached through the deprecated Engine method;
+	// while set, estimates refuse to run (their fresh controllers would
+	// desynchronise the running shards' bank state).
+	legacy *Engine
+
+	post *postChain
+	// rawDelivered counts bits drawn from the sampler; delivered counts
+	// bits returned to callers. They differ only when a post-processing
+	// chain discards bits in between. Atomic: the sharded no-postprocess
+	// read path updates them without holding mu.
+	rawDelivered atomic.Int64
+	delivered    atomic.Int64
+	// baseCycles is the controller's simulated clock when generation became
+	// possible, so Stats excludes time another phase (the legacy New's
+	// characterization pass, which shares the controller) already spent.
+	baseCycles int64
+	closed     bool
+}
+
+// Profile returns the device profile this generator runs under.
+func (g *Generator) Profile() *Profile { return g.profile }
+
+// Banks returns the number of banks sampled for generation.
+func (g *Generator) Banks() int { return len(g.sels) }
+
+// Shards returns the number of parallel harvesting shards (0 for the
+// sequential sampler).
+func (g *Generator) Shards() int {
+	if g.eng != nil {
+		return g.eng.Shards()
+	}
+	return 0
+}
 
 // Cells returns the identified RNG cells.
-func (g *Generator) Cells() []core.RNGCell { return g.cells }
+func (g *Generator) Cells() []Cell { return g.profile.Cells }
 
 // Selections returns the per-bank DRAM-word selections used for generation.
-func (g *Generator) Selections() []core.BankSelection { return g.selections }
-
-// Banks returns the number of banks sampled in parallel.
-func (g *Generator) Banks() int { return g.trng.Banks() }
-
-// Device returns the underlying simulated DRAM device.
-func (g *Generator) Device() *dram.Device { return g.device }
-
-// Controller returns the underlying memory controller.
-func (g *Generator) Controller() *memctrl.Controller { return g.controller }
+func (g *Generator) Selections() []Selection { return g.profile.Selections }
 
 // DensityHistograms returns the Figure 7 data for this device: the number of
 // DRAM words containing x RNG cells, per bank.
-func (g *Generator) DensityHistograms() []core.DensityHistogram {
-	return core.RNGCellDensity(g.cells)
+func (g *Generator) DensityHistograms() []Density { return g.profile.DensityHistograms() }
+
+// rawBits reads n bits from the underlying sampler. Callers hold g.mu.
+func (g *Generator) rawBits(n int) ([]byte, error) {
+	var bits []byte
+	var err error
+	if g.eng != nil {
+		bits, err = g.eng.ReadBits(n)
+	} else {
+		bits, err = g.trng.ReadBits(n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g.rawDelivered.Add(int64(len(bits)))
+	return bits, nil
+}
+
+// ReadBits returns n random bits, one bit per returned byte (values 0 or 1),
+// after any configured post-processing chain.
+func (g *Generator) ReadBits(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("drange: bit count must be positive, got %d", n)
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("drange: source is closed")
+	}
+	if g.eng != nil && g.post == nil {
+		// Sharded without post-processing: delegate to the thread-safe
+		// engine without holding the mutex, so concurrent consumers drain
+		// the shard rings in parallel (a Close during the read surfaces as
+		// the engine's sticky error).
+		g.mu.Unlock()
+		bits, err := g.eng.ReadBits(n)
+		if err != nil {
+			return nil, err
+		}
+		g.rawDelivered.Add(int64(len(bits)))
+		g.delivered.Add(int64(len(bits)))
+		return bits, nil
+	}
+	defer g.mu.Unlock()
+	var bits []byte
+	var err error
+	if g.post != nil {
+		bits, err = g.post.readBits(n, g.rawBits)
+	} else {
+		bits, err = g.rawBits(n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g.delivered.Add(int64(len(bits)))
+	return bits, nil
+}
+
+// Read fills p with random bytes, implementing io.Reader. It never returns a
+// short read except on error.
+func (g *Generator) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	bits, err := g.ReadBits(len(p) * 8)
+	if err != nil {
+		return 0, err
+	}
+	core.PackBitsMSBFirst(bits, p)
+	return len(p), nil
+}
+
+// Uint64 returns a 64-bit random value.
+func (g *Generator) Uint64() (uint64, error) {
+	var buf [8]byte
+	if _, err := g.Read(buf[:]); err != nil {
+		return 0, err
+	}
+	return core.BEUint64(buf), nil
+}
+
+// Close releases the generator. For a sharded Source it stops the harvesting
+// goroutines and waits for them to exit; it also stops any engine attached
+// through the deprecated Engine method. Close is idempotent.
+func (g *Generator) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if g.legacy != nil {
+		g.legacy.eng.Close()
+		g.legacy = nil
+	}
+	if g.eng != nil {
+		return g.eng.Close()
+	}
+	return nil
+}
+
+// Stats returns the per-shard and aggregate throughput/latency accounting in
+// simulated DRAM time. A sequential generator reports itself as one shard.
+func (g *Generator) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.eng != nil {
+		st := statsFromEngine(g.eng.Stats())
+		// Per-shard delivery counts bits drained from the shard rings; the
+		// aggregate reports what callers actually received (they differ
+		// only under a post-processing chain).
+		st.BitsDelivered = g.delivered.Load()
+		return st
+	}
+	bits := g.trng.BitsGenerated()
+	cycles := g.ctrl.Now() - g.baseCycles
+	ns := g.ctrl.Params().NS(cycles)
+	ss := ShardStats{
+		Shard:            0,
+		Banks:            g.trng.Banks(),
+		BitsPerIteration: g.trng.BitsPerIteration(),
+		BitsHarvested:    bits,
+		BitsDelivered:    g.rawDelivered.Load(),
+		SimCycles:        cycles,
+		SimNS:            ns,
+	}
+	if ns > 0 && bits > 0 {
+		ss.ThroughputMbps = float64(bits) / ns * 1000.0
+		ss.Latency64NS = ns / float64(bits) * 64.0
+	}
+	return Stats{
+		Shards:                  []ShardStats{ss},
+		BitsHarvested:           bits,
+		BitsDelivered:           g.delivered.Load(),
+		AggregateThroughputMbps: ss.ThroughputMbps,
+		Latency64NS:             ss.Latency64NS,
+	}
+}
+
+// errEngineActive is returned by the estimators while harvesting shards own
+// the device.
+func errEngineActive() error {
+	return fmt.Errorf("drange: estimates unavailable while a harvesting engine is active on this device: the estimator's fresh controller would race the shards' bank state; Close the engine (or open a sequential Source) first")
+}
+
+// estimate runs fn while holding the generator lock, guarding against an
+// active engine and re-synchronising the sequential sampler's bank state
+// afterwards (the estimator's fresh controller precharges the device).
+func (g *Generator) estimate(fn func() error) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("drange: source is closed")
+	}
+	if g.eng != nil || g.legacy != nil {
+		return errEngineActive()
+	}
+	err := fn()
+	if rerr := g.resyncBanks(); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// resyncBanks restores the "all banks precharged" state both in the device
+// and in the sequential controller's view of it, after another controller
+// has driven the device.
+func (g *Generator) resyncBanks() error {
+	if g.ctrl == nil {
+		return nil
+	}
+	for bank := 0; bank < g.dev.Geometry().Banks; bank++ {
+		// Sync the controller's bank-state machine first (issues a PRE for
+		// rows it believes open), then close whatever the estimator's
+		// controller actually left open in the device.
+		if err := g.ctrl.PrechargeBank(bank); err != nil {
+			return fmt.Errorf("drange: resynchronising bank %d: %w", bank, err)
+		}
+		if err := g.dev.Precharge(bank); err != nil {
+			return fmt.Errorf("drange: resynchronising bank %d: %w", bank, err)
+		}
+	}
+	return nil
 }
 
 // EstimateThroughput measures the single-channel throughput (Mb/s) with the
-// given number of banks on a fresh controller over the same device.
-func (g *Generator) EstimateThroughput(banks, iterations int) (sim.LoopResult, error) {
-	ctrl := memctrl.NewController(g.device)
-	if banks > len(g.selections) {
-		banks = len(g.selections)
-	}
-	return core.ThroughputEstimate(ctrl, g.selections, g.cfg.ReducedTRCDNS, banks, iterations)
+// given number of banks on a fresh controller over the same device — the
+// computation behind Figure 8. banks must be in [1, Banks()]; out-of-range
+// values error rather than silently clamping.
+func (g *Generator) EstimateThroughput(banks, iterations int) (Throughput, error) {
+	var out Throughput
+	err := g.estimate(func() error {
+		if banks <= 0 || banks > len(g.sels) {
+			return fmt.Errorf("drange: %d banks requested but the profile selects %d; pass a value in [1,%d]", banks, len(g.sels), len(g.sels))
+		}
+		ctrl := memctrl.NewController(g.dev)
+		res, err := core.ThroughputEstimate(ctrl, g.sels, g.trcdNS, banks, iterations)
+		if err != nil {
+			return fmt.Errorf("drange: %w", err)
+		}
+		out = Throughput{
+			Banks:            res.Banks,
+			BitsPerIteration: res.BitsPerIteration,
+			NSPerIteration:   res.NSPerIteration,
+			ThroughputMbps:   res.ThroughputMbps,
+		}
+		return nil
+	})
+	return out, err
+}
+
+// EstimateLatency measures the time in nanoseconds to produce bits random
+// bits using the top banks bank selections — the Section 7.3 latency
+// analysis, whose bounds come from a single sparse bank (worst case) versus
+// every bank of every channel (best case).
+func (g *Generator) EstimateLatency(banks, bits int) (float64, error) {
+	var out float64
+	err := g.estimate(func() error {
+		if banks <= 0 || banks > len(g.sels) {
+			return fmt.Errorf("drange: %d banks requested but the profile selects %d; pass a value in [1,%d]", banks, len(g.sels), len(g.sels))
+		}
+		ctrl := memctrl.NewController(g.dev)
+		lat, err := core.LatencyEstimate(ctrl, g.sels, g.trcdNS, banks, bits)
+		if err != nil {
+			return fmt.Errorf("drange: %w", err)
+		}
+		out = lat
+		return nil
+	})
+	return out, err
 }
 
 // EstimateLatency64 measures the time in nanoseconds to produce 64 random
-// bits using all selected banks.
+// bits using all selected banks (Section 7.3).
 func (g *Generator) EstimateLatency64() (float64, error) {
-	ctrl := memctrl.NewController(g.device)
-	return core.LatencyEstimate(ctrl, g.selections, g.cfg.ReducedTRCDNS, len(g.selections), 64)
+	return g.EstimateLatency(len(g.sels), 64)
 }
 
 // EstimateEnergyPerBit returns the marginal energy per generated bit in
-// nanojoules, using the LPDDR4 power model.
+// nanojoules, using the LPDDR4 power model (Section 7.3).
 func (g *Generator) EstimateEnergyPerBit(iterations int) (float64, error) {
-	ctrl := memctrl.NewController(g.device, memctrl.WithTrace())
-	return core.EnergyEstimate(ctrl, g.selections, g.cfg.ReducedTRCDNS, len(g.selections), iterations, power.NewLPDDR4Model())
+	var out float64
+	err := g.estimate(func() error {
+		ctrl := memctrl.NewController(g.dev, memctrl.WithTrace())
+		nj, err := core.EnergyEstimate(ctrl, g.sels, g.trcdNS, len(g.sels), iterations, power.NewLPDDR4Model())
+		if err != nil {
+			return fmt.Errorf("drange: %w", err)
+		}
+		out = nj
+		return nil
+	})
+	return out, err
 }
 
 // RunNIST generates bits from the generator and runs the full NIST SP 800-22
-// suite over them at the given significance level (DefaultAlpha when 0).
-func (g *Generator) RunNIST(bits int, alpha float64) (nist.SuiteResult, error) {
+// suite over them at the given significance level (the NIST-recommended
+// α = 0.0001 when 0).
+func (g *Generator) RunNIST(bits int, alpha float64) ([]NISTResult, error) {
 	if alpha == 0 {
 		alpha = nist.DefaultAlpha
 	}
 	stream, err := g.ReadBits(bits)
 	if err != nil {
-		return nist.SuiteResult{}, err
+		return nil, err
 	}
-	return nist.RunAll(stream, alpha)
-}
-
-var _ io.Reader = (*Generator)(nil)
-
-// EngineStats and ShardStats re-export the engine's per-shard and aggregate
-// throughput/latency accounting.
-type (
-	EngineStats = core.EngineStats
-	ShardStats  = core.ShardStats
-)
-
-// Engine is a concurrent sharded D-RaNGe generator: the Generator's bank
-// selections partitioned across per-shard memory controllers (one simulated
-// channel/rank per shard) harvesting in parallel into a bounded packed-bit
-// ring. It is safe for concurrent use and implements io.Reader. See
-// core.Engine for the sharding and determinism semantics.
-type Engine struct {
-	eng *core.Engine
-}
-
-// Engine starts a sharded harvesting engine over the generator's device and
-// bank selections; shards <= 0 selects the default (one shard per bank, at
-// most four). The engine stops when ctx is cancelled or Close is called.
-//
-// The engine's controllers take over the device, so use either the Engine or
-// the Generator's own Read at a time, not both: Generator reads issued after
-// the engine starts fail loudly with a bank-state error.
-func (g *Generator) Engine(ctx context.Context, shards int) (*Engine, error) {
-	if shards < 0 {
-		shards = 0
-	}
-	eng, err := core.NewEngine(ctx, g.device, g.selections, core.EngineConfig{
-		Shards: shards,
-		TRNG:   core.TRNGConfig{TRCDNS: g.cfg.ReducedTRCDNS, Pattern: g.pattern},
-	})
+	res, err := nist.RunAll(stream, alpha)
 	if err != nil {
 		return nil, fmt.Errorf("drange: %w", err)
 	}
-	return &Engine{eng: eng}, nil
+	out := make([]NISTResult, 0, len(res.Results))
+	for _, r := range res.Results {
+		out = append(out, NISTResult{
+			Name:       r.Name,
+			PValue:     r.PValue,
+			Applicable: r.Applicable,
+			Pass:       r.Pass,
+			Detail:     r.Detail,
+		})
+	}
+	return out, nil
 }
 
-// Read fills p with true random bytes (io.Reader). Safe for concurrent use.
-func (e *Engine) Read(p []byte) (int, error) { return e.eng.Read(p) }
-
-// ReadBits returns n random bits, one per byte. Safe for concurrent use.
-func (e *Engine) ReadBits(n int) ([]byte, error) { return e.eng.ReadBits(n) }
-
-// Uint64 returns a 64-bit random value. Safe for concurrent use.
-func (e *Engine) Uint64() (uint64, error) { return e.eng.Uint64() }
-
-// Shards returns the number of harvesting shards.
-func (e *Engine) Shards() int { return e.eng.Shards() }
-
-// Stats returns the per-shard and aggregate throughput/latency accounting in
-// simulated DRAM time.
-func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
-
-// Close stops the harvesting goroutines and waits for them to exit.
-func (e *Engine) Close() error { return e.eng.Close() }
-
-var (
-	_ io.Reader = (*Engine)(nil)
-	_ io.Closer = (*Engine)(nil)
-)
+var _ Source = (*Generator)(nil)

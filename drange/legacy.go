@@ -1,0 +1,218 @@
+package drange
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+)
+
+// Config is the legacy all-in-one configuration of the deprecated New.
+//
+// Deprecated: use Characterize with functional options, then Open. Config
+// carries the historical zero-value sentinel semantics: a zero
+// ReducedTRCDNS, Samples, Tolerance, MaxBiasDelta or ScreenIterations is
+// silently replaced by the default, so explicit zeros are unrepresentable
+// (an explicit MaxBiasDelta of 0, for example, becomes 0.02), and
+// PaperIdentification overrides any explicit Samples/Tolerance/
+// ScreenIterations. The options API (WithMaxBiasDelta, WithTolerance, ...)
+// has neither flaw.
+type Config struct {
+	// Manufacturer selects the device profile: "A", "B" or "C".
+	Manufacturer string
+	// Serial selects the simulated device instance (process variation).
+	Serial uint64
+	// Deterministic replaces the OS-entropy noise source with a seeded one,
+	// making the generator reproducible. Never use this for real keys.
+	Deterministic bool
+	// Geometry optionally overrides the simulated device geometry.
+	Geometry Geometry
+
+	// ReducedTRCDNS is the activation latency used for profiling and
+	// generation; 0 selects the paper's 10 ns.
+	ReducedTRCDNS float64
+
+	// ProfileRowsPerBank and ProfileWordsPerRow bound the region profiled in
+	// each bank during RNG-cell identification; 0 selects 128 rows and 8
+	// words.
+	ProfileRowsPerBank int
+	ProfileWordsPerRow int
+	// ProfileBanks is the number of banks to profile; 0 profiles all banks.
+	ProfileBanks int
+
+	// Identification parameters; zero values select practical defaults
+	// (600 samples, ±35% symbol tolerance, ±2% bias bound).
+	// PaperIdentification selects the paper's exact criterion (1000
+	// samples, ±10%), which is slower and much more selective.
+	Samples             int
+	Tolerance           float64
+	MaxBiasDelta        float64
+	ScreenIterations    int
+	PaperIdentification bool
+}
+
+// withDefaults applies the legacy zero-value sentinel semantics.
+func (c Config) withDefaults() Config {
+	if c.Manufacturer == "" {
+		c.Manufacturer = "A"
+	}
+	if c.ReducedTRCDNS == 0 {
+		c.ReducedTRCDNS = 10.0
+	}
+	if c.ProfileRowsPerBank == 0 {
+		c.ProfileRowsPerBank = 128
+	}
+	if c.ProfileWordsPerRow == 0 {
+		c.ProfileWordsPerRow = 8
+	}
+	if c.Samples == 0 {
+		c.Samples = 600
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.35
+	}
+	if c.MaxBiasDelta == 0 {
+		c.MaxBiasDelta = 0.02
+	}
+	if c.ScreenIterations == 0 {
+		c.ScreenIterations = 50
+	}
+	if c.PaperIdentification {
+		c.Samples = 1000
+		c.Tolerance = 0.10
+		c.ScreenIterations = 100
+	}
+	return c
+}
+
+// New opens a simulated device, re-runs the full RNG-cell identification
+// pass, and returns a ready Generator — characterization and generation
+// fused in one call, as the original API did.
+//
+// Deprecated: use Characterize once per device and Open per generator; New
+// repeats the expensive identification on every call. New remains a thin
+// shim: it characterizes and then starts the sequential sampler on the same
+// simulated device.
+func New(cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	p := charParams{
+		Manufacturer:     cfg.Manufacturer,
+		Serial:           cfg.Serial,
+		Deterministic:    cfg.Deterministic,
+		Geometry:         cfg.Geometry,
+		TRCDNS:           cfg.ReducedTRCDNS,
+		RowsPerBank:      cfg.ProfileRowsPerBank,
+		WordsPerRow:      cfg.ProfileWordsPerRow,
+		Banks:            cfg.ProfileBanks,
+		Samples:          cfg.Samples,
+		Tolerance:        cfg.Tolerance,
+		MaxBiasDelta:     cfg.MaxBiasDelta,
+		ScreenIterations: cfg.ScreenIterations,
+	}
+	dev, err := newDevice(p.Manufacturer, p.Serial, p.Deterministic, p.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := memctrl.NewController(dev)
+	profile, sels, err := characterize(context.Background(), ctrl, p)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := parsePattern(profile.Characterization.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	trng, err := core.NewTRNG(ctrl, sels, core.TRNGConfig{TRCDNS: p.TRCDNS, Pattern: pat})
+	if err != nil {
+		return nil, fmt.Errorf("drange: %w", err)
+	}
+	return &Generator{
+		profile:    profile,
+		dev:        dev,
+		pat:        pat,
+		trcdNS:     p.TRCDNS,
+		sels:       sels,
+		ctrl:       ctrl,
+		trng:       trng,
+		baseCycles: ctrl.Now(),
+	}, nil
+}
+
+// Engine is a concurrent sharded generator attached to an existing
+// Generator.
+//
+// Deprecated: open a sharded Source directly with
+// Open(ctx, profile, WithShards(n)); it implements the same Source
+// interface. Engine remains for callers of the old two-step API.
+type Engine struct {
+	g   *Generator
+	eng *core.Engine
+}
+
+// Engine starts a sharded harvesting engine over the generator's device and
+// bank selections; shards <= 0 selects the default (one shard per bank, at
+// most four). The engine stops when ctx is cancelled or Close is called.
+//
+// The engine's controllers take over the device, so use either the Engine or
+// the Generator's own Read at a time, not both: Generator reads issued after
+// the engine starts fail loudly with a bank-state error, and the estimate
+// methods return an engine-active error until Close.
+//
+// Deprecated: use Open(ctx, profile, WithShards(n)).
+func (g *Generator) Engine(ctx context.Context, shards int) (*Engine, error) {
+	if shards < 0 {
+		shards = 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("drange: source is closed")
+	}
+	if g.eng != nil {
+		return nil, fmt.Errorf("drange: this Source was opened with WithShards; read from it directly")
+	}
+	if g.legacy != nil {
+		return nil, fmt.Errorf("drange: an engine is already active on this generator; Close it first")
+	}
+	eng, err := core.NewEngine(ctx, g.dev, g.sels, core.EngineConfig{
+		Shards: shards,
+		TRNG:   core.TRNGConfig{TRCDNS: g.trcdNS, Pattern: g.pat},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("drange: %w", err)
+	}
+	e := &Engine{g: g, eng: eng}
+	g.legacy = e
+	return e, nil
+}
+
+// Read fills p with true random bytes (io.Reader). Safe for concurrent use.
+func (e *Engine) Read(p []byte) (int, error) { return e.eng.Read(p) }
+
+// ReadBits returns n random bits, one per byte. Safe for concurrent use.
+func (e *Engine) ReadBits(n int) ([]byte, error) { return e.eng.ReadBits(n) }
+
+// Uint64 returns a 64-bit random value. Safe for concurrent use.
+func (e *Engine) Uint64() (uint64, error) { return e.eng.Uint64() }
+
+// Shards returns the number of harvesting shards.
+func (e *Engine) Shards() int { return e.eng.Shards() }
+
+// Stats returns the per-shard and aggregate throughput/latency accounting in
+// simulated DRAM time.
+func (e *Engine) Stats() Stats { return statsFromEngine(e.eng.Stats()) }
+
+// Close stops the harvesting goroutines, waits for them to exit, and
+// re-enables the parent generator's estimate methods.
+func (e *Engine) Close() error {
+	err := e.eng.Close()
+	e.g.mu.Lock()
+	if e.g.legacy == e {
+		e.g.legacy = nil
+	}
+	e.g.mu.Unlock()
+	return err
+}
+
+var _ Source = (*Engine)(nil)

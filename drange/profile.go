@@ -1,0 +1,267 @@
+package drange
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/pattern"
+)
+
+// ProfileVersion is the profile file format version this package writes.
+// Decoding rejects versions newer than this; older versions remain readable
+// within the compatibility policy documented in the README.
+const ProfileVersion = 1
+
+// checksumPrefix tags the integrity digest algorithm in the profile file.
+const checksumPrefix = "sha256:"
+
+// CharacterizationParams records the identification parameters a profile was
+// characterized with, so an Open'd generator reproduces the original
+// sampling conditions exactly.
+type CharacterizationParams struct {
+	// TRCDNS is the reduced activation latency (ns) used for identification
+	// and, by default, generation.
+	TRCDNS float64 `json:"trcd_ns"`
+	// Samples, Tolerance, MaxBiasDelta and ScreenIterations are the Section
+	// 6.1 identification parameters (see the corresponding With* options).
+	Samples          int     `json:"samples"`
+	Tolerance        float64 `json:"tolerance"`
+	MaxBiasDelta     float64 `json:"max_bias_delta"`
+	ScreenIterations int     `json:"screen_iterations"`
+	// Pattern is the canonical name of the data pattern maintained around
+	// the RNG cells ("SOLID0", "CHECKERED0", ...).
+	Pattern string `json:"pattern"`
+	// RowsPerBank, WordsPerRow and Banks describe the region characterized.
+	RowsPerBank int `json:"rows_per_bank"`
+	WordsPerRow int `json:"words_per_row"`
+	Banks       int `json:"banks"`
+	// Deterministic records whether the device was opened with the seeded
+	// noise source; Open reuses the same mode unless overridden.
+	Deterministic bool `json:"deterministic"`
+}
+
+// Profile is the serializable result of one device characterization: the
+// device identity, the identified RNG cells, and the per-bank DRAM-word
+// selections Algorithm 2 samples. Characterization is a one-time-per-device
+// step (Sections 6.1–6.2 of the paper); a saved profile lets Open start
+// generating in milliseconds without re-running it.
+//
+// Profiles marshal to versioned JSON with an integrity checksum. Mutating a
+// profile invalidates the checksum; call Seal to recompute it.
+type Profile struct {
+	// Version is the file format version (ProfileVersion when written by
+	// this package).
+	Version int `json:"version"`
+	// Manufacturer and Serial identify the simulated device the profile was
+	// characterized on. Opening a profile against a different device is an
+	// error: RNG-cell locations are per-device process variation.
+	Manufacturer string `json:"manufacturer"`
+	Serial       uint64 `json:"serial"`
+	// Geometry is the device organisation the cells were identified under.
+	Geometry Geometry `json:"geometry"`
+	// Characterization records the identification parameters used.
+	Characterization CharacterizationParams `json:"characterization"`
+	// Cells lists every identified RNG cell.
+	Cells []Cell `json:"cells"`
+	// Selections lists the per-bank word pairs chosen for generation, in
+	// descending data-rate order.
+	Selections []Selection `json:"selections"`
+	// Checksum is the integrity digest ("sha256:<hex>") over the profile's
+	// canonical JSON with this field empty.
+	Checksum string `json:"checksum"`
+}
+
+// computeChecksum digests the profile's canonical JSON with Checksum blank.
+func (p *Profile) computeChecksum() (string, error) {
+	shadow := *p
+	shadow.Checksum = ""
+	data, err := json.Marshal(&shadow)
+	if err != nil {
+		return "", fmt.Errorf("drange: computing profile checksum: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return checksumPrefix + hex.EncodeToString(sum[:]), nil
+}
+
+// Seal recomputes the integrity checksum after a mutation. Profiles returned
+// by Characterize and DecodeProfile are already sealed.
+func (p *Profile) Seal() error {
+	sum, err := p.computeChecksum()
+	if err != nil {
+		return err
+	}
+	p.Checksum = sum
+	return nil
+}
+
+// Validate checks the profile's version, integrity checksum and internal
+// consistency (device identity, geometry bounds, selection structure).
+func (p *Profile) Validate() error {
+	if p.Version <= 0 {
+		return fmt.Errorf("drange: profile has no version")
+	}
+	if p.Version > ProfileVersion {
+		return fmt.Errorf("drange: profile version %d is newer than the supported version %d; upgrade this package to read it", p.Version, ProfileVersion)
+	}
+	sum, err := p.computeChecksum()
+	if err != nil {
+		return err
+	}
+	if p.Checksum == "" {
+		return fmt.Errorf("drange: profile has no integrity checksum; call Seal after mutating a profile")
+	}
+	if p.Checksum != sum {
+		return fmt.Errorf("drange: profile integrity check failed (checksum mismatch); the profile was corrupted or edited without Seal")
+	}
+	if _, err := dram.ProfileFor(dram.Manufacturer(p.Manufacturer)); err != nil {
+		return fmt.Errorf("drange: %w", err)
+	}
+	geom := p.Geometry.internal()
+	if err := geom.Validate(); err != nil {
+		return fmt.Errorf("drange: profile geometry: %w", err)
+	}
+	c := p.Characterization
+	if c.TRCDNS <= 0 {
+		return fmt.Errorf("drange: profile tRCD %v ns must be positive", c.TRCDNS)
+	}
+	if _, err := parsePattern(c.Pattern); err != nil {
+		return err
+	}
+	if len(p.Cells) == 0 {
+		return fmt.Errorf("drange: profile contains no RNG cells")
+	}
+	for _, cell := range p.Cells {
+		if cell.Bank < 0 || cell.Bank >= geom.Banks ||
+			cell.Row < 0 || cell.Row >= geom.RowsPerBank ||
+			cell.Col < 0 || cell.Col >= geom.ColsPerRow {
+			return fmt.Errorf("drange: profile cell (bank %d, row %d, col %d) outside device geometry", cell.Bank, cell.Row, cell.Col)
+		}
+		if cell.Word != cell.Col/geom.WordBits {
+			return fmt.Errorf("drange: profile cell (bank %d, row %d, col %d) has inconsistent word index %d", cell.Bank, cell.Row, cell.Col, cell.Word)
+		}
+	}
+	if len(p.Selections) == 0 {
+		return fmt.Errorf("drange: profile contains no bank selections")
+	}
+	for _, s := range p.Selections {
+		if s.Bank < 0 || s.Bank >= geom.Banks {
+			return fmt.Errorf("drange: selection bank %d outside device geometry", s.Bank)
+		}
+		if s.Word1.Row == s.Word2.Row {
+			return fmt.Errorf("drange: bank %d selection uses a single row %d; Algorithm 2 requires distinct rows", s.Bank, s.Word1.Row)
+		}
+		if s.Bits() == 0 {
+			return fmt.Errorf("drange: bank %d selection has no RNG cells", s.Bank)
+		}
+	}
+	if _, err := coreSelections(p.Cells, p.Selections); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Encode marshals the profile to indented JSON, sealing it first.
+func (p *Profile) Encode() ([]byte, error) {
+	if err := p.Seal(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("drange: encoding profile: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Save writes the profile as JSON to w.
+func (p *Profile) Save(w io.Writer) error {
+	data, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("drange: writing profile: %w", err)
+	}
+	return nil
+}
+
+// DecodeProfile parses and validates a JSON-encoded profile. It rejects
+// truncated or corrupted data (checksum mismatch) and profiles written by a
+// newer format version.
+func DecodeProfile(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("drange: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadProfile reads and validates a JSON-encoded profile from r.
+func LoadProfile(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("drange: reading profile: %w", err)
+	}
+	return DecodeProfile(data)
+}
+
+// Banks returns the number of banks the profile selects for generation.
+func (p *Profile) Banks() int { return len(p.Selections) }
+
+// BitsPerIteration returns the number of random bits one pass of the
+// Algorithm 2 core loop harvests across all selected banks.
+func (p *Profile) BitsPerIteration() int {
+	n := 0
+	for _, s := range p.Selections {
+		n += s.Bits()
+	}
+	return n
+}
+
+// DensityHistograms returns the Figure 7 data for the characterized device:
+// the number of DRAM words containing x RNG cells, per bank.
+func (p *Profile) DensityHistograms() []Density {
+	cells := make([]core.RNGCell, 0, len(p.Cells))
+	for _, c := range p.Cells {
+		cells = append(cells, c.core())
+	}
+	hists := core.RNGCellDensity(cells)
+	out := make([]Density, 0, len(hists))
+	for _, h := range hists {
+		counts := make(map[int]int, len(h.WordsWithNCells))
+		for n, c := range h.WordsWithNCells {
+			counts[n] = c
+		}
+		out = append(out, Density{
+			Bank:            h.Bank,
+			WordsWithNCells: counts,
+			MaxCellsPerWord: h.MaxCellsPerWord,
+			TotalRNGCells:   h.TotalRNGCells,
+		})
+	}
+	return out
+}
+
+// patternByName maps every canonical pattern name to its definition.
+var patternByName = func() map[string]pattern.Pattern {
+	m := make(map[string]pattern.Pattern)
+	for _, p := range pattern.All() {
+		m[p.String()] = p
+	}
+	return m
+}()
+
+func parsePattern(name string) (pattern.Pattern, error) {
+	p, ok := patternByName[name]
+	if !ok {
+		return pattern.Pattern{}, fmt.Errorf("drange: profile references unknown data pattern %q", name)
+	}
+	return p, nil
+}

@@ -1,0 +1,194 @@
+package drange
+
+import (
+	"fmt"
+	"io"
+	mrand "math/rand/v2"
+
+	"repro/internal/postproc"
+)
+
+// Source is a running D-RaNGe random number source. Open returns a Source
+// whether the underlying sampler is the sequential single-controller core or
+// the concurrent sharded engine — WithShards is the only difference callers
+// see. Every Source is safe for concurrent use; Read never returns a short
+// read except on error, and Close releases the sampling resources (stopping
+// harvest goroutines when sharded).
+type Source interface {
+	io.ReadCloser
+	// ReadBits returns n random bits, one bit per returned byte (0 or 1).
+	ReadBits(n int) ([]byte, error)
+	// Uint64 returns a 64-bit random value.
+	Uint64() (uint64, error)
+	// Stats returns the per-shard and aggregate throughput/latency
+	// accounting in simulated DRAM time.
+	Stats() Stats
+}
+
+// randSource adapts a Source to math/rand/v2.
+type randSource struct {
+	src Source
+}
+
+// Uint64 implements math/rand/v2.Source. A Source only fails when its device
+// simulation fails or it has been closed — programming errors, not
+// transients — so the adapter panics rather than silently degrading a
+// randomness stream.
+func (r randSource) Uint64() uint64 {
+	v, err := r.src.Uint64()
+	if err != nil {
+		panic(fmt.Sprintf("drange: rand.Source read failed: %v", err))
+	}
+	return v
+}
+
+// RandSource adapts s to a math/rand/v2 Source, so D-RaNGe can back
+// rand.New for shuffles, samplers and every other stdlib consumer. The
+// adapter panics if the underlying Source fails (e.g. after Close).
+func RandSource(s Source) mrand.Source {
+	return randSource{src: s}
+}
+
+// Corrector is one post-processing (de-biasing) stage from Section 2.2 of
+// the paper, applied to a raw bitstream of one bit per byte. Correctors
+// typically shrink the stream. Implementations must be deterministic and
+// must not fail on an empty input; parameter validation may reject an empty
+// input call with an error, which Open surfaces when the chain is attached.
+type Corrector interface {
+	// Name identifies the technique.
+	Name() string
+	// Process returns the corrected bitstream.
+	Process(bits []byte) ([]byte, error)
+}
+
+// corrector adapts an internal postproc.Corrector and remembers its block
+// granularity so the streaming chain can size batches that no stage
+// truncates mid-block.
+type corrector struct {
+	inner postproc.Corrector
+	block int
+}
+
+func (c corrector) Name() string                        { return c.inner.Name() }
+func (c corrector) Process(bits []byte) ([]byte, error) { return c.inner.Process(bits) }
+
+// VonNeumann returns the classic von Neumann corrector: it consumes bits in
+// pairs, emits the first bit of each 01/10 pair, and discards 00/11 pairs.
+func VonNeumann() Corrector {
+	return corrector{inner: postproc.VonNeumann{}, block: 2}
+}
+
+// XORDecimator returns a corrector that XORs non-overlapping groups of
+// factor raw bits into single output bits, reducing bias exponentially at a
+// linear throughput cost. factor must be at least 2.
+func XORDecimator(factor int) Corrector {
+	return corrector{inner: postproc.XORDecimator{Factor: factor}, block: factor}
+}
+
+// SHA256Conditioner returns a corrector that hashes inputBlockBits-sized raw
+// blocks with SHA-256 and emits the digest bits — the cryptographic
+// conditioning approach of the retention-based TRNGs. inputBlockBits must be
+// at least 256.
+func SHA256Conditioner(inputBlockBits int) Corrector {
+	return corrector{inner: postproc.SHA256Conditioner{InputBlockBits: inputBlockBits}, block: inputBlockBits}
+}
+
+// postStage is one corrector in a streaming chain plus its carry buffer:
+// input bits short of the stage's block granularity wait here for the next
+// batch instead of being truncated, so the streamed output equals the
+// corrector applied to the whole concatenated input.
+type postStage struct {
+	c Corrector
+	// block is the stage's processing granularity (0 for correctors of
+	// unknown structure, which are fed batch-at-a-time).
+	block int
+	carry []byte
+}
+
+// feed runs the stage over its carry plus the incoming bits, consuming the
+// largest block-aligned prefix and retaining the remainder for later.
+func (s *postStage) feed(in []byte) ([]byte, error) {
+	s.carry = append(s.carry, in...)
+	usable := len(s.carry)
+	if s.block > 1 {
+		usable -= usable % s.block
+	}
+	if usable == 0 {
+		return nil, nil
+	}
+	out, err := s.c.Process(s.carry[:usable])
+	if err != nil {
+		return nil, fmt.Errorf("drange: postprocess stage %s: %w", s.c.Name(), err)
+	}
+	s.carry = append([]byte(nil), s.carry[usable:]...)
+	return out, nil
+}
+
+// postChain streams a corrector chain over a raw bit source: raw bits are
+// harvested in batches, flow through every stage (each carrying sub-block
+// remainders across batches), and corrected bits accumulate in buf until
+// readers drain them.
+type postChain struct {
+	stages []*postStage
+	buf    []byte
+}
+
+// basePostBatch is the raw-bit batch harvested per round; it grows
+// transiently when a heavily-discarding chain yields nothing.
+const basePostBatch = 4096
+
+// maxPostBatch bounds batch growth when a chain yields nothing, so a chain
+// that discards everything fails loudly instead of harvesting forever.
+const maxPostBatch = 1 << 22
+
+func newPostChain(chain []Corrector) (*postChain, error) {
+	p := &postChain{}
+	for _, c := range chain {
+		// Surface parameter errors (bad decimation factor, short SHA block)
+		// at open time: every built-in corrector validates its configuration
+		// before looking at input bits.
+		if _, err := c.Process(nil); err != nil {
+			return nil, fmt.Errorf("drange: postprocess stage %s: %w", c.Name(), err)
+		}
+		s := &postStage{c: c}
+		if a, ok := c.(corrector); ok {
+			s.block = a.block
+		}
+		p.stages = append(p.stages, s)
+	}
+	return p, nil
+}
+
+// readBits returns n corrected bits, harvesting raw bits via rawBits as
+// needed.
+func (p *postChain) readBits(n int, rawBits func(int) ([]byte, error)) ([]byte, error) {
+	batch := basePostBatch
+	for len(p.buf) < n {
+		raw, err := rawBits(batch)
+		if err != nil {
+			return nil, err
+		}
+		bits := raw
+		for _, s := range p.stages {
+			bits, err = s.feed(bits)
+			if err != nil {
+				return nil, err
+			}
+			if len(bits) == 0 {
+				break
+			}
+		}
+		if len(bits) == 0 {
+			batch *= 2
+			if batch > maxPostBatch {
+				return nil, fmt.Errorf("drange: postprocess chain produced no output from %d raw bits; the chain discards everything", maxPostBatch)
+			}
+			continue
+		}
+		batch = basePostBatch
+		p.buf = append(p.buf, bits...)
+	}
+	out := p.buf[:n:n]
+	p.buf = append([]byte(nil), p.buf[n:]...)
+	return out, nil
+}

@@ -1,64 +1,89 @@
-// Characterization: reproduce the per-device characterization flow of
-// Section 5 on one simulated device — where activation failures live
-// (spatial distribution), which data pattern exposes the most ~50% cells,
-// how temperature shifts failure probability, and how many RNG cells each
-// DRAM word ends up holding.
+// Characterization: the characterize-once / open-many lifecycle the paper's
+// deployment implies. Identify a device's RNG cells once (Sections 6.1–6.2),
+// inspect what was found, persist the profile as JSON, reload it — possibly
+// on another machine, much later — and open a generator in milliseconds that
+// produces exactly the stream the original characterization promised.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"repro/drange"
-	"repro/internal/memctrl"
-	"repro/internal/pattern"
-	"repro/internal/profiler"
 )
 
 func main() {
-	gen, err := drange.New(drange.Config{Manufacturer: "C", Serial: 5, Deterministic: true})
+	ctx := context.Background()
+
+	// One-time step: identify RNG cells on a deterministic device so the
+	// reopened generator below is byte-comparable.
+	profile, err := drange.Characterize(ctx,
+		drange.WithManufacturer("C"),
+		drange.WithSerial(5),
+		drange.WithDeterministic(true),
+	)
 	if err != nil {
 		log.Fatalf("characterization: %v", err)
 	}
-	dev := gen.Device()
-	cfg := profiler.Config{TRCDNS: 10.0, Iterations: 20, Pattern: pattern.BestFor("C")}
+	fmt.Printf("characterized manufacturer-%s device, serial %d\n", profile.Manufacturer, profile.Serial)
+	fmt.Printf("  pattern %s, tRCD %.0f ns, %d samples/cell\n",
+		profile.Characterization.Pattern, profile.Characterization.TRCDNS, profile.Characterization.Samples)
+	fmt.Printf("  %d RNG cells, %d banks selected, %d bits per core-loop pass\n",
+		len(profile.Cells), profile.Banks(), profile.BitsPerIteration())
 
-	// Spatial distribution (Figure 4).
-	ctrl := memctrl.NewController(dev)
-	spatial, err := profiler.SpatialDistribution(ctrl, 0, 256, 1024, cfg)
-	if err != nil {
-		log.Fatalf("characterization: %v", err)
-	}
-	fmt.Printf("spatial distribution: %d failing columns in a 256x1024 window: %v\n",
-		len(spatial.FailingColumns()), spatial.FailingColumns())
-
-	// Data-pattern dependence (Figure 5) over a representative pattern set.
-	region := profiler.Region{Bank: 0, RowStart: 0, RowCount: 96, WordStart: 0, WordCount: 8}
-	pats := []pattern.Pattern{
-		pattern.Solid0(), pattern.Solid1(), pattern.Checkered0(), pattern.Checkered1(),
-		pattern.Walking0(3), pattern.Walking1(3),
-	}
-	cov, err := profiler.DataPatternDependence(memctrl.NewController(dev), region, pats, cfg)
-	if err != nil {
-		log.Fatalf("characterization: %v", err)
-	}
-	fmt.Println("\ndata pattern dependence:")
-	for _, c := range cov {
-		fmt.Printf("  %-12s coverage %.2f, failing cells %4d, ~50%% cells %3d\n", c.Pattern, c.Coverage, c.Failures, c.MidProbCells)
-	}
-
-	// Temperature effects (Figure 6).
-	temp, err := profiler.TemperatureSweep(memctrl.NewController(dev), region, cfg, 55, 5)
-	if err != nil {
-		log.Fatalf("characterization: %v", err)
-	}
-	fmt.Printf("\ntemperature 55→60 °C: %d cells tracked, %.0f%% increased Fprob, %.0f%% decreased\n",
-		len(temp.Points), 100*temp.IncreasedFraction, 100*temp.DecreasedFraction)
-
-	// RNG-cell density per word (Figure 7), from the identification New()
-	// already performed.
+	// RNG-cell density per word (Figure 7), straight from the profile.
 	fmt.Println("\nRNG cells per DRAM word (per bank):")
-	for _, h := range gen.DensityHistograms() {
+	for _, h := range profile.DensityHistograms() {
 		fmt.Printf("  bank %d: %d RNG cells, densest word holds %d\n", h.Bank, h.TotalRNGCells, h.MaxCellsPerWord)
 	}
+
+	// Persist the profile: versioned JSON with an integrity checksum.
+	path := filepath.Join(os.TempDir(), "drange-device-profile.json")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	if err := profile.Save(f); err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	fmt.Printf("\nprofile saved to %s\n", path)
+
+	// Much later, elsewhere: reload and open without re-characterizing.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	reloaded, err := drange.DecodeProfile(data)
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	src, err := drange.Open(ctx, reloaded)
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	defer src.Close()
+
+	// The reopened generator matches one opened from the original profile
+	// bit for bit (deterministic noise).
+	orig, err := drange.Open(ctx, profile)
+	if err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	defer orig.Close()
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	if _, err := src.Read(a); err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	if _, err := orig.Read(b); err != nil {
+		log.Fatalf("characterization: %v", err)
+	}
+	fmt.Printf("reloaded profile reproduces the original stream: %v\n", bytes.Equal(a, b))
 }

@@ -1,68 +1,85 @@
 // Keygen: the security scenario from the paper's introduction — generate
 // cryptographic key material (an AES-256 key, a 2048-bit one-time pad, and a
 // TLS-style client random) directly from DRAM activation failures, and
-// sanity-check the entropy of the stream with the quick NIST tests.
+// sanity-check the stream with the NIST suite.
 //
 // D-RaNGe's RNG cells are selected to be unbiased, so no post-processing
-// step sits between the DRAM and the key material.
+// step is needed between the DRAM and the key material; the example also
+// opens a second, SHA-256-conditioned source (WithPostprocess) to show the
+// Section 2.2 corrector chain for defence-in-depth deployments.
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"log"
 
 	"repro/drange"
-	"repro/internal/entropy"
-	"repro/internal/nist"
 )
 
 func main() {
-	gen, err := drange.New(drange.Config{Manufacturer: "B", Serial: 7})
+	ctx := context.Background()
+
+	// One characterization serves every source opened against this device.
+	profile, err := drange.Characterize(ctx,
+		drange.WithManufacturer("B"),
+		drange.WithSerial(7),
+	)
 	if err != nil {
 		log.Fatalf("keygen: %v", err)
 	}
 
+	src, err := drange.Open(ctx, profile)
+	if err != nil {
+		log.Fatalf("keygen: %v", err)
+	}
+	defer src.Close()
+
 	// AES-256 key: 32 bytes.
 	aesKey := make([]byte, 32)
-	if _, err := gen.Read(aesKey); err != nil {
+	if _, err := src.Read(aesKey); err != nil {
 		log.Fatalf("keygen: %v", err)
 	}
 	fmt.Printf("AES-256 key:        %s\n", hex.EncodeToString(aesKey))
 
 	// TLS-style 32-byte client random.
 	clientRandom := make([]byte, 32)
-	if _, err := gen.Read(clientRandom); err != nil {
+	if _, err := src.Read(clientRandom); err != nil {
 		log.Fatalf("keygen: %v", err)
 	}
 	fmt.Printf("TLS client random:  %s\n", hex.EncodeToString(clientRandom))
 
 	// A 2048-bit one-time pad.
 	pad := make([]byte, 256)
-	if _, err := gen.Read(pad); err != nil {
+	if _, err := src.Read(pad); err != nil {
 		log.Fatalf("keygen: %v", err)
 	}
 	fmt.Printf("one-time pad (first 32 of 256 bytes): %s\n", hex.EncodeToString(pad[:32]))
 
-	// Sanity-check a longer stream with the fast NIST tests.
-	bits, err := gen.ReadBits(40000)
+	// Defence in depth: the same profile, conditioned through SHA-256
+	// (1024 raw bits per 256-bit digest). The paper notes such correctors
+	// cost raw throughput — here 75% — which D-RaNGe itself does not need.
+	conditioned, err := drange.Open(ctx, profile,
+		drange.WithPostprocess(drange.SHA256Conditioner(1024)))
 	if err != nil {
 		log.Fatalf("keygen: %v", err)
 	}
-	bias, err := entropy.Bias(bits)
+	defer conditioned.Close()
+	sealed := make([]byte, 32)
+	if _, err := conditioned.Read(sealed); err != nil {
+		log.Fatalf("keygen: %v", err)
+	}
+	fmt.Printf("SHA-256-conditioned key:              %s\n", hex.EncodeToString(sealed))
+
+	// Sanity-check a longer stream with the NIST suite's quick tests.
+	results, err := src.(*drange.Generator).RunNIST(40000, 0)
 	if err != nil {
 		log.Fatalf("keygen: %v", err)
 	}
-	mono, err := nist.Monobit(bits)
-	if err != nil {
-		log.Fatalf("keygen: %v", err)
+	for _, r := range results {
+		if r.Name == "monobit" || r.Name == "runs" {
+			fmt.Printf("NIST %-8s p=%.3f pass=%v\n", r.Name, r.PValue, r.Pass)
+		}
 	}
-	mono.Evaluate(nist.DefaultAlpha)
-	runs, err := nist.Runs(bits)
-	if err != nil {
-		log.Fatalf("keygen: %v", err)
-	}
-	runs.Evaluate(nist.DefaultAlpha)
-	fmt.Printf("stream check over 40000 bits: bias=%.4f, monobit p=%.3f (%v), runs p=%.3f (%v)\n",
-		bias, mono.PValue, mono.Pass, runs.PValue, runs.Pass)
 }

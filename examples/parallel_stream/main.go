@@ -1,9 +1,10 @@
 // Parallel stream: harvest random data with the concurrent sharded engine.
-// The generator's bank selections are partitioned across several simulated
-// channel controllers, each harvesting on its own goroutine into a bounded
-// packed-bit ring — the paper's bank/channel parallelism as a thread-safe
-// io.Reader. Concurrent consumers read from the same engine, and the
-// per-shard accounting shows the measured multi-bank scaling.
+// Opening a profile with WithShards(4) partitions the bank selections across
+// four simulated channel controllers, each harvesting on its own goroutine
+// into a bounded packed-bit ring — the paper's bank/channel parallelism as a
+// thread-safe io.Reader behind the same Source interface as the sequential
+// sampler. Concurrent consumers read from the same Source, and the per-shard
+// accounting shows the measured multi-bank scaling.
 package main
 
 import (
@@ -17,24 +18,28 @@ import (
 )
 
 func main() {
-	gen, err := drange.New(drange.Config{Manufacturer: "A", Serial: 42})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	profile, err := drange.Characterize(ctx,
+		drange.WithManufacturer("A"),
+		drange.WithSerial(42),
+	)
 	if err != nil {
 		log.Fatalf("parallel_stream: %v", err)
 	}
-	fmt.Printf("identified %d RNG cells across %d banks\n", len(gen.Cells()), gen.Banks())
+	fmt.Printf("identified %d RNG cells across %d banks\n", len(profile.Cells), profile.Banks())
 
 	// Four shards: four independent channel controllers over disjoint bank
 	// subsets. Cancelling the context (or calling Close) stops the harvest.
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	eng, err := gen.Engine(ctx, 4)
+	src, err := drange.Open(ctx, profile, drange.WithShards(4))
 	if err != nil {
 		log.Fatalf("parallel_stream: %v", err)
 	}
-	defer eng.Close()
-	fmt.Printf("engine running with %d shards\n", eng.Shards())
+	defer src.Close()
+	fmt.Printf("engine running with %d shards\n", src.(*drange.Generator).Shards())
 
-	// The engine is safe for concurrent use: several consumers share it.
+	// The Source is safe for concurrent use: several consumers share it.
 	var wg sync.WaitGroup
 	streams := make([][]byte, 4)
 	for i := range streams {
@@ -42,7 +47,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			buf := make([]byte, 256)
-			if _, err := eng.Read(buf); err != nil {
+			if _, err := src.Read(buf); err != nil {
 				log.Printf("parallel_stream: consumer %d: %v", i, err)
 				return
 			}
@@ -56,7 +61,7 @@ func main() {
 		}
 	}
 
-	st := eng.Stats()
+	st := src.Stats()
 	fmt.Println("\nshard banks bits_harvested sim_us Mb/s latency64_ns")
 	for _, ss := range st.Shards {
 		fmt.Printf("%5d %5d %14d %6.1f %6.1f %12.0f\n",

@@ -1,37 +1,61 @@
-// Quickstart: open a simulated DRAM device, let D-RaNGe identify its RNG
-// cells, and read 1 KiB of true random data through the io.Reader API.
+// Quickstart: characterize a simulated DRAM device once, open a D-RaNGe
+// source from the resulting profile, and read 1 KiB of true random data
+// through the io.Reader API.
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"log"
+	mrand "math/rand/v2"
 
 	"repro/drange"
 )
 
 func main() {
-	// Open a manufacturer-A LPDDR4 device. New profiles the device with a
-	// reduced activation latency (tRCD = 10 ns), identifies RNG cells, and
-	// prepares the Algorithm 2 sampler.
-	gen, err := drange.New(drange.Config{Manufacturer: "A", Serial: 42})
+	ctx := context.Background()
+
+	// Characterize profiles the device with a reduced activation latency
+	// (tRCD = 10 ns), identifies RNG cells (Section 6.1 of the paper), and
+	// selects the best two DRAM words per bank (Section 6.2). This is the
+	// expensive one-time-per-device step; persist the profile with
+	// profile.Encode() and skip it on later runs.
+	profile, err := drange.Characterize(ctx,
+		drange.WithManufacturer("A"),
+		drange.WithSerial(42),
+	)
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
-	fmt.Printf("identified %d RNG cells across %d banks\n", len(gen.Cells()), gen.Banks())
+	fmt.Printf("identified %d RNG cells across %d banks\n", len(profile.Cells), profile.Banks())
+
+	// Open starts generating against the profiled device in milliseconds —
+	// no re-identification.
+	src, err := drange.Open(ctx, profile)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+	defer src.Close()
 
 	buf := make([]byte, 1024)
-	if _, err := gen.Read(buf); err != nil {
+	if _, err := src.Read(buf); err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
 	fmt.Printf("first 32 random bytes: %s\n", hex.EncodeToString(buf[:32]))
 
-	v, err := gen.Uint64()
+	v, err := src.Uint64()
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
 	fmt.Printf("a 64-bit random value: %#016x\n", v)
 
+	// The Source plugs straight into math/rand/v2.
+	rng := mrand.New(drange.RandSource(src))
+	fmt.Printf("a DRAM-backed die roll: %d\n", rng.IntN(6)+1)
+
+	// The concrete type behind Open exposes the paper's estimators.
+	gen := src.(*drange.Generator)
 	res, err := gen.EstimateThroughput(gen.Banks(), 100)
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)

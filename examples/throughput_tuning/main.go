@@ -1,65 +1,71 @@
-// Throughput tuning: the "low system interference" scenario of Section 7.3.
-// D-RaNGe trades TRNG throughput against the slowdown experienced by
-// co-running applications by choosing how many banks it uses and by running
-// only in otherwise-idle DRAM cycles. This example sweeps both knobs: banks
-// used (1..all) and co-running workload intensity.
+// Throughput tuning: the scaling knobs of Section 7.3. D-RaNGe throughput
+// grows with the number of banks sampled per channel (Figure 8) and with the
+// number of channels sampled in parallel (Table 2's 4-channel peak). This
+// example sweeps both through the public API: the bank sweep uses the
+// analytic estimator, the channel sweep opens the same profile with
+// increasing WithShards counts and reports the measured simulated rates.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/drange"
-	"repro/internal/core"
-	"repro/internal/memctrl"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 func main() {
-	gen, err := drange.New(drange.Config{Manufacturer: "A", Serial: 3})
+	ctx := context.Background()
+
+	profile, err := drange.Characterize(ctx,
+		drange.WithManufacturer("A"),
+		drange.WithSerial(3),
+		drange.WithDeterministic(true),
+	)
 	if err != nil {
 		log.Fatalf("throughput_tuning: %v", err)
 	}
+	src, err := drange.Open(ctx, profile)
+	if err != nil {
+		log.Fatalf("throughput_tuning: %v", err)
+	}
+	defer src.Close()
+	gen := src.(*drange.Generator)
 
-	fmt.Println("== throughput vs banks used (dedicated channel) ==")
-	fmt.Println("banks  Mb/s/channel  Mb/s with 4 channels")
-	var fullMbps float64
+	fmt.Println("== estimated throughput vs banks used (dedicated channel) ==")
+	fmt.Println("banks  Mb/s/channel  64-bit latency (ns)")
 	for banks := 1; banks <= gen.Banks(); banks++ {
 		res, err := gen.EstimateThroughput(banks, 150)
 		if err != nil {
 			log.Fatalf("throughput_tuning: %v", err)
 		}
-		four, err := core.MultiChannelThroughputMbps(res.ThroughputMbps, 4)
+		lat, err := gen.EstimateLatency(banks, 64)
 		if err != nil {
 			log.Fatalf("throughput_tuning: %v", err)
 		}
-		fmt.Printf("%5d  %12.1f  %20.1f\n", banks, res.ThroughputMbps, four)
-		fullMbps = res.ThroughputMbps
+		fmt.Printf("%5d  %12.1f  %19.0f\n", banks, res.ThroughputMbps, lat)
 	}
 
-	fmt.Println("\n== throughput from idle DRAM cycles under co-running workloads ==")
-	fmt.Println("workload          idle_fraction  trng_Mb/s (no slowdown to the workload)")
-	geom := gen.Device().Geometry()
-	for _, p := range workload.Profiles() {
-		reqs, err := workload.Generate(p, workload.Config{
-			Banks:       geom.Banks,
-			RowsPerBank: geom.RowsPerBank,
-			WordsPerRow: geom.WordsPerRow(),
-			DurationNS:  200000,
-			Seed:        99,
-		})
+	fmt.Println("\n== measured throughput vs parallel shards (channel controllers) ==")
+	fmt.Println("shards banks Mb/s_aggregate latency64_ns")
+	for _, shards := range []int{1, 2, 4} {
+		if shards > profile.Banks() {
+			break
+		}
+		sharded, err := drange.Open(ctx, profile, drange.WithShards(shards))
 		if err != nil {
 			log.Fatalf("throughput_tuning: %v", err)
 		}
-		rep, err := sim.ReplayWorkload(memctrl.NewController(gen.Device()), reqs)
-		if err != nil {
+		if _, err := sharded.ReadBits(4096 * shards); err != nil {
 			log.Fatalf("throughput_tuning: %v", err)
 		}
-		tput, err := sim.IdleBandwidthThroughputMbps(fullMbps, rep.IdleFraction)
-		if err != nil {
-			log.Fatalf("throughput_tuning: %v", err)
+		st := sharded.Stats()
+		sharded.Close()
+		banks := 0
+		for _, ss := range st.Shards {
+			banks += ss.Banks
 		}
-		fmt.Printf("%-16s  %12.3f  %10.1f\n", p.Name, rep.IdleFraction, tput)
+		fmt.Printf("%6d %5d %14.1f %12.0f\n", len(st.Shards), banks, st.AggregateThroughputMbps, st.Latency64NS)
 	}
+	fmt.Println("\n(idle-bandwidth operation under co-running workloads: drange-figures -table interference)")
 }

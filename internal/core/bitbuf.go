@@ -28,12 +28,12 @@ func (b *bitBuffer) Append(bit byte) {
 	b.tail++
 }
 
-// popBit removes and returns the bit at the head. It panics on an empty
-// buffer; callers check Len first.
+// popBit removes and returns the bit at the head without reclaiming storage;
+// bulk callers compact once when done. It panics on an empty buffer; callers
+// check Len first.
 func (b *bitBuffer) popBit() byte {
 	bit := byte((b.words[b.head>>6] >> uint(b.head&63)) & 1)
 	b.head++
-	b.compact()
 	return bit
 }
 
@@ -44,6 +44,7 @@ func (b *bitBuffer) PopBits(n int) []byte {
 	for i := range out {
 		out[i] = b.popBit()
 	}
+	b.compact()
 	return out
 }
 
@@ -57,13 +58,15 @@ func (b *bitBuffer) PopWord() (word uint64, n int) {
 	for i := 0; i < n; i++ {
 		word |= uint64(b.popBit()) << uint(i)
 	}
+	b.compact()
 	return word, n
 }
 
-// packBitsMSBFirst packs bits (one value-0/1 byte each) into p, eight bits
+// PackBitsMSBFirst packs bits (one value-0/1 byte each) into p, eight bits
 // per output byte, most significant bit first. len(bits) must be 8*len(p).
-// TRNG and Engine share it so their byte encodings cannot diverge.
-func packBitsMSBFirst(bits []byte, p []byte) {
+// TRNG, Engine and the public facade share it so their byte encodings
+// cannot diverge.
+func PackBitsMSBFirst(bits []byte, p []byte) {
 	for i := range p {
 		var b byte
 		for j := 0; j < 8; j++ {
@@ -73,8 +76,8 @@ func packBitsMSBFirst(bits []byte, p []byte) {
 	}
 }
 
-// beUint64 assembles a big-endian 64-bit value from buf.
-func beUint64(buf [8]byte) uint64 {
+// BEUint64 assembles a big-endian 64-bit value from buf.
+func BEUint64(buf [8]byte) uint64 {
 	var v uint64
 	for _, b := range buf {
 		v = v<<8 | uint64(b)

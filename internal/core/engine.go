@@ -298,7 +298,7 @@ func (e *Engine) Read(p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	packBitsMSBFirst(bits, p)
+	PackBitsMSBFirst(bits, p)
 	return len(p), nil
 }
 
@@ -308,7 +308,7 @@ func (e *Engine) Uint64() (uint64, error) {
 	if _, err := e.Read(buf[:]); err != nil {
 		return 0, err
 	}
-	return beUint64(buf), nil
+	return BEUint64(buf), nil
 }
 
 // Shards returns the number of harvesting shards.

@@ -50,7 +50,9 @@ type IdentifyConfig struct {
 	// expected count (±10% in the paper).
 	Tolerance float64
 	// MaxBiasDelta is the maximum allowed deviation of the cell's observed
-	// failure probability from one half; 0 selects 0.05. The paper's
+	// failure probability from one half. An explicit 0 is honoured: it
+	// admits only cells whose observed failure probability is exactly one
+	// half. DefaultIdentifyConfig selects 0.05. The paper's
 	// symbol-uniformity criterion implies such a bound; making it explicit
 	// keeps loose-tolerance configurations from admitting biased cells.
 	MaxBiasDelta float64
@@ -69,6 +71,7 @@ func DefaultIdentifyConfig(m string) IdentifyConfig {
 		Samples:          1000,
 		SymbolBits:       3,
 		Tolerance:        0.10,
+		MaxBiasDelta:     0.05,
 		Pattern:          pattern.BestFor(m),
 	}
 }
@@ -93,14 +96,6 @@ func (c IdentifyConfig) validate(ctrl *memctrl.Controller) error {
 		return fmt.Errorf("core: MaxBiasDelta %v outside [0,0.5)", c.MaxBiasDelta)
 	}
 	return nil
-}
-
-// maxBiasDelta returns the effective bias bound (0.05 when unset).
-func (c IdentifyConfig) maxBiasDelta() float64 {
-	if c.MaxBiasDelta == 0 {
-		return 0.05
-	}
-	return c.MaxBiasDelta
 }
 
 // IdentifyRNGCells finds the RNG cells within the region. It first runs a
@@ -224,7 +219,7 @@ func IdentifyRNGCells(ctrl *memctrl.Controller, region profiler.Region, cfg Iden
 			}
 		}
 		fprob := float64(fails) / float64(len(stream))
-		if fprob < 0.5-cfg.maxBiasDelta() || fprob > 0.5+cfg.maxBiasDelta() {
+		if fprob < 0.5-cfg.MaxBiasDelta || fprob > 0.5+cfg.MaxBiasDelta {
 			continue
 		}
 		symEnt, err := entropy.ShannonSymbolEntropy(stream, cfg.SymbolBits)

@@ -231,7 +231,7 @@ func (t *TRNG) Read(p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	packBitsMSBFirst(bits, p)
+	PackBitsMSBFirst(bits, p)
 	return len(p), nil
 }
 
@@ -241,7 +241,7 @@ func (t *TRNG) Uint64() (uint64, error) {
 	if _, err := t.Read(buf[:]); err != nil {
 		return 0, err
 	}
-	return beUint64(buf), nil
+	return BEUint64(buf), nil
 }
 
 var _ io.Reader = (*TRNG)(nil)
