@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/drange"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -527,6 +528,79 @@ func BenchmarkEngineReadThroughput(b *testing.B) {
 		if _, err := eng.Read(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchPoolProfiles lazily characterizes the small deterministic device
+// fleet BenchmarkPoolScaling multiplexes.
+var (
+	benchPoolOnce sync.Once
+	benchPoolProf []*drange.Profile
+	benchPoolErr  error
+)
+
+func poolProfiles(b *testing.B, n int) []*drange.Profile {
+	b.Helper()
+	benchPoolOnce.Do(func() {
+		for serial := uint64(201); serial < 201+4; serial++ {
+			p, err := drange.Characterize(context.Background(),
+				drange.WithManufacturer("A"),
+				drange.WithSerial(serial),
+				drange.WithDeterministic(true),
+				drange.WithGeometry(drange.Geometry{
+					Banks: 8, RowsPerBank: 256, ColsPerRow: 4096, SubarrayRows: 128, WordBits: 256,
+				}),
+				drange.WithProfilingRegion(48, 8, 8),
+				drange.WithSamples(300),
+				drange.WithTolerance(0.4),
+				drange.WithMaxBiasDelta(0.03),
+				drange.WithScreenIterations(25),
+			)
+			if err != nil {
+				benchPoolErr = err
+				return
+			}
+			benchPoolProf = append(benchPoolProf, p)
+		}
+	})
+	if benchPoolErr != nil {
+		b.Fatal(benchPoolErr)
+	}
+	return benchPoolProf[:n]
+}
+
+// BenchmarkPoolScaling measures the multi-device Pool's aggregate throughput
+// in simulated DRAM time as the device count grows. Each device is an
+// independent channel hierarchy with its own sharded engine, so the
+// aggregate rate is the sum of the member rates — the fleet-scale extension
+// of the paper's multi-channel scaling (a 4-device pool sustains >= 3x the
+// single-device rate; the enforced regression lives in
+// drange/pool_test.go). bytes/sec reports the wall-clock simulation-host
+// rate.
+func BenchmarkPoolScaling(b *testing.B) {
+	for _, devices := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			profiles := poolProfiles(b, devices)
+			buf := make([]byte, 4096)
+			var mbps, lat float64
+			b.SetBytes(int64(len(buf)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool, err := drange.OpenPool(context.Background(), profiles)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pool.Read(buf); err != nil {
+					pool.Close()
+					b.Fatal(err)
+				}
+				st := pool.Stats()
+				pool.Close()
+				mbps, lat = st.AggregateThroughputMbps, st.Latency64NS
+			}
+			b.ReportMetric(mbps, "simulated-Mb/s")
+			b.ReportMetric(lat, "ns/64-bits")
+		})
 	}
 }
 

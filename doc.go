@@ -15,9 +15,13 @@
 // corrector chain. No internal type appears in an exported drange
 // signature. The simulated substrates live under internal/:
 //
-//   - internal/dram — the device model: per-cell process variation,
-//     activation-failure injection, data-pattern and temperature coupling,
-//     pluggable noise sources (including per-bank deterministic streams).
+//   - internal/device — the device contract the whole pipeline is written
+//     against; every layer below accepts this interface, not a concrete
+//     simulator.
+//   - internal/dram — the reference device implementation: per-cell process
+//     variation, activation-failure injection, data-pattern and temperature
+//     coupling, pluggable noise sources (including per-bank deterministic
+//     streams).
 //   - internal/memctrl — the cycle-accurate memory controller: programmable
 //     tRCD, per-bank state machines, tRRD/tFAW, bus occupancy, refresh.
 //   - internal/core — D-RaNGe itself: RNG-cell identification (Section
@@ -27,6 +31,30 @@
 //   - internal/sim, internal/power, internal/nist, internal/baselines —
 //     the evaluation: loop timing, DRAMPower-style energy, the NIST
 //     SP 800-22 suite, and the prior-work TRNG baselines of Table 2.
+//
+// # Device backends
+//
+// drange.Device is the public mirror of the device contract: geometry and
+// identity, reduced-tRCD activation plus word reads (the entropy mechanism),
+// writes/precharge/refresh, the profiling row shortcuts, temperature, and
+// operation counters. Devices are opened through a registry
+// (drange.RegisterBackend, drange.WithBackend, drange.OpenBackend) with
+// three built-ins: "sim" (the simulator), "replay" (records every device
+// operation of a run to a log and replays it byte-identically — the CI
+// determinism anchor, independent of noise-source seeding), and "faulty"
+// (wraps another backend injecting stuck columns and temperature drift for
+// robustness tests). drange.WithDevice injects a caller-built Device
+// directly.
+//
+// # Multi-device pools
+//
+// drange.OpenPool multiplexes one device per profile behind a single Source:
+// every device runs its own sharded engine, a least-loaded scheduler
+// interleaves 64-bit words across the healthy members, and per-device health
+// tracking (bias-drift and temperature-drift monitoring, per the paper's
+// Section 5.3 temperature sensitivity) evicts a degraded device without ever
+// failing readers while a healthy member remains. Stats gains a per-device
+// breakdown (Stats.Devices) on top of the per-shard accounting.
 //
 // # Profiles: characterize once, open many
 //

@@ -26,6 +26,22 @@
 // WithPaperIdentification, WithShards, WithPostprocess, ...), which
 // distinguish unset parameters from explicit zeros. The deprecated New and
 // Config remain as thin shims over the new API.
+//
+// Devices are opened through pluggable backends implementing the public
+// Device contract: "sim" (the default simulator), "replay" (operation-log
+// record/replay for byte-reproducible runs) and "faulty" (fault injection
+// over another backend), selected with WithBackend or injected directly with
+// WithDevice; RegisterBackend adds custom backends. OpenPool multiplexes
+// many devices — one per profile — behind a single Source with per-device
+// sharded engines, least-loaded word scheduling and health tracking that
+// evicts bias- or temperature-drifting devices without failing readers:
+//
+//	pool, err := drange.OpenPool(ctx, profiles,
+//	    drange.WithShards(2),                // shards per device
+//	    drange.WithHealth(drange.HealthPolicy{}))
+//	if err != nil { ... }
+//	defer pool.Close()
+//	st := pool.Stats()                       // st.Devices: per-device breakdown
 package drange
 
 import (
@@ -35,6 +51,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/nist"
@@ -71,6 +88,34 @@ func newDevice(manufacturer string, serial uint64, deterministic bool, geom Geom
 		return nil, fmt.Errorf("drange: %w", err)
 	}
 	return dev, nil
+}
+
+// resolveDevice opens the device the options select: an explicitly supplied
+// Device, a registered backend (WithBackend), or the default sim backend. It
+// returns the internal pipeline view alongside the public device (for
+// Close/Temperature) and the backend name used.
+func (o *options) resolveDevice(manufacturer string, serial uint64, deterministic bool, geom Geometry) (device.Device, Device, string, error) {
+	if o.device != nil {
+		if o.backend != nil {
+			return nil, nil, "", fmt.Errorf("drange: WithDevice and WithBackend are mutually exclusive")
+		}
+		return internalDevice(o.device), o.device, "custom", nil
+	}
+	spec := backendSpec{name: "sim"}
+	if o.backend != nil {
+		spec = *o.backend
+	}
+	pub, err := OpenBackend(spec.name, BackendParams{
+		Manufacturer:  manufacturer,
+		Serial:        serial,
+		Deterministic: deterministic,
+		Geometry:      geom,
+		Options:       spec.params,
+	})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return internalDevice(pub), pub, spec.name, nil
 }
 
 // characterize runs RNG-cell identification and word selection over the
@@ -163,13 +208,24 @@ func Characterize(ctx context.Context, opts ...Option) (*Profile, error) {
 	if o.shards != nil || len(o.post) > 0 {
 		return nil, fmt.Errorf("drange: generation options (WithShards, WithPostprocess) apply to Open, not Characterize")
 	}
+	if err := o.rejectPoolOnly("Characterize"); err != nil {
+		return nil, err
+	}
 	p := o.charParams()
-	dev, err := newDevice(p.Manufacturer, p.Serial, p.Deterministic, p.Geometry)
+	dev, pub, _, err := o.resolveDevice(p.Manufacturer, p.Serial, p.Deterministic, p.Geometry)
 	if err != nil {
 		return nil, err
 	}
 	ctrl := memctrl.NewController(dev)
 	profile, _, err := characterize(ctx, ctrl, p)
+	// Characterize owns the device it opened through a backend; release it
+	// (flushing, for example, a replay recorder's log). A caller-supplied
+	// WithDevice device stays open for the caller's next move.
+	if o.device == nil {
+		if cerr := closeDevice(pub); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
 	return profile, err
 }
 
@@ -201,6 +257,9 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 	if err := o.rejectCharacterizationOnly(); err != nil {
 		return nil, err
 	}
+	if err := o.rejectPoolOnly("Open"); err != nil {
+		return nil, err
+	}
 	if o.manufacturer != nil && *o.manufacturer != profile.Manufacturer {
 		return nil, fmt.Errorf("drange: device mismatch: profile was characterized on manufacturer %q, not %q", profile.Manufacturer, *o.manufacturer)
 	}
@@ -227,14 +286,34 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 	if err != nil {
 		return nil, err
 	}
-	dev, err := newDevice(profile.Manufacturer, profile.Serial, deterministic, profile.Geometry)
+	dev, pub, backend, err := o.resolveDevice(profile.Manufacturer, profile.Serial, deterministic, profile.Geometry)
 	if err != nil {
 		return nil, err
+	}
+	ownsDev := o.device == nil
+	fail := func(err error) (Source, error) {
+		if ownsDev {
+			closeDevice(pub)
+		}
+		return nil, err
+	}
+	// Backends construct to the profile's identity, but a WithDevice device
+	// is whatever the caller handed us: verify it before sampling — RNG-cell
+	// locations are per-device process variation, and reading another
+	// device's cells would not be random.
+	if s := pub.Serial(); s != profile.Serial {
+		return fail(fmt.Errorf("drange: device mismatch: profile was characterized on serial %d, but the device reports %d", profile.Serial, s))
+	}
+	if dg := pub.Geometry(); dg != profile.Geometry {
+		return fail(fmt.Errorf("drange: device mismatch: profile geometry %+v differs from the device's %+v", profile.Geometry, dg))
 	}
 
 	g := &Generator{
 		profile: profile,
 		dev:     dev,
+		pubDev:  pub,
+		ownsDev: ownsDev,
+		backend: backend,
 		pat:     pat,
 		trcdNS:  trcd,
 		sels:    sels,
@@ -242,7 +321,7 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 	if len(o.post) > 0 {
 		chain, err := newPostChain(o.post)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		g.post = chain
 	}
@@ -251,13 +330,13 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 		shards = *o.shards
 	}
 	if shards < 0 {
-		return nil, fmt.Errorf("drange: negative shard count %d", shards)
+		return fail(fmt.Errorf("drange: negative shard count %d", shards))
 	}
 	if shards == 0 {
 		ctrl := memctrl.NewController(dev)
 		trng, err := core.NewTRNG(ctrl, sels, core.TRNGConfig{TRCDNS: trcd, Pattern: pat})
 		if err != nil {
-			return nil, fmt.Errorf("drange: %w", err)
+			return fail(fmt.Errorf("drange: %w", err))
 		}
 		g.ctrl, g.trng = ctrl, trng
 	} else {
@@ -266,7 +345,7 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 			TRNG:   core.TRNGConfig{TRCDNS: trcd, Pattern: pat},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("drange: %w", err)
+			return fail(fmt.Errorf("drange: %w", err))
 		}
 		g.eng = eng
 	}
@@ -280,7 +359,13 @@ type Generator struct {
 	mu sync.Mutex
 
 	profile *Profile
-	dev     *dram.Device
+	dev     device.Device
+	// pubDev is the public backend view of dev; ownsDev records whether the
+	// generator opened it (and must close it) or the caller supplied it via
+	// WithDevice. backend is the backend name the device came from.
+	pubDev  Device
+	ownsDev bool
+	backend string
 	pat     pattern.Pattern
 	trcdNS  float64
 	sels    []core.BankSelection
@@ -302,15 +387,19 @@ type Generator struct {
 	// read path updates them without holding mu.
 	rawDelivered atomic.Int64
 	delivered    atomic.Int64
-	// baseCycles is the controller's simulated clock when generation became
-	// possible, so Stats excludes time another phase (the legacy New's
-	// characterization pass, which shares the controller) already spent.
-	baseCycles int64
-	closed     bool
+	closed       bool
 }
 
 // Profile returns the device profile this generator runs under.
 func (g *Generator) Profile() *Profile { return g.profile }
+
+// Backend returns the name of the device backend this generator samples
+// ("sim" unless WithBackend or WithDevice chose otherwise; "custom" for a
+// WithDevice device).
+func (g *Generator) Backend() string { return g.backend }
+
+// Device returns the public view of the device this generator samples.
+func (g *Generator) Device() Device { return g.pubDev }
 
 // Banks returns the number of banks sampled for generation.
 func (g *Generator) Banks() int { return len(g.sels) }
@@ -427,10 +516,18 @@ func (g *Generator) Close() error {
 		g.legacy.eng.Close()
 		g.legacy = nil
 	}
+	var err error
 	if g.eng != nil {
-		return g.eng.Close()
+		err = g.eng.Close()
 	}
-	return nil
+	// Release the backend device (e.g. flush a replay recorder's log) unless
+	// the caller supplied it via WithDevice and still owns it.
+	if g.ownsDev && g.pubDev != nil {
+		if cerr := closeDevice(g.pubDev); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Stats returns the per-shard and aggregate throughput/latency accounting in
@@ -447,7 +544,7 @@ func (g *Generator) Stats() Stats {
 		return st
 	}
 	bits := g.trng.BitsGenerated()
-	cycles := g.ctrl.Now() - g.baseCycles
+	cycles := g.ctrl.Now()
 	ns := g.ctrl.Params().NS(cycles)
 	ss := ShardStats{
 		Shard:            0,

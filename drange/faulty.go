@@ -1,0 +1,163 @@
+package drange
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+)
+
+// The "faulty" backend wraps another backend and injects the failure modes
+// the paper warns about, for robustness testing of pools and health
+// monitoring: stuck cells (a deterministic subset of columns always reads a
+// fixed value, destroying the unbiasedness the RNG-cell selection relies on)
+// and temperature drift (the reported device temperature creeps with use,
+// modelling a part heating beyond its characterized operating point —
+// Section 5.3 shows failure probabilities shift with temperature).
+//
+// Options:
+//
+//   - "inner": the wrapped backend (default "sim"); inner options via
+//     "inner.<key>".
+//   - "stuck": fraction of columns stuck, in [0,1] (default 1 — every read
+//     returns the stuck value, the worst case).
+//   - "stuck-value": "0" or "1", the value stuck cells read as (default "1").
+//   - "drift": temperature drift in °C per 1000 reads (default 0).
+func openFaultyBackend(p BackendParams) (Device, error) {
+	stuck, err := parseFloatOption(p, "stuck", 1.0)
+	if err != nil {
+		return nil, err
+	}
+	if stuck < 0 || stuck > 1 {
+		return nil, fmt.Errorf(`option "stuck" must be in [0,1], got %v`, stuck)
+	}
+	drift, err := parseFloatOption(p, "drift", 0)
+	if err != nil {
+		return nil, err
+	}
+	stuckValue := uint64(1)
+	if v, ok := p.Options["stuck-value"]; ok {
+		n, err := strconv.ParseUint(v, 10, 1)
+		if err != nil {
+			return nil, fmt.Errorf(`option "stuck-value" must be 0 or 1, got %q`, v)
+		}
+		stuckValue = n
+	}
+	innerOpts := map[string]string{}
+	for k, v := range p.Options {
+		switch k {
+		case "inner", "stuck", "stuck-value", "drift":
+		default:
+			if len(k) > 6 && k[:6] == "inner." {
+				innerOpts[k[6:]] = v
+				continue
+			}
+			return nil, fmt.Errorf("faulty backend: unknown option %q", k)
+		}
+	}
+	inner, err := OpenBackend(p.option("inner", "sim"), BackendParams{
+		Manufacturer:  p.Manufacturer,
+		Serial:        p.Serial,
+		Deterministic: p.Deterministic,
+		Geometry:      p.Geometry,
+		Options:       innerOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &faultyDevice{
+		inner:      inner,
+		stuck:      stuck,
+		stuckValue: stuckValue,
+		driftPerK:  drift,
+		salt:       inner.Serial()*0x9e3779b97f4a7c15 + 0xfa17,
+	}, nil
+}
+
+// faultyDevice injects stuck columns and temperature drift over an inner
+// device. Stuck columns are chosen deterministically per (bank, column), like
+// a failed sense amplifier: the same cells are stuck on every access.
+type faultyDevice struct {
+	inner      Device
+	stuck      float64
+	stuckValue uint64
+	driftPerK  float64
+	salt       uint64
+	reads      atomic.Int64
+}
+
+// columnStuck decides, deterministically, whether the column is stuck.
+func (f *faultyDevice) columnStuck(bank, col int) bool {
+	if f.stuck >= 1 {
+		return true
+	}
+	if f.stuck <= 0 {
+		return false
+	}
+	x := f.salt ^ uint64(bank)<<32 ^ uint64(col)
+	// splitmix64 finalizer for diffusion.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53) < f.stuck
+}
+
+func (f *faultyDevice) Serial() uint64     { return f.inner.Serial() }
+func (f *faultyDevice) Geometry() Geometry { return f.inner.Geometry() }
+
+func (f *faultyDevice) Activate(bank, row int, trcdNS float64) error {
+	return f.inner.Activate(bank, row, trcdNS)
+}
+func (f *faultyDevice) Precharge(bank int) error { return f.inner.Precharge(bank) }
+func (f *faultyDevice) Refresh() error           { return f.inner.Refresh() }
+
+// ReadWord reads through to the inner device, then forces stuck columns to
+// the stuck value — after failure injection, exactly where a stuck sense
+// amplifier sits in the real read path.
+func (f *faultyDevice) ReadWord(bank, wordIdx int) ([]uint64, error) {
+	data, err := f.inner.ReadWord(bank, wordIdx)
+	if err != nil {
+		return nil, err
+	}
+	f.reads.Add(1)
+	g := f.inner.Geometry()
+	base := wordIdx * g.WordBits
+	for bit := 0; bit < g.WordBits && bit/64 < len(data); bit++ {
+		if !f.columnStuck(bank, base+bit) {
+			continue
+		}
+		if f.stuckValue != 0 {
+			data[bit/64] |= 1 << uint(bit%64)
+		} else {
+			data[bit/64] &^= 1 << uint(bit%64)
+		}
+	}
+	return data, nil
+}
+
+func (f *faultyDevice) WriteWord(bank, wordIdx int, word []uint64) error {
+	return f.inner.WriteWord(bank, wordIdx, word)
+}
+func (f *faultyDevice) WriteRow(bank, row int, data []uint64) error {
+	return f.inner.WriteRow(bank, row, data)
+}
+func (f *faultyDevice) ReadRowRaw(bank, row int) ([]uint64, error) {
+	return f.inner.ReadRowRaw(bank, row)
+}
+func (f *faultyDevice) StartupRow(bank, row int) ([]uint64, error) {
+	return f.inner.StartupRow(bank, row)
+}
+
+func (f *faultyDevice) SetTemperature(c float64) error { return f.inner.SetTemperature(c) }
+
+// Temperature reports the inner temperature plus the accumulated drift, so a
+// pool's bias-drift monitor sees the part heating with use.
+func (f *faultyDevice) Temperature() float64 {
+	return f.inner.Temperature() + f.driftPerK*float64(f.reads.Load())/1000.0
+}
+
+func (f *faultyDevice) OpStats() DeviceStats { return f.inner.OpStats() }
+
+// Close closes the inner device if it holds resources.
+func (f *faultyDevice) Close() error { return closeDevice(f.inner) }

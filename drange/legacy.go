@@ -91,9 +91,11 @@ func (c Config) withDefaults() Config {
 // fused in one call, as the original API did.
 //
 // Deprecated: use Characterize once per device and Open per generator; New
-// repeats the expensive identification on every call. New remains a thin
-// shim: it characterizes and then starts the sequential sampler on the same
-// simulated device.
+// repeats the expensive identification on every call. New is now a literal
+// shim over the two-step API: it characterizes, then opens a sequential
+// Source on a fresh device matching the profile, so under deterministic
+// noise it produces the same byte stream as Characterize followed by Open
+// (regression-tested in legacy_test.go).
 func New(cfg Config) (*Generator, error) {
 	cfg = cfg.withDefaults()
 	p := charParams{
@@ -115,28 +117,15 @@ func New(cfg Config) (*Generator, error) {
 		return nil, err
 	}
 	ctrl := memctrl.NewController(dev)
-	profile, sels, err := characterize(context.Background(), ctrl, p)
+	profile, _, err := characterize(context.Background(), ctrl, p)
 	if err != nil {
 		return nil, err
 	}
-	pat, err := parsePattern(profile.Characterization.Pattern)
+	src, err := Open(context.Background(), profile)
 	if err != nil {
 		return nil, err
 	}
-	trng, err := core.NewTRNG(ctrl, sels, core.TRNGConfig{TRCDNS: p.TRCDNS, Pattern: pat})
-	if err != nil {
-		return nil, fmt.Errorf("drange: %w", err)
-	}
-	return &Generator{
-		profile:    profile,
-		dev:        dev,
-		pat:        pat,
-		trcdNS:     p.TRCDNS,
-		sels:       sels,
-		ctrl:       ctrl,
-		trng:       trng,
-		baseCycles: ctrl.Now(),
-	}, nil
+	return src.(*Generator), nil
 }
 
 // Engine is a concurrent sharded generator attached to an existing

@@ -1,0 +1,193 @@
+package drange
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+// legacyParityConfig is a deliberately small deterministic device so the
+// parity tests can afford the repeated characterizations the deprecated New
+// performs.
+func legacyParityConfig() Config {
+	return Config{
+		Manufacturer:       "A",
+		Serial:             31,
+		Deterministic:      true,
+		Geometry:           quickGeometry(),
+		ProfileRowsPerBank: 48,
+		ProfileWordsPerRow: 8,
+		ProfileBanks:       4,
+		Samples:            300,
+		Tolerance:          0.4,
+		MaxBiasDelta:       0.03,
+		ScreenIterations:   25,
+	}
+}
+
+// legacyParityOptions is the options-API spelling of legacyParityConfig.
+func legacyParityOptions() []Option {
+	return []Option{
+		WithManufacturer("A"),
+		WithSerial(31),
+		WithDeterministic(true),
+		WithGeometry(quickGeometry()),
+		WithProfilingRegion(48, 8, 4),
+		WithSamples(300),
+		WithTolerance(0.4),
+		WithMaxBiasDelta(0.03),
+		WithScreenIterations(25),
+	}
+}
+
+var (
+	parityOnce    sync.Once
+	parityProfile *Profile
+	parityErr     error
+)
+
+// parityReference characterizes through the modern API once, shared by the
+// parity tests.
+func parityReference(t *testing.T) *Profile {
+	t.Helper()
+	parityOnce.Do(func() {
+		parityProfile, parityErr = Characterize(context.Background(), legacyParityOptions()...)
+	})
+	if parityErr != nil {
+		t.Fatal(parityErr)
+	}
+	return parityProfile
+}
+
+// TestLegacyNewMatchesCharacterizeOpen is the compatibility contract of the
+// deprecated one-shot API: New must remain a pure shim over
+// Characterize+Open — same profile, and under deterministic noise the same
+// byte stream.
+func TestLegacyNewMatchesCharacterizeOpen(t *testing.T) {
+	profile := parityReference(t)
+
+	g, err := New(legacyParityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// The shim's internal characterization must reproduce the modern one
+	// exactly, checksum included.
+	wantProfile, err := profile.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotProfile, err := g.Profile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantProfile, gotProfile) {
+		t.Fatal("legacy New produced a different profile than Characterize")
+	}
+
+	src, err := Open(context.Background(), profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	want := make([]byte, 512)
+	if _, err := src.Read(want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if _, err := g.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Error("legacy New byte stream differs from Characterize+Open")
+	}
+	checkBias(t, got)
+}
+
+// TestLegacyEngineMatchesShardedOpen: the deprecated two-step Engine
+// attachment must produce the same bytes as the modern
+// Open(..., WithShards(n)) under deterministic noise.
+func TestLegacyEngineMatchesShardedOpen(t *testing.T) {
+	profile := parityReference(t)
+
+	g, err := New(legacyParityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	eng, err := g.Engine(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Shards() != 2 {
+		t.Fatalf("legacy engine has %d shards, want 2", eng.Shards())
+	}
+
+	src, err := Open(context.Background(), profile, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	want := make([]byte, 512)
+	if _, err := src.Read(want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if _, err := eng.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Error("legacy Engine byte stream differs from Open with WithShards")
+	}
+
+	// While the engine owns the device, estimates must refuse to run, and
+	// a second engine must be rejected.
+	if _, err := g.EstimateLatency64(); err == nil {
+		t.Error("estimate ran while the legacy engine was active")
+	}
+	if _, err := g.Engine(context.Background(), 2); err == nil {
+		t.Error("second legacy engine attached while one was active")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.EstimateLatency64(); err != nil {
+		t.Errorf("estimates still blocked after the legacy engine closed: %v", err)
+	}
+}
+
+// TestLegacyGeneratorStatsAndClose: the shim still reports sane generation
+// statistics and closes down cleanly.
+func TestLegacyGeneratorStatsAndClose(t *testing.T) {
+	g, err := New(legacyParityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if _, err := g.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.BitsDelivered != int64(len(buf)*8) || len(st.Shards) != 1 {
+		t.Errorf("legacy stats = %+v", st)
+	}
+	// The generator runs on a fresh post-characterization device, so the
+	// apparent rate is a pure generation rate.
+	if st.AggregateThroughputMbps < 1 {
+		t.Errorf("legacy generator throughput = %v Mb/s; characterization time leaked into Stats", st.AggregateThroughputMbps)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Errorf("second Close errored: %v", err)
+	}
+	if _, err := g.Read(buf); err == nil {
+		t.Error("read after Close succeeded")
+	}
+}

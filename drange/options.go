@@ -32,6 +32,17 @@ type options struct {
 
 	shards *int
 	post   []Corrector
+
+	backend        *backendSpec
+	device         Device
+	deviceBackends map[int]backendSpec
+	health         *HealthPolicy
+}
+
+// backendSpec names a registered backend plus its options.
+type backendSpec struct {
+	name   string
+	params map[string]string
 }
 
 func buildOptions(opts []Option) *options {
@@ -140,6 +151,67 @@ func WithShards(n int) Option {
 // for defence-in-depth and for comparing against the corrected baselines.
 func WithPostprocess(correctors ...Corrector) Option {
 	return func(o *options) { o.post = append(o.post, correctors...) }
+}
+
+// WithBackend selects the device backend used to open the device: one of the
+// registered backend names ("sim", "replay", "faulty", or anything added via
+// RegisterBackend), with backend-specific options. The default is "sim", the
+// built-in simulated device. In OpenPool the backend applies to every device
+// unless overridden per device with WithDeviceBackend.
+func WithBackend(name string, params map[string]string) Option {
+	return func(o *options) {
+		o.backend = &backendSpec{name: name, params: copyParams(params)}
+	}
+}
+
+// WithDevice supplies the device directly instead of opening one through a
+// backend, for caller-constructed or middleware-wrapped devices (see
+// OpenBackend). With Open, the device's serial and geometry must match the
+// profile. It is mutually exclusive with WithBackend and not accepted by
+// OpenPool, which opens one device per profile.
+func WithDevice(dev Device) Option {
+	return func(o *options) { o.device = dev }
+}
+
+// WithDeviceBackend overrides the backend for one device of a pool, by index
+// into the profiles slice passed to OpenPool — for heterogeneous fleets, or
+// for injecting a "faulty" member in robustness tests.
+func WithDeviceBackend(index int, name string, params map[string]string) Option {
+	return func(o *options) {
+		if o.deviceBackends == nil {
+			o.deviceBackends = make(map[int]backendSpec)
+		}
+		o.deviceBackends[index] = backendSpec{name: name, params: copyParams(params)}
+	}
+}
+
+// WithHealth sets the pool's device-health policy (bias-drift and
+// temperature-drift eviction); see HealthPolicy for the defaults applied to
+// zero fields. It only applies to OpenPool.
+func WithHealth(p HealthPolicy) Option {
+	return func(o *options) { o.health = &p }
+}
+
+func copyParams(params map[string]string) map[string]string {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(params))
+	for k, v := range params {
+		out[k] = v
+	}
+	return out
+}
+
+// rejectPoolOnly errors when pool-only options reach Characterize or Open.
+func (o *options) rejectPoolOnly(fn string) error {
+	if o.health != nil {
+		return fmt.Errorf("drange: WithHealth applies to OpenPool, not %s", fn)
+	}
+	if len(o.deviceBackends) > 0 {
+		return fmt.Errorf("drange: WithDeviceBackend applies to OpenPool, not %s", fn)
+	}
+	return nil
 }
 
 // charParams is the fully-resolved characterization parameter set.

@@ -1,0 +1,538 @@
+package drange
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// HealthPolicy controls a pool's per-device health tracking. D-RaNGe's
+// output quality rests on RNG cells staying unbiased at the characterized
+// operating point; the paper's temperature study (Section 5.3) shows failure
+// probabilities drift as the device leaves that point. A pool therefore
+// monitors each device's harvested bitstream for bias drift and its reported
+// temperature for drift away from the open-time baseline, and evicts devices
+// that cross the limits so one bad chip cannot poison the aggregate stream.
+type HealthPolicy struct {
+	// WindowBits is the number of freshly harvested bits per device over
+	// which bias is measured; at each full window the ones-fraction is
+	// compared against one half. 0 selects 4096 (the binomial standard
+	// deviation of the ones-fraction at 4096 bits is ~0.008, so the default
+	// MaxBiasDelta of 0.1 sits ~13 sigma out — unreachable by healthy noise).
+	WindowBits int
+	// MaxBiasDelta is the eviction threshold for |ones-fraction − 0.5| over
+	// a window. 0 selects 0.1; negative disables bias eviction. Unlike the
+	// functional options, this config struct keeps zero-means-default
+	// semantics so partial policies stay ergonomic; a strict
+	// evict-on-any-measured-bias policy is any positive value below the
+	// window's resolution (e.g. 0.5/WindowBits).
+	MaxBiasDelta float64
+	// MaxTempDriftC is the eviction threshold for the absolute temperature
+	// drift (°C) from the device's open-time baseline, checked at every
+	// window boundary. 0 selects 10; negative disables temperature eviction.
+	MaxTempDriftC float64
+	// Disabled turns all health tracking off.
+	Disabled bool
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.WindowBits == 0 {
+		p.WindowBits = 4096
+	}
+	if p.MaxBiasDelta == 0 {
+		p.MaxBiasDelta = 0.1
+	}
+	if p.MaxTempDriftC == 0 {
+		p.MaxTempDriftC = 10
+	}
+	return p
+}
+
+// poolMember is one device of a pool: its profile, backend device, sharded
+// engine, health accounting, and the partially consumed 64-bit word between
+// engine and pool scheduler.
+type poolMember struct {
+	idx     int
+	profile *Profile
+	backend string
+	pub     Device
+	eng     *core.Engine
+	ownsDev bool
+
+	baseTempC float64
+
+	evicted bool
+	reason  string
+
+	// fetched counts bits pulled from this member's engine — the load metric
+	// of the least-loaded scheduler. delivered counts bits of those that
+	// reached callers.
+	fetched   int64
+	delivered int64
+
+	// winOnes/winBits accumulate the current bias window; biasDelta holds
+	// |ones-fraction − 0.5| of the last completed window.
+	winOnes   int64
+	winBits   int64
+	biasDelta float64
+
+	// cur holds bits fetched from the engine but not yet handed out.
+	cur    []byte
+	curOff int
+}
+
+// Pool is the multi-device Source returned by OpenPool. It multiplexes N
+// devices — each with its own profile, backend and sharded harvesting engine
+// — behind the ordinary Source interface, scheduling 64-bit word fetches to
+// the least-loaded healthy device, tracking per-device health (bias and
+// temperature drift per HealthPolicy) and evicting unhealthy devices without
+// failing readers as long as one healthy device remains.
+type Pool struct {
+	mu      sync.Mutex
+	members []*poolMember
+	policy  HealthPolicy
+	post    *postChain
+	cancel  context.CancelFunc
+
+	delivered int64
+	closed    bool
+}
+
+// OpenPool opens one device per profile and multiplexes them behind a single
+// Source. Each device runs its own sharded harvesting engine (WithShards
+// selects the shards per device; default 1), so the pool's aggregate
+// simulated throughput is the sum of the member rates — the fleet-scale
+// counterpart of the paper's multi-channel scaling.
+//
+// Devices open through the default backend (WithBackend, else "sim"),
+// overridable per profile index with WithDeviceBackend. Device health is
+// tracked per HealthPolicy (WithHealth): a device whose harvested bitstream
+// drifts from 50/50 or whose temperature drifts from its open-time baseline
+// is evicted — its engine stops, its remaining bits are discarded, and reads
+// continue seamlessly from the surviving devices. The last healthy device is
+// never evicted (degraded output beats no output; the breakdown in Stats
+// reports the violation instead). Stats carries a per-device breakdown in
+// Stats.Devices.
+//
+// ctx cancellation stops every member engine. Close releases all members.
+func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("drange: OpenPool needs at least one profile")
+	}
+	o := buildOptions(opts)
+	if err := o.rejectCharacterizationOnly(); err != nil {
+		return nil, err
+	}
+	if o.device != nil {
+		return nil, fmt.Errorf("drange: WithDevice does not apply to OpenPool (it opens one device per profile); use WithDeviceBackend or open single Sources")
+	}
+	for i := range o.deviceBackends {
+		if i < 0 || i >= len(profiles) {
+			return nil, fmt.Errorf("drange: WithDeviceBackend index %d outside the %d profiles", i, len(profiles))
+		}
+	}
+	shardsPerDevice := 1
+	if o.shards != nil {
+		if *o.shards < 0 {
+			return nil, fmt.Errorf("drange: negative shard count %d", *o.shards)
+		}
+		if *o.shards > 0 {
+			shardsPerDevice = *o.shards
+		}
+	}
+	policy := HealthPolicy{}
+	if o.health != nil {
+		policy = *o.health
+	}
+	policy = policy.withDefaults()
+
+	pctx, cancel := context.WithCancel(ctx)
+	p := &Pool{policy: policy, cancel: cancel}
+	if len(o.post) > 0 {
+		chain, err := newPostChain(o.post)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		p.post = chain
+	}
+	fail := func(err error) (*Pool, error) {
+		p.closeMembers()
+		cancel()
+		return nil, err
+	}
+	for i, profile := range profiles {
+		if profile == nil {
+			return fail(fmt.Errorf("drange: nil profile at index %d", i))
+		}
+		if err := profile.Validate(); err != nil {
+			return fail(fmt.Errorf("drange: profile %d: %w", i, err))
+		}
+		// Identity options pin every member, with Open's mismatch semantics.
+		if o.manufacturer != nil && *o.manufacturer != profile.Manufacturer {
+			return fail(fmt.Errorf("drange: device mismatch: profile %d was characterized on manufacturer %q, not %q", i, profile.Manufacturer, *o.manufacturer))
+		}
+		if o.serial != nil && *o.serial != profile.Serial {
+			return fail(fmt.Errorf("drange: device mismatch: profile %d was characterized on serial %d, not %d", i, profile.Serial, *o.serial))
+		}
+		if o.geometry != nil && *o.geometry != profile.Geometry {
+			return fail(fmt.Errorf("drange: device mismatch: profile %d geometry %+v differs from requested %+v", i, profile.Geometry, *o.geometry))
+		}
+		memberOpts := *o
+		if spec, ok := o.deviceBackends[i]; ok {
+			memberOpts.backend = &spec
+		}
+		pat, err := parsePattern(profile.Characterization.Pattern)
+		if err != nil {
+			return fail(fmt.Errorf("drange: profile %d: %w", i, err))
+		}
+		sels, err := coreSelections(profile.Cells, profile.Selections)
+		if err != nil {
+			return fail(fmt.Errorf("drange: profile %d: %w", i, err))
+		}
+		deterministic := profile.Characterization.Deterministic
+		if o.deterministic != nil {
+			deterministic = *o.deterministic
+		}
+		trcd := profile.Characterization.TRCDNS
+		if o.trcdNS != nil {
+			trcd = *o.trcdNS
+		}
+		dev, pub, backend, err := memberOpts.resolveDevice(profile.Manufacturer, profile.Serial, deterministic, profile.Geometry)
+		if err != nil {
+			return fail(fmt.Errorf("drange: pool device %d: %w", i, err))
+		}
+		m := &poolMember{
+			idx:       i,
+			profile:   profile,
+			backend:   backend,
+			pub:       pub,
+			ownsDev:   true,
+			baseTempC: pub.Temperature(),
+		}
+		p.members = append(p.members, m)
+		// Same verification Open performs: a backend that ignores the
+		// requested identity must not pool a device mismatching its profile
+		// (harvesting another device's cell coordinates is not random).
+		if s := pub.Serial(); s != profile.Serial {
+			return fail(fmt.Errorf("drange: pool device %d mismatch: profile was characterized on serial %d, but the device reports %d", i, profile.Serial, s))
+		}
+		if dg := pub.Geometry(); dg != profile.Geometry {
+			return fail(fmt.Errorf("drange: pool device %d mismatch: profile geometry %+v differs from the device's %+v", i, profile.Geometry, dg))
+		}
+		eng, err := core.NewEngine(pctx, dev, sels, core.EngineConfig{
+			Shards: shardsPerDevice,
+			TRNG:   core.TRNGConfig{TRCDNS: trcd, Pattern: pat},
+		})
+		if err != nil {
+			return fail(fmt.Errorf("drange: pool device %d: %w", i, err))
+		}
+		m.eng = eng
+	}
+	return p, nil
+}
+
+// Devices returns the number of devices the pool opened (evicted included).
+func (p *Pool) Devices() int { return len(p.members) }
+
+// Healthy returns the number of devices currently serving reads.
+func (p *Pool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthyLocked()
+}
+
+// healthyLocked counts non-evicted members. Callers hold p.mu.
+func (p *Pool) healthyLocked() int {
+	n := 0
+	for _, m := range p.members {
+		if !m.evicted {
+			n++
+		}
+	}
+	return n
+}
+
+// evictLocked removes a member from scheduling: its engine stops, its device
+// closes, and its buffered bits are discarded. The last healthy member is
+// never evicted — the reason is recorded for Stats but reads continue.
+// Callers hold p.mu.
+func (p *Pool) evictLocked(m *poolMember, reason string) {
+	if m.evicted {
+		return
+	}
+	if p.healthyLocked() <= 1 {
+		m.reason = fmt.Sprintf("unhealthy but retained (last device): %s", reason)
+		return
+	}
+	m.evicted = true
+	m.reason = reason
+	m.cur, m.curOff = nil, 0
+	m.eng.Close()
+	if m.ownsDev {
+		closeDevice(m.pub)
+	}
+}
+
+// checkHealthLocked applies the health policy to a member whose bias window
+// just completed. Callers hold p.mu.
+func (p *Pool) checkHealthLocked(m *poolMember) {
+	if p.policy.Disabled {
+		m.winOnes, m.winBits = 0, 0
+		return
+	}
+	m.biasDelta = float64(m.winOnes)/float64(m.winBits) - 0.5
+	if m.biasDelta < 0 {
+		m.biasDelta = -m.biasDelta
+	}
+	m.winOnes, m.winBits = 0, 0
+	if p.policy.MaxBiasDelta >= 0 && m.biasDelta > p.policy.MaxBiasDelta {
+		p.evictLocked(m, fmt.Sprintf("bias drift: |ones-fraction-0.5| = %.3f over %d bits exceeds %.3f",
+			m.biasDelta, p.policy.WindowBits, p.policy.MaxBiasDelta))
+		return
+	}
+	if p.policy.MaxTempDriftC >= 0 {
+		drift := m.pub.Temperature() - m.baseTempC
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > p.policy.MaxTempDriftC {
+			p.evictLocked(m, fmt.Sprintf("temperature drift: %.1f °C from the %.1f °C baseline exceeds %.1f °C",
+				drift, m.baseTempC, p.policy.MaxTempDriftC))
+			return
+		}
+	}
+	// A window with no violation clears a retained-device complaint, so a
+	// transient excursion does not flag the device forever.
+	if !m.evicted {
+		m.reason = ""
+	}
+}
+
+// nextMemberLocked picks the healthy member with the least load (fewest bits
+// fetched; ties break to the lowest index, keeping the schedule — and hence
+// the output stream — deterministic under deterministic noise). Callers hold
+// p.mu.
+func (p *Pool) nextMemberLocked() *poolMember {
+	var best *poolMember
+	for _, m := range p.members {
+		if m.evicted {
+			continue
+		}
+		if best == nil || m.fetched < best.fetched {
+			best = m
+		}
+	}
+	return best
+}
+
+// fetchBatchBits is the per-fetch granularity of the pool scheduler: one
+// packed ring word per fetch keeps member interleaving fine-grained enough
+// for the bias monitor while amortising the engine's consumer lock.
+const fetchBatchBits = 64
+
+// rawBits assembles n harvested bits across the healthy members,
+// least-loaded first. A member whose engine fails is evicted and its
+// buffered bits discarded; the read carries on from the survivors and only
+// fails once no healthy member remains. Callers hold p.mu.
+func (p *Pool) rawBits(n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		m := p.nextMemberLocked()
+		if m == nil {
+			return nil, fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
+		}
+		if m.curOff >= len(m.cur) {
+			bits, err := m.eng.ReadBits(fetchBatchBits)
+			if err != nil {
+				// Engine failure (device error, cancelled context): evict and
+				// reschedule. The eviction keeps the last member, so a pool
+				// whose every engine is dead surfaces the error above.
+				if p.healthyLocked() <= 1 {
+					return nil, fmt.Errorf("drange: pool device %d (last healthy device): %w", m.idx, err)
+				}
+				p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
+				continue
+			}
+			m.cur, m.curOff = bits, 0
+			m.fetched += int64(len(bits))
+			for _, b := range bits {
+				m.winOnes += int64(b)
+			}
+			m.winBits += int64(len(bits))
+			if m.winBits >= int64(p.policy.WindowBits) {
+				p.checkHealthLocked(m)
+				// The member may have just been evicted; its buffered bits
+				// are gone and the scheduler picks the next member.
+				continue
+			}
+		}
+		take := n - len(out)
+		if avail := len(m.cur) - m.curOff; take > avail {
+			take = avail
+		}
+		out = append(out, m.cur[m.curOff:m.curOff+take]...)
+		m.curOff += take
+		m.delivered += int64(take)
+	}
+	return out, nil
+}
+
+// evictionSummaryLocked summarises why the pool ran out of devices.
+func (p *Pool) evictionSummaryLocked() string {
+	s := ""
+	for _, m := range p.members {
+		if m.reason == "" {
+			continue
+		}
+		if s != "" {
+			s += "; "
+		}
+		s += fmt.Sprintf("device %d: %s", m.idx, m.reason)
+	}
+	if s == "" {
+		return "no devices opened"
+	}
+	return s
+}
+
+// ReadBits returns n random bits, one bit per returned byte (0 or 1), after
+// any configured post-processing chain. It is safe for concurrent use.
+func (p *Pool) ReadBits(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("drange: bit count must be positive, got %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("drange: pool is closed")
+	}
+	var bits []byte
+	var err error
+	if p.post != nil {
+		bits, err = p.post.readBits(n, p.rawBits)
+	} else {
+		bits, err = p.rawBits(n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.delivered += int64(len(bits))
+	return bits, nil
+}
+
+// Read fills buf with random bytes, implementing io.Reader. It never returns
+// a short read except on error.
+func (p *Pool) Read(buf []byte) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	bits, err := p.ReadBits(len(buf) * 8)
+	if err != nil {
+		return 0, err
+	}
+	core.PackBitsMSBFirst(bits, buf)
+	return len(buf), nil
+}
+
+// Uint64 returns a 64-bit random value.
+func (p *Pool) Uint64() (uint64, error) {
+	var buf [8]byte
+	if _, err := p.Read(buf[:]); err != nil {
+		return 0, err
+	}
+	return core.BEUint64(buf), nil
+}
+
+// Close stops every member engine and releases every device. It is
+// idempotent.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.cancel()
+	p.closeMembers()
+	return nil
+}
+
+// closeMembers releases every non-evicted member (evicted members closed at
+// eviction time). Members whose engine never started — an OpenPool
+// constructor failure — still release their device, so a replay recorder's
+// log is flushed even when a later member fails to open.
+func (p *Pool) closeMembers() {
+	for _, m := range p.members {
+		if m.evicted {
+			continue
+		}
+		if m.eng != nil {
+			m.eng.Close()
+		}
+		if m.ownsDev && m.pub != nil {
+			closeDevice(m.pub)
+		}
+	}
+}
+
+// Stats returns the pool's aggregate accounting plus the per-device
+// breakdown in Stats.Devices. Shard entries across all devices are
+// flattened into Stats.Shards with globally renumbered shard indices;
+// evicted devices keep reporting the totals they reached before eviction.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := Stats{BitsDelivered: p.delivered}
+	bitsPerNS := 0.0
+	shardIdx := 0
+	for _, m := range p.members {
+		est := statsFromEngine(m.eng.Stats())
+		ds := PoolDeviceStats{
+			Device:         m.idx,
+			Serial:         m.profile.Serial,
+			Backend:        m.backend,
+			Healthy:        !m.evicted,
+			Evicted:        m.evicted,
+			Reason:         m.reason,
+			BiasDelta:      m.biasDelta,
+			TemperatureC:   m.lastTemperature(),
+			BitsHarvested:  est.BitsHarvested,
+			BitsDelivered:  m.delivered,
+			ThroughputMbps: est.AggregateThroughputMbps,
+			Latency64NS:    est.Latency64NS,
+			Shards:         est.Shards,
+		}
+		out.Devices = append(out.Devices, ds)
+		out.BitsHarvested += est.BitsHarvested
+		for _, ss := range est.Shards {
+			ss.Shard = shardIdx
+			shardIdx++
+			out.Shards = append(out.Shards, ss)
+		}
+		if !m.evicted && est.AggregateThroughputMbps > 0 {
+			bitsPerNS += est.AggregateThroughputMbps / 1000.0
+		}
+	}
+	if bitsPerNS > 0 {
+		out.AggregateThroughputMbps = bitsPerNS * 1000.0
+		out.Latency64NS = 64.0 / bitsPerNS
+	}
+	return out
+}
+
+// lastTemperature reads the member's device temperature; an evicted member
+// reports its baseline (its device may already be closed).
+func (m *poolMember) lastTemperature() float64 {
+	if m.evicted {
+		return m.baseTempC
+	}
+	return m.pub.Temperature()
+}
+
+var _ Source = (*Pool)(nil)

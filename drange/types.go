@@ -30,6 +30,14 @@ type Geometry struct {
 // IsZero reports whether the geometry is entirely unset.
 func (g Geometry) IsZero() bool { return g == Geometry{} }
 
+// wordsPerRow returns the number of DRAM words in one row (0 when unset).
+func (g Geometry) wordsPerRow() int {
+	if g.WordBits <= 0 {
+		return 0
+	}
+	return g.ColsPerRow / g.WordBits
+}
+
 func (g Geometry) internal() dram.Geometry {
 	return dram.Geometry{
 		Banks:        g.Banks,
@@ -179,38 +187,75 @@ type Density struct {
 // measured in simulated DRAM time. A sequential Source reports itself as a
 // single shard.
 type ShardStats struct {
-	Shard int
+	Shard int `json:"shard"`
 	// Banks is the number of banks the shard samples.
-	Banks int
+	Banks int `json:"banks"`
 	// BitsPerIteration is the shard's data rate per core-loop pass.
-	BitsPerIteration int
+	BitsPerIteration int `json:"bits_per_iteration"`
 	// BitsHarvested counts bits extracted from the DRAM (buffered included).
-	BitsHarvested int64
+	BitsHarvested int64 `json:"bits_harvested"`
 	// BitsDelivered counts bits consumers drained from this shard, before
 	// any post-processing chain.
-	BitsDelivered int64
+	BitsDelivered int64 `json:"bits_delivered"`
 	// SimCycles and SimNS are the shard controller's simulated time spent.
-	SimCycles int64
-	SimNS     float64
+	SimCycles int64   `json:"sim_cycles"`
+	SimNS     float64 `json:"sim_ns"`
 	// ThroughputMbps is the shard's harvest rate in simulated time.
-	ThroughputMbps float64
+	ThroughputMbps float64 `json:"throughput_mbps"`
 	// Latency64NS is the shard's simulated time to produce 64 bits.
-	Latency64NS float64
+	Latency64NS float64 `json:"latency_64_ns"`
 }
 
 // Stats is the per-shard and aggregate accounting of a Source. For a sharded
 // Source the aggregate throughput is the sum of the shard rates, mirroring
 // the paper's multi-channel scaling (Section 7.3, Table 2).
 type Stats struct {
-	Shards []ShardStats
+	Shards []ShardStats `json:"shards"`
+	// Devices is the per-device breakdown of a Pool (nil for single-device
+	// Sources). Its shard lists repeat the Shards entries grouped by device,
+	// with per-device shard numbering.
+	Devices []PoolDeviceStats `json:"devices,omitempty"`
 	// BitsHarvested counts bits extracted from the DRAM across all shards.
-	BitsHarvested int64
+	BitsHarvested int64 `json:"bits_harvested"`
 	// BitsDelivered counts bits callers actually received — after any
 	// post-processing chain, so it lags the per-shard drain counts by the
 	// chain's discard rate.
-	BitsDelivered           int64
-	AggregateThroughputMbps float64
-	Latency64NS             float64
+	BitsDelivered           int64   `json:"bits_delivered"`
+	AggregateThroughputMbps float64 `json:"aggregate_throughput_mbps"`
+	Latency64NS             float64 `json:"latency_64_ns"`
+}
+
+// PoolDeviceStats is the accounting and health state of one device of a
+// Pool.
+type PoolDeviceStats struct {
+	// Device is the index into the profiles slice passed to OpenPool.
+	Device int `json:"device"`
+	// Serial is the device serial from its profile.
+	Serial uint64 `json:"serial"`
+	// Backend is the backend the device was opened through.
+	Backend string `json:"backend"`
+	// Healthy reports whether the device is still serving reads; Evicted
+	// and Reason describe why not (Reason is also set, with Healthy still
+	// true, when the last remaining device violates the health policy but
+	// is retained).
+	Healthy bool   `json:"healthy"`
+	Evicted bool   `json:"evicted"`
+	Reason  string `json:"reason,omitempty"`
+	// BiasDelta is |ones-fraction − 0.5| over the last completed health
+	// window of this device's harvested bits.
+	BiasDelta float64 `json:"bias_delta"`
+	// TemperatureC is the device's last observed temperature.
+	TemperatureC float64 `json:"temperature_c"`
+	// BitsHarvested/BitsDelivered count bits the device's engine extracted
+	// and bits the pool handed to callers from this device.
+	BitsHarvested int64 `json:"bits_harvested"`
+	BitsDelivered int64 `json:"bits_delivered"`
+	// ThroughputMbps and Latency64NS are the device engine's aggregate rate
+	// in simulated DRAM time.
+	ThroughputMbps float64 `json:"throughput_mbps"`
+	Latency64NS    float64 `json:"latency_64_ns"`
+	// Shards is the device's per-shard breakdown.
+	Shards []ShardStats `json:"shards"`
 }
 
 // EngineStats is the former name of Stats.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/dram"
 	"repro/internal/power"
 	"repro/internal/timing"
@@ -89,18 +90,12 @@ func (c CommandScheduleTRNG) Metrics() (Metrics, error) {
 // deliberately modelled as a deterministic function of system state (the
 // memory-access interleaving), which is why the paper classifies this design
 // as not fully non-deterministic.
-func (c CommandScheduleTRNG) Harvest(dev *dram.Device, n int) ([]byte, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("baselines: bit count must be positive, got %d", n)
-	}
-	if dev == nil {
-		return nil, fmt.Errorf("baselines: nil device")
-	}
+func (c CommandScheduleTRNG) Harvest(dev device.Device, n int) ([]byte, error) {
 	// One harvest observes at most one access per DRAM cell's worth of
 	// schedule slots; bound the request before allocating caller-controlled
 	// amounts of memory.
-	if capacity := dev.Geometry().CellsPerDevice(); n > capacity {
-		return nil, fmt.Errorf("baselines: %d bits exceed the device's %d schedule slots per harvest", n, capacity)
+	if err := checkHarvestSize(dev, n, func(g dram.Geometry) int { return g.CellsPerDevice() }, "schedule slots"); err != nil {
+		return nil, err
 	}
 	// Access latencies alternate deterministically with refresh position;
 	// harvest the LSB of a synthetic latency counter.
@@ -160,7 +155,7 @@ func (r RetentionTRNG) Metrics(p timing.Params, m power.Model) (Metrics, error) 
 // Harvest models one retention round: it perturbs a block of the device's
 // stored data with retention-style failures derived from cell variation and
 // the device noise source, then hashes the block to OutputBits bits.
-func (r RetentionTRNG) Harvest(dev *dram.Device, noise dram.NoiseSource) ([]byte, error) {
+func (r RetentionTRNG) Harvest(dev device.Device, noise dram.NoiseSource) ([]byte, error) {
 	if dev == nil {
 		return nil, fmt.Errorf("baselines: nil device")
 	}
@@ -249,21 +244,15 @@ func (s StartupTRNG) Metrics(p timing.Params, m power.Model) (Metrics, error) {
 // Harvest reads the startup values of the first rows of bank 0 and returns
 // up to n bits. A second harvest without a power cycle returns the same
 // values, which is why the design cannot stream.
-func (s StartupTRNG) Harvest(dev *dram.Device, n int) ([]byte, error) {
-	if dev == nil {
-		return nil, fmt.Errorf("baselines: nil device")
-	}
-	if n <= 0 {
-		return nil, fmt.Errorf("baselines: bit count must be positive, got %d", n)
-	}
-	g := dev.Geometry()
+func (s StartupTRNG) Harvest(dev device.Device, n int) ([]byte, error) {
 	// The harvest reads bank 0 only, so the device can supply at most one
 	// bank's worth of startup bits. Validate before allocating: n is
 	// caller-controlled and an unconditional prealloc of n bytes lets a
 	// single oversized request (e.g. 1<<40) kill the process.
-	if n > g.CellsPerBank() {
-		return nil, fmt.Errorf("baselines: device too small for %d startup bits (bank holds %d)", n, g.CellsPerBank())
+	if err := checkHarvestSize(dev, n, func(g dram.Geometry) int { return g.CellsPerBank() }, "startup bits"); err != nil {
+		return nil, err
 	}
+	g := dev.Geometry()
 	bits := make([]byte, 0, n)
 	for row := 0; row < g.RowsPerBank && len(bits) < n; row++ {
 		data, err := dev.StartupRow(0, row)
@@ -327,4 +316,22 @@ func Table2(p timing.Params, m power.Model, drange Metrics) ([]Metrics, error) {
 		return nil, err
 	}
 	return []Metrics{pyo, keller, startup, retention, drange}, nil
+}
+
+// checkHarvestSize is the shared harvest-request validation: the device must
+// be present, the bit count positive, and the request within the harvest
+// capacity computed from the device geometry. Validating before allocating
+// matters because n is caller-controlled: a single oversized request must
+// fail loudly instead of preallocating its output buffer.
+func checkHarvestSize(dev device.Device, n int, capacity func(dram.Geometry) int, what string) error {
+	if dev == nil {
+		return fmt.Errorf("baselines: nil device")
+	}
+	if n <= 0 {
+		return fmt.Errorf("baselines: bit count must be positive, got %d", n)
+	}
+	if max := capacity(dev.Geometry()); n > max {
+		return fmt.Errorf("baselines: %d bits exceed the device's harvest capacity of %d %s", n, max, what)
+	}
+	return nil
 }

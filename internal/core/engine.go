@@ -7,7 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/dram"
+	"repro/internal/device"
 	"repro/internal/memctrl"
 )
 
@@ -84,7 +84,7 @@ type engineShard struct {
 // context-based: cancel the context passed to NewEngine or call Close.
 type Engine struct {
 	cfg   EngineConfig
-	dev   *dram.Device
+	dev   device.Device
 	parts [][]BankSelection
 
 	shards []*engineShard
@@ -112,7 +112,7 @@ type Engine struct {
 // per-shard bit yield), prepares one controller and single-shard TRNG per
 // shard, and starts the harvesting goroutines. The engine stops when ctx is
 // cancelled or Close is called.
-func NewEngine(ctx context.Context, dev *dram.Device, selections []BankSelection, cfg EngineConfig) (*Engine, error) {
+func NewEngine(ctx context.Context, dev device.Device, selections []BankSelection, cfg EngineConfig) (*Engine, error) {
 	if dev == nil {
 		return nil, fmt.Errorf("core: nil device")
 	}

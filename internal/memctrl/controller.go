@@ -12,7 +12,7 @@ package memctrl
 import (
 	"fmt"
 
-	"repro/internal/dram"
+	"repro/internal/device"
 	"repro/internal/timing"
 )
 
@@ -46,7 +46,7 @@ func WithRefresh() Option {
 // Controller drives one simulated DRAM device (one channel) with
 // cycle-accurate command timing.
 type Controller struct {
-	dev    *dram.Device
+	dev    device.Device
 	params timing.Params
 
 	// reducedTRCDNS is the programmed activation latency override in
@@ -69,8 +69,9 @@ type Controller struct {
 	stats Stats
 }
 
-// NewController builds a controller for dev.
-func NewController(dev *dram.Device, opts ...Option) *Controller {
+// NewController builds a controller for dev. Any device.Device works — the
+// built-in simulator, a replayed operation log, or a fault-injecting wrapper.
+func NewController(dev device.Device, opts ...Option) *Controller {
 	p := dev.Timing()
 	c := &Controller{
 		dev:     dev,
@@ -94,7 +95,7 @@ func NewController(dev *dram.Device, opts ...Option) *Controller {
 }
 
 // Device returns the device this controller drives.
-func (c *Controller) Device() *dram.Device { return c.dev }
+func (c *Controller) Device() device.Device { return c.dev }
 
 // Params returns the controller's default timing parameters.
 func (c *Controller) Params() timing.Params { return c.params }
