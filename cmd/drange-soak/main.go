@@ -1,0 +1,464 @@
+// Command drange-soak is the soak/conformance harness over the D-RaNGe
+// runtime: it drives the synthetic memory-request profiles of
+// internal/workload as random-number demand against simulated, faulty or
+// pooled sources for a configurable wall-clock duration, with the online
+// health-test subsystem attached, and emits a JSON report of throughput,
+// health-test trip counts and a NIST summary per workload scenario.
+//
+// The harness exists to *prove* the health tests catch real failure modes: a
+// healthy device must soak with zero trips, a stuck-column device must trip
+// the RCT/APT on every read, and a pool with a faulty member must evict it
+// while reads keep succeeding — and CI asserts exactly that over this tool's
+// JSON output.
+//
+// Profiles are characterized on the pristine simulator; the backend under
+// test is injected at Open, modelling a device that degraded *after*
+// characterization (the paper's temperature/aging concern — Section 5.3).
+//
+// Examples:
+//
+//	drange-soak -duration 10s -deterministic                 # healthy soak
+//	drange-soak -duration 10s -backend faulty -startup-bits -1
+//	drange-soak -duration 10s -devices 4 -faulty-member 2 -policy evict
+//	drange-soak -duration 30s -workloads stream-like,gcc-like -out report.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/drange"
+	"repro/internal/nist"
+	"repro/internal/workload"
+)
+
+// backendOpts collects repeated -backend-opt key=value flags.
+type backendOpts map[string]string
+
+func (b backendOpts) String() string {
+	parts := make([]string, 0, len(b))
+	for k, v := range b {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b backendOpts) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	b[k] = v
+	return nil
+}
+
+// tripReport is the health-test trip accounting of one scenario (or the run
+// totals).
+type tripReport struct {
+	RCT     int64 `json:"rct"`
+	APT     int64 `json:"apt"`
+	Bias    int64 `json:"bias"`
+	Blocked int64 `json:"blocked_windows"`
+	Total   int64 `json:"total"`
+}
+
+func (t *tripReport) add(h *drange.HealthStats) {
+	if h == nil {
+		return
+	}
+	t.RCT += h.RCTTrips
+	t.APT += h.APTTrips
+	t.Bias += h.BiasTrips
+	t.Blocked += h.BlockedWindows
+	t.Total += h.TotalTrips
+}
+
+// nistSummary condenses a NIST suite run for the report.
+type nistSummary struct {
+	Bits       int    `json:"bits"`
+	Passed     int    `json:"passed"`
+	Applicable int    `json:"applicable"`
+	AllPass    bool   `json:"all_pass"`
+	Skipped    string `json:"skipped,omitempty"`
+}
+
+// scenarioReport is the outcome of soaking one workload profile.
+type scenarioReport struct {
+	Workload string `json:"workload"`
+	// Requests/ReadsOK/ReadErrors/HealthErrors count the request loop:
+	// every request reads -bytes-per-request bytes; HealthErrors is the
+	// subset of failures that were typed *drange.HealthError.
+	Requests     int64 `json:"requests"`
+	ReadsOK      int64 `json:"reads_ok"`
+	ReadErrors   int64 `json:"read_errors"`
+	HealthErrors int64 `json:"health_errors"`
+	Bytes        int64 `json:"bytes"`
+	// StartupFailed reports that the source never opened because the
+	// startup self-test rejected the device.
+	StartupFailed bool   `json:"startup_failed,omitempty"`
+	OpenError     string `json:"open_error,omitempty"`
+	// WallMS is the scenario's wall-clock budget actually spent;
+	// WallMbps the delivered wall-clock rate; SimMbps the simulated
+	// aggregate harvest rate from Stats.
+	WallMS   float64 `json:"wall_ms"`
+	WallMbps float64 `json:"wall_mbps"`
+	SimMbps  float64 `json:"sim_mbps"`
+	// DevicesEvicted counts pool members evicted during the scenario.
+	DevicesEvicted int                 `json:"devices_evicted"`
+	Trips          tripReport          `json:"trips"`
+	Health         *drange.HealthStats `json:"health,omitempty"`
+	NIST           *nistSummary        `json:"nist,omitempty"`
+}
+
+// totalsReport aggregates every scenario.
+type totalsReport struct {
+	Requests        int64      `json:"requests"`
+	ReadsOK         int64      `json:"reads_ok"`
+	ReadErrors      int64      `json:"read_errors"`
+	HealthErrors    int64      `json:"health_errors"`
+	Bytes           int64      `json:"bytes"`
+	StartupFailures int64      `json:"startup_failures"`
+	DevicesEvicted  int        `json:"devices_evicted"`
+	Trips           tripReport `json:"trips"`
+}
+
+// report is the tool's JSON output.
+type report struct {
+	Config    map[string]any   `json:"config"`
+	Scenarios []scenarioReport `json:"scenarios"`
+	Totals    totalsReport     `json:"totals"`
+}
+
+func main() {
+	bopts := backendOpts{}
+	var (
+		duration      = flag.Duration("duration", 30*time.Second, "total soak wall-clock budget, split evenly across the selected workloads")
+		workloads     = flag.String("workloads", "all", "comma-separated workload profile names (see internal/workload), or \"all\"")
+		manufacturer  = flag.String("manufacturer", "A", "DRAM manufacturer profile: A, B or C")
+		serial        = flag.Uint64("serial", 1, "first device serial (pools use serial..serial+N-1)")
+		deterministic = flag.Bool("deterministic", false, "seeded noise source (reproducible soak, NOT for keys)")
+		devices       = flag.Int("devices", 1, "number of pool devices (1 opens a single Source unless -policy evict)")
+		parallel      = flag.Int("parallel", 1, "harvesting shards per device")
+		backend       = flag.String("backend", "", "device backend for every device: sim (default), faulty, or a registered name")
+		faultyMember  = flag.Int("faulty-member", -1, "pool member index opened through the faulty backend with every column stuck at 1")
+		policy        = flag.String("policy", "", "health action on a trip: error, block, evict, or off (default: error; evict for pools)")
+		symbolBits    = flag.Int("symbol-bits", 1, "RCT/APT symbol width in bits")
+		startupBits   = flag.Int("startup-bits", 4096, "startup self-test sample size in bits (negative disables)")
+		rows          = flag.Int("rows", 64, "rows per bank to characterize (the soak needs working devices, not maximal throughput)")
+		words         = flag.Int("words", 8, "DRAM words per row to characterize")
+		banks         = flag.Int("banks", 4, "banks to characterize (0 = all)")
+		perRequest    = flag.Int("bytes-per-request", 32, "random bytes read per workload request")
+		nistBits      = flag.Int("nist-bits", 20000, "bits read after each soak for the NIST summary (0 disables)")
+		out           = flag.String("out", "", "write the JSON report to this file instead of stdout")
+	)
+	flag.Var(bopts, "backend-opt", "backend option key=value (repeatable)")
+	flag.Parse()
+
+	if *duration <= 0 {
+		fatal(fmt.Errorf("-duration must be positive"))
+	}
+	if *devices < 1 {
+		fatal(fmt.Errorf("-devices must be at least 1"))
+	}
+	if *perRequest < 1 {
+		fatal(fmt.Errorf("-bytes-per-request must be at least 1"))
+	}
+	if *faultyMember >= *devices {
+		fatal(fmt.Errorf("-faulty-member %d outside the %d devices", *faultyMember, *devices))
+	}
+	if *backend == "faulty" && len(bopts) == 0 {
+		// The faulty backend's default is every column stuck: the worst case.
+		bopts["stuck"] = "1"
+	}
+
+	profiles := pickWorkloads(*workloads)
+	htp, healthOn := healthPolicy(*policy, *symbolBits, *startupBits)
+	// A faulty member or an explicit evict policy forces the pool path even
+	// for one device; resolve the effective trip policy from the same facts
+	// so the report's config block matches what actually ran.
+	isPool := *devices > 1 || *faultyMember >= 0 || htp.OnFailure == drange.HealthActionEvict
+	effectivePolicy := "off"
+	if healthOn {
+		effectivePolicy = htp.OnFailure.String()
+		if htp.OnFailure == drange.HealthActionDefault {
+			if isPool {
+				effectivePolicy = drange.HealthActionEvict.String()
+			} else {
+				effectivePolicy = drange.HealthActionError.String()
+			}
+		}
+	}
+
+	ctx := context.Background()
+	deviceProfiles := characterizeAll(ctx, *devices, *manufacturer, *serial, *deterministic, *rows, *words, *banks)
+
+	rep := report{Config: map[string]any{
+		"duration":          duration.String(),
+		"devices":           *devices,
+		"parallel":          *parallel,
+		"backend":           backendName(*backend),
+		"backend_opts":      bopts.String(),
+		"faulty_member":     *faultyMember,
+		"policy":            effectivePolicy,
+		"symbol_bits":       *symbolBits,
+		"startup_bits":      *startupBits,
+		"bytes_per_request": *perRequest,
+		"deterministic":     *deterministic,
+		"workloads":         names(profiles),
+	}}
+
+	perScenario := *duration / time.Duration(len(profiles))
+	for i, wp := range profiles {
+		opts := []drange.Option{drange.WithShards(*parallel)}
+		if *backend != "" {
+			opts = append(opts, drange.WithBackend(*backend, bopts))
+		}
+		if *faultyMember >= 0 {
+			opts = append(opts, drange.WithDeviceBackend(*faultyMember, "faulty",
+				map[string]string{"stuck": "1", "stuck-value": "1"}))
+		}
+		if healthOn {
+			opts = append(opts, drange.WithHealthTests(htp))
+		}
+		sc := soakScenario(ctx, wp, scenarioConfig{
+			profiles:   deviceProfiles,
+			opts:       opts,
+			pool:       isPool,
+			budget:     perScenario,
+			perRequest: *perRequest,
+			nistBits:   *nistBits,
+			seed:       *serial + uint64(i)*1000,
+		})
+		rep.Scenarios = append(rep.Scenarios, sc)
+
+		rep.Totals.Requests += sc.Requests
+		rep.Totals.ReadsOK += sc.ReadsOK
+		rep.Totals.ReadErrors += sc.ReadErrors
+		rep.Totals.HealthErrors += sc.HealthErrors
+		rep.Totals.Bytes += sc.Bytes
+		rep.Totals.DevicesEvicted += sc.DevicesEvicted
+		if sc.StartupFailed {
+			rep.Totals.StartupFailures++
+		}
+		rep.Totals.Trips.add(sc.Health)
+		fmt.Fprintf(os.Stderr, "drange-soak: %-16s %7d requests, %5.1f Mb/s wall, trips %d, health errors %d\n",
+			wp.Name, sc.Requests, sc.WallMbps, sc.Trips.Total, sc.HealthErrors)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// scenarioConfig carries one scenario's fixed inputs.
+type scenarioConfig struct {
+	profiles   []*drange.Profile
+	opts       []drange.Option
+	pool       bool
+	budget     time.Duration
+	perRequest int
+	nistBits   int
+	seed       uint64
+}
+
+// soakScenario opens a fresh source (so health counters are per-scenario),
+// replays the workload's request trace as random-number demand until the
+// wall-clock budget runs out, and snapshots the health and NIST state.
+func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) scenarioReport {
+	sc := scenarioReport{Workload: wp.Name}
+	start := time.Now()
+
+	var src drange.Source
+	var err error
+	if cfg.pool {
+		src, err = drange.OpenPool(ctx, cfg.profiles, cfg.opts...)
+	} else {
+		src, err = drange.Open(ctx, cfg.profiles[0], cfg.opts...)
+	}
+	if err != nil {
+		var herr *drange.HealthError
+		if errors.As(err, &herr) && herr.Test == "startup" {
+			// The startup self-test caught the device before a byte was
+			// served — for a conformance run over a faulty backend this IS
+			// the expected outcome; record it as such.
+			sc.StartupFailed = true
+		}
+		sc.OpenError = err.Error()
+		sc.WallMS = float64(time.Since(start).Microseconds()) / 1000.0
+		return sc
+	}
+	defer src.Close()
+
+	geom := cfg.profiles[0].Geometry
+	trace, err := workload.Generate(wp, workload.Config{
+		Banks:       geom.Banks,
+		RowsPerBank: geom.RowsPerBank,
+		WordsPerRow: geom.ColsPerRow / geom.WordBits,
+		DurationNS:  100_000, // 100 µs of simulated arrivals per trace pass
+		Seed:        cfg.seed,
+	})
+	if err != nil {
+		sc.OpenError = err.Error()
+		return sc
+	}
+	if len(trace) == 0 {
+		trace = append(trace, workload.Request{})
+	}
+
+	deadline := start.Add(cfg.budget)
+	buf := make([]byte, cfg.perRequest)
+	for time.Now().Before(deadline) {
+		// Each trace request is one unit of random-number demand (the trace's
+		// arrival intensity is what differentiates the workloads); the trace
+		// replays until the wall-clock budget runs out.
+		for range trace {
+			if !time.Now().Before(deadline) {
+				break
+			}
+			sc.Requests++
+			if _, err := src.Read(buf); err != nil {
+				sc.ReadErrors++
+				var herr *drange.HealthError
+				if errors.As(err, &herr) {
+					sc.HealthErrors++
+					continue // the source stays usable; keep soaking
+				}
+				sc.OpenError = err.Error()
+				sc.WallMS = float64(time.Since(start).Microseconds()) / 1000.0
+				return sc
+			}
+			sc.ReadsOK++
+			sc.Bytes += int64(len(buf))
+		}
+	}
+	wall := time.Since(start)
+	sc.WallMS = float64(wall.Microseconds()) / 1000.0
+	if wall > 0 {
+		sc.WallMbps = float64(sc.Bytes) * 8 / wall.Seconds() / 1e6
+	}
+
+	st := src.Stats()
+	sc.SimMbps = st.AggregateThroughputMbps
+	sc.Health = st.Health
+	sc.Trips.add(st.Health)
+	for _, d := range st.Devices {
+		if d.Evicted {
+			sc.DevicesEvicted++
+		}
+	}
+
+	if cfg.nistBits > 0 {
+		sc.NIST = &nistSummary{Bits: cfg.nistBits}
+		bits, err := src.ReadBits(cfg.nistBits)
+		if err != nil {
+			sc.NIST.Skipped = fmt.Sprintf("sample read failed: %v", err)
+		} else if res, err := nist.RunAll(bits, nist.DefaultAlpha); err != nil {
+			sc.NIST.Skipped = err.Error()
+		} else {
+			sc.NIST.Passed, sc.NIST.Applicable = res.Passed()
+			sc.NIST.AllPass = res.AllPass()
+		}
+		// Refresh the trip accounting: the sample read runs the health tests
+		// too, and on a faulty source it is often what trips them.
+		sc.Health = src.Stats().Health
+		sc.Trips = tripReport{}
+		sc.Trips.add(sc.Health)
+	}
+	return sc
+}
+
+// characterizeAll runs the one-time characterization for every device serial
+// on the pristine simulator.
+func characterizeAll(ctx context.Context, n int, manufacturer string, serial uint64, deterministic bool, rows, words, banks int) []*drange.Profile {
+	out := make([]*drange.Profile, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := drange.Characterize(ctx,
+			drange.WithManufacturer(manufacturer),
+			drange.WithSerial(serial+uint64(i)),
+			drange.WithDeterministic(deterministic),
+			drange.WithProfilingRegion(rows, words, banks),
+		)
+		if err != nil {
+			fatal(fmt.Errorf("characterizing device %d: %w", i, err))
+		}
+		fmt.Fprintf(os.Stderr, "drange-soak: device %d (serial %d): %d RNG cells across %d banks\n",
+			i, serial+uint64(i), len(p.Cells), p.Banks())
+		out = append(out, p)
+	}
+	return out
+}
+
+// pickWorkloads resolves the -workloads flag.
+func pickWorkloads(spec string) []workload.Profile {
+	if spec == "" || spec == "all" {
+		return workload.Profiles()
+	}
+	var out []workload.Profile
+	for _, name := range strings.Split(spec, ",") {
+		p, err := workload.ProfileByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("-workloads selected nothing"))
+	}
+	return out
+}
+
+// healthPolicy resolves the -policy/-symbol-bits/-startup-bits flags.
+func healthPolicy(policy string, symbolBits, startupBits int) (drange.HealthTestPolicy, bool) {
+	p := drange.HealthTestPolicy{SymbolBits: symbolBits, StartupBits: startupBits}
+	switch policy {
+	case "off":
+		return p, false
+	case "", "default":
+		// surface default: error for single sources, evict for pools
+	case "error":
+		p.OnFailure = drange.HealthActionError
+	case "block":
+		p.OnFailure = drange.HealthActionBlock
+	case "evict":
+		p.OnFailure = drange.HealthActionEvict
+	default:
+		fatal(fmt.Errorf("unknown -policy %q (want error, block, evict or off)", policy))
+	}
+	return p, true
+}
+
+func backendName(b string) string {
+	if b == "" {
+		return "sim"
+	}
+	return b
+}
+
+func names(ps []workload.Profile) []string {
+	out := make([]string, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "drange-soak: %v\n", err)
+	os.Exit(1)
+}

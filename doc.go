@@ -28,6 +28,9 @@
 //     6.1), bank-word selection (Section 6.2), the single-shard TRNG
 //     sampler (Algorithm 2) and the sharded Engine that composes one TRNG
 //     per simulated channel/rank for multi-bank parallel harvesting.
+//   - internal/health — the SP 800-90B style online health tests
+//     (Repetition Count Test, Adaptive Proportion Test, windowed bias
+//     monitor, startup self-test) that guard every Source's hot path.
 //   - internal/sim, internal/power, internal/nist, internal/baselines —
 //     the evaluation: loop timing, DRAMPower-style energy, the NIST
 //     SP 800-22 suite, and the prior-work TRNG baselines of Table 2.
@@ -55,6 +58,27 @@
 // Section 5.3 temperature sensitivity) evicts a degraded device without ever
 // failing readers while a healthy member remains. Stats gains a per-device
 // breakdown (Stats.Devices) on top of the per-shard accounting.
+//
+// # Online health tests
+//
+// The paper validates output quality offline with the NIST battery and
+// notes RNG cells drift with temperature and aging; drange.WithHealthTests
+// adds the runtime counterpart. Every harvested bit streams through the SP
+// 800-90B continuous health tests — the Repetition Count Test and Adaptive
+// Proportion Test over a configurable symbol width, plus a windowed bias
+// monitor — before it reaches a caller (and before any postprocess chain),
+// and a startup self-test (a fresh RCT/APT/bias pass plus a mini
+// internal/nist battery over the first bits) must pass before Open or
+// OpenPool serves a byte. Trips follow a policy: HealthActionError fails
+// reads with a typed *drange.HealthError, HealthActionBlock stalls until a
+// clean window (bounded), and pools default to HealthActionEvict, feeding
+// the existing per-device eviction so readers never fail while a healthy
+// member remains. Stats.Health (and the per-member
+// PoolDeviceStats.Health) carry the accounting. cmd/drange-soak is the
+// soak/conformance harness: it drives internal/workload request profiles
+// against sim, faulty and pooled sources and emits a JSON report of
+// throughput, trip counts and a NIST summary — CI asserts a healthy soak
+// trips nothing and a stuck-column device trips RCT/APT under every policy.
 //
 // # Profiles: characterize once, open many
 //

@@ -42,6 +42,15 @@
 //	if err != nil { ... }
 //	defer pool.Close()
 //	st := pool.Stats()                       // st.Devices: per-device breakdown
+//
+// WithHealthTests attaches the SP 800-90B style online health tests
+// (repetition count, adaptive proportion, windowed bias, startup self-test)
+// to any Source: trips fail reads with a typed *HealthError, block until a
+// clean window, or evict the offending pool member, and Stats.Health carries
+// the accounting:
+//
+//	src, err := drange.Open(ctx, profile,
+//	    drange.WithHealthTests(drange.HealthTestPolicy{}))  // full default battery
 package drange
 
 import (
@@ -53,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/dram"
+	"repro/internal/health"
 	"repro/internal/memctrl"
 	"repro/internal/nist"
 	"repro/internal/pattern"
@@ -205,8 +215,8 @@ func Characterize(ctx context.Context, opts ...Option) (*Profile, error) {
 		ctx = context.Background()
 	}
 	o := buildOptions(opts)
-	if o.shards != nil || len(o.post) > 0 {
-		return nil, fmt.Errorf("drange: generation options (WithShards, WithPostprocess) apply to Open, not Characterize")
+	if o.shards != nil || len(o.post) > 0 || o.healthTests != nil {
+		return nil, fmt.Errorf("drange: generation options (WithShards, WithPostprocess, WithHealthTests) apply to Open, not Characterize")
 	}
 	if err := o.rejectPoolOnly("Characterize"); err != nil {
 		return nil, err
@@ -349,6 +359,35 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 		}
 		g.eng = eng
 	}
+	if o.healthTests != nil && !o.healthTests.Disabled {
+		// The sampler is live from here on, so failures release it through
+		// Close (stopping harvest goroutines), not the bare device closer.
+		failStarted := func(err error) (Source, error) {
+			g.Close()
+			return nil, err
+		}
+		hp := o.healthTests.withDefaults(false)
+		if hp.OnFailure == HealthActionEvict {
+			return failStarted(fmt.Errorf("drange: health action %q applies to OpenPool, not Open (there is no pool member to evict)", hp.OnFailure))
+		}
+		mon, err := health.New(hp.config())
+		if err != nil {
+			return failStarted(fmt.Errorf("drange: %w", err))
+		}
+		g.hpolicy, g.monitor, g.startupOK = hp, mon, true
+		if hp.StartupBits > 0 {
+			sample, err := g.rawBits(hp.StartupBits)
+			if err != nil {
+				return failStarted(err)
+			}
+			// The sample is discarded, not delivered: keep rawDelivered equal
+			// to what callers can actually account for.
+			g.rawDelivered.Add(-int64(len(sample)))
+			if err := runStartup(sample, hp, -1); err != nil {
+				return failStarted(err)
+			}
+		}
+	}
 	return g, nil
 }
 
@@ -379,6 +418,18 @@ type Generator struct {
 	// while set, estimates refuse to run (their fresh controllers would
 	// desynchronise the running shards' bank state).
 	legacy *Engine
+
+	// monitor streams every raw bit through the online health tests (nil
+	// when WithHealthTests is not attached); hpolicy is the resolved policy,
+	// blockedWindows counts batches discarded under HealthActionBlock, and
+	// startupOK records the startup self-test outcome. All are guarded by mu
+	// (the lock-free sharded fast path is disabled while a monitor is
+	// attached, so the stream ordering the windowed tests rely on is
+	// well-defined).
+	monitor        *health.Monitor
+	hpolicy        HealthTestPolicy
+	blockedWindows int64
+	startupOK      bool
 
 	post *postChain
 	// rawDelivered counts bits drawn from the sampler; delivered counts
@@ -439,6 +490,39 @@ func (g *Generator) rawBits(n int) ([]byte, error) {
 	return bits, nil
 }
 
+// sampleBits reads n raw bits, streaming them through the online health
+// monitor when one is attached. On a trip the HealthError policy fails the
+// read; HealthActionBlock discards the dirty batch, resets the test windows and
+// harvests a fresh batch until one passes cleanly (bounded by
+// MaxBlockedWindows, so a dead device fails loudly instead of stalling
+// forever). Callers hold g.mu.
+func (g *Generator) sampleBits(n int) ([]byte, error) {
+	if g.monitor == nil {
+		return g.rawBits(n)
+	}
+	blocked := 0
+	for {
+		bits, err := g.rawBits(n)
+		if err != nil {
+			return nil, err
+		}
+		v := g.monitor.Ingest(bits)
+		if v == nil {
+			return bits, nil
+		}
+		if g.hpolicy.OnFailure != HealthActionBlock {
+			return nil, &HealthError{Test: string(v.Test), Device: -1, Detail: v.Detail}
+		}
+		g.monitor.Reset()
+		g.blockedWindows++
+		blocked++
+		if blocked >= g.hpolicy.MaxBlockedWindows {
+			return nil, &HealthError{Test: "blocked", Device: -1, Detail: fmt.Sprintf(
+				"no clean batch after discarding %d (last violation: %s: %s)", blocked, v.Test, v.Detail)}
+		}
+	}
+}
+
 // ReadBits returns n random bits, one bit per returned byte (values 0 or 1),
 // after any configured post-processing chain.
 func (g *Generator) ReadBits(n int) ([]byte, error) {
@@ -450,11 +534,13 @@ func (g *Generator) ReadBits(n int) ([]byte, error) {
 		g.mu.Unlock()
 		return nil, fmt.Errorf("drange: source is closed")
 	}
-	if g.eng != nil && g.post == nil {
-		// Sharded without post-processing: delegate to the thread-safe
-		// engine without holding the mutex, so concurrent consumers drain
-		// the shard rings in parallel (a Close during the read surfaces as
-		// the engine's sticky error).
+	if g.eng != nil && g.post == nil && g.monitor == nil {
+		// Sharded without post-processing or health tests: delegate to the
+		// thread-safe engine without holding the mutex, so concurrent
+		// consumers drain the shard rings in parallel (a Close during the
+		// read surfaces as the engine's sticky error). A health monitor
+		// forces the locked path: its windowed tests need one well-defined
+		// stream order.
 		g.mu.Unlock()
 		bits, err := g.eng.ReadBits(n)
 		if err != nil {
@@ -468,9 +554,9 @@ func (g *Generator) ReadBits(n int) ([]byte, error) {
 	var bits []byte
 	var err error
 	if g.post != nil {
-		bits, err = g.post.readBits(n, g.rawBits)
+		bits, err = g.post.readBits(n, g.sampleBits)
 	} else {
-		bits, err = g.rawBits(n)
+		bits, err = g.sampleBits(n)
 	}
 	if err != nil {
 		return nil, err
@@ -541,6 +627,7 @@ func (g *Generator) Stats() Stats {
 		// aggregate reports what callers actually received (they differ
 		// only under a post-processing chain).
 		st.BitsDelivered = g.delivered.Load()
+		st.Health = g.healthStatsLocked()
 		return st
 	}
 	bits := g.trng.BitsGenerated()
@@ -565,7 +652,17 @@ func (g *Generator) Stats() Stats {
 		BitsDelivered:           g.delivered.Load(),
 		AggregateThroughputMbps: ss.ThroughputMbps,
 		Latency64NS:             ss.Latency64NS,
+		Health:                  g.healthStatsLocked(),
 	}
+}
+
+// healthStatsLocked snapshots the health accounting (nil without
+// WithHealthTests). Callers hold g.mu.
+func (g *Generator) healthStatsLocked() *HealthStats {
+	if g.monitor == nil {
+		return nil
+	}
+	return healthStatsFrom(g.monitor, g.blockedWindows, g.startupOK)
 }
 
 // errEngineActive is returned by the estimators while harvesting shards own

@@ -164,6 +164,12 @@ func (g *Generator) Engine(ctx context.Context, shards int) (*Engine, error) {
 	if g.legacy != nil {
 		return nil, fmt.Errorf("drange: an engine is already active on this generator; Close it first")
 	}
+	if g.monitor != nil {
+		// The shim reads straight from core.Engine, which would bypass the
+		// online health tests and void the "every bit is tested before a
+		// caller sees it" guarantee.
+		return nil, fmt.Errorf("drange: the deprecated Engine shim cannot be combined with WithHealthTests; open the source with WithShards(%d) instead", shards)
+	}
 	eng, err := core.NewEngine(ctx, g.dev, g.sels, core.EngineConfig{
 		Shards: shards,
 		TRNG:   core.TRNGConfig{TRCDNS: g.trcdNS, Pattern: g.pat},

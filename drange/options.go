@@ -37,6 +37,7 @@ type options struct {
 	device         Device
 	deviceBackends map[int]backendSpec
 	health         *HealthPolicy
+	healthTests    *HealthTestPolicy
 }
 
 // backendSpec names a registered backend plus its options.

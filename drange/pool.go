@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/health"
 )
 
 // HealthPolicy controls a pool's per-device health tracking. D-RaNGe's
@@ -78,6 +79,14 @@ type poolMember struct {
 	winBits   int64
 	biasDelta float64
 
+	// monitor streams this member's harvested bits through the online
+	// health tests (nil unless WithHealthTests is attached);
+	// blockedWindows counts batches discarded under HealthActionBlock and
+	// startupOK records the startup self-test outcome.
+	monitor        *health.Monitor
+	blockedWindows int64
+	startupOK      bool
+
 	// cur holds bits fetched from the engine but not yet handed out.
 	cur    []byte
 	curOff int
@@ -93,8 +102,12 @@ type Pool struct {
 	mu      sync.Mutex
 	members []*poolMember
 	policy  HealthPolicy
-	post    *postChain
-	cancel  context.CancelFunc
+	// testsEnabled/testsPolicy carry the WithHealthTests policy (resolved
+	// with pool defaults: trips evict the offending member).
+	testsEnabled bool
+	testsPolicy  HealthTestPolicy
+	post         *postChain
+	cancel       context.CancelFunc
 
 	delivered int64
 	closed    bool
@@ -153,6 +166,10 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 
 	pctx, cancel := context.WithCancel(ctx)
 	p := &Pool{policy: policy, cancel: cancel}
+	if o.healthTests != nil && !o.healthTests.Disabled {
+		p.testsEnabled = true
+		p.testsPolicy = o.healthTests.withDefaults(true)
+	}
 	if len(o.post) > 0 {
 		chain, err := newPostChain(o.post)
 		if err != nil {
@@ -233,8 +250,60 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 			return fail(fmt.Errorf("drange: pool device %d: %w", i, err))
 		}
 		m.eng = eng
+		if p.testsEnabled {
+			mon, err := health.New(p.testsPolicy.config())
+			if err != nil {
+				return fail(fmt.Errorf("drange: %w", err))
+			}
+			m.monitor, m.startupOK = mon, true
+		}
+	}
+	if err := p.runStartupTests(); err != nil {
+		return fail(err)
 	}
 	return p, nil
+}
+
+// runStartupTests runs the startup self-test over every member's first
+// StartupBits bits before the pool serves a byte. Under the HealthActionEvict
+// action a failing member is evicted at open (it never serves); unlike
+// runtime eviction this may empty the pool, which fails the open — a fleet
+// where every device flunks its self-test must not come up at all. Any other
+// action fails the open on the first failing member.
+func (p *Pool) runStartupTests() error {
+	if !p.testsEnabled || p.testsPolicy.StartupBits <= 0 {
+		return nil
+	}
+	var firstErr error
+	failed := 0
+	for _, m := range p.members {
+		sample, err := m.eng.ReadBits(p.testsPolicy.StartupBits)
+		if err != nil {
+			return fmt.Errorf("drange: pool device %d startup sample: %w", m.idx, err)
+		}
+		serr := runStartup(sample, p.testsPolicy, m.idx)
+		if serr == nil {
+			continue
+		}
+		failed++
+		if firstErr == nil {
+			firstErr = serr
+		}
+		if p.testsPolicy.OnFailure != HealthActionEvict {
+			return serr
+		}
+		m.startupOK = false
+		m.evicted = true
+		m.reason = fmt.Sprintf("startup health test failed: %v", serr)
+		m.eng.Close()
+		if m.ownsDev {
+			closeDevice(m.pub)
+		}
+	}
+	if failed == len(p.members) {
+		return fmt.Errorf("drange: every pool device failed its startup health test: %w", firstErr)
+	}
+	return nil
 }
 
 // Devices returns the number of devices the pool opened (evicted included).
@@ -342,6 +411,7 @@ const fetchBatchBits = 64
 // fails once no healthy member remains. Callers hold p.mu.
 func (p *Pool) rawBits(n int) ([]byte, error) {
 	out := make([]byte, 0, n)
+	blockedBatches := 0
 	for len(out) < n {
 		m := p.nextMemberLocked()
 		if m == nil {
@@ -358,6 +428,37 @@ func (p *Pool) rawBits(n int) ([]byte, error) {
 				}
 				p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
 				continue
+			}
+			if m.monitor != nil {
+				if v := m.monitor.Ingest(bits); v != nil {
+					switch p.testsPolicy.OnFailure {
+					case HealthActionError:
+						return nil, &HealthError{Test: string(v.Test), Device: m.idx, Detail: v.Detail}
+					case HealthActionBlock:
+						// Discard the dirty batch and refetch (the
+						// least-loaded scheduler naturally retries this
+						// member first), bounded per read so a pool of dead
+						// devices fails loudly.
+						m.monitor.Reset()
+						m.blockedWindows++
+						blockedBatches++
+						if blockedBatches >= p.testsPolicy.MaxBlockedWindows {
+							return nil, &HealthError{Test: "blocked", Device: m.idx, Detail: fmt.Sprintf(
+								"no clean batch after discarding %d (last violation: %s: %s)", blockedBatches, v.Test, v.Detail)}
+						}
+						continue
+					default: // HealthActionEvict
+						p.evictLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
+						if m.evicted {
+							continue
+						}
+						// The last healthy member is retained (degraded
+						// output beats no output, matching the device-health
+						// policy): serve the batch with the violation
+						// recorded in Reason and the trip counters.
+						m.monitor.Reset()
+					}
+				}
 			}
 			m.cur, m.curOff = bits, 0
 			m.fetched += int64(len(bits))
@@ -489,6 +590,9 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := Stats{BitsDelivered: p.delivered}
+	if p.testsEnabled {
+		out.Health = &HealthStats{SymbolBits: p.testsPolicy.SymbolBits, StartupPassed: true}
+	}
 	bitsPerNS := 0.0
 	shardIdx := 0
 	for _, m := range p.members {
@@ -507,6 +611,26 @@ func (p *Pool) Stats() Stats {
 			ThroughputMbps: est.AggregateThroughputMbps,
 			Latency64NS:    est.Latency64NS,
 			Shards:         est.Shards,
+		}
+		if m.monitor != nil {
+			ds.Health = healthStatsFrom(m.monitor, m.blockedWindows, m.startupOK)
+			agg := out.Health
+			agg.BitsTested += ds.Health.BitsTested
+			agg.SymbolsTested += ds.Health.SymbolsTested
+			agg.RCTTrips += ds.Health.RCTTrips
+			agg.APTTrips += ds.Health.APTTrips
+			agg.BiasTrips += ds.Health.BiasTrips
+			agg.TotalTrips += ds.Health.TotalTrips
+			agg.BlockedWindows += ds.Health.BlockedWindows
+			if ds.Health.LongestRun > agg.LongestRun {
+				agg.LongestRun = ds.Health.LongestRun
+			}
+			if !ds.Health.StartupPassed {
+				agg.StartupPassed = false
+			}
+			if ds.Health.LastViolation != "" {
+				agg.LastViolation = ds.Health.LastViolation
+			}
 		}
 		out.Devices = append(out.Devices, ds)
 		out.BitsHarvested += est.BitsHarvested

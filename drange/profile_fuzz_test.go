@@ -1,0 +1,59 @@
+package drange
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzProfileDecode asserts DecodeProfile's contract over arbitrary input:
+// corrupt, truncated or hostile profiles return an error and never panic, and
+// anything accepted must survive Validate and re-encode. The seed corpus
+// covers the interesting regions — a valid sealed profile, truncations at
+// several depths, single bit flips (which must fail the integrity checksum),
+// and structurally valid JSON missing the parts Validate checks.
+func FuzzProfileDecode(f *testing.F) {
+	valid, err := newV1GoldenProfile().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// Truncations: mid-header, mid-cells, just before the checksum line.
+	for _, frac := range []int{8, 2, 1} {
+		f.Add(valid[:len(valid)-len(valid)/frac])
+	}
+	// Bit flips in the header, the payload and the checksum itself.
+	for _, pos := range []int{20, len(valid) / 2, len(valid) - 12} {
+		flipped := bytes.Clone(valid)
+		flipped[pos] ^= 0x01
+		f.Add(flipped)
+	}
+	// A profile edited without resealing (field tweak keeps valid JSON).
+	f.Add(bytes.Replace(valid, []byte(`"serial": 42`), []byte(`"serial": 43`), 1))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99,"checksum":"sha256:00"}`))
+	f.Add([]byte(`{"version":1,"geometry":{"banks":1,"rows_per_bank":1,"cols_per_row":64,"subarray_rows":1,"word_bits":0}}`))
+	f.Add([]byte(`{"version":-1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProfile(data)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("DecodeProfile returned both a profile and error %v", err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("DecodeProfile returned nil without an error")
+		}
+		// Anything accepted must be internally consistent and re-encodable.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted profile fails Validate: %v", err)
+		}
+		if _, err := p.Encode(); err != nil {
+			t.Fatalf("accepted profile fails Encode: %v", err)
+		}
+	})
+}

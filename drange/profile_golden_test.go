@@ -1,0 +1,165 @@
+package drange
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// updateGolden rewrites the golden files instead of comparing against them:
+//
+//	go test ./drange -run TestProfileV1GoldenFile -update
+//
+// Only do this for a deliberate, documented format change.
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// newV1GoldenProfile is a hand-built, fully deterministic v1 profile
+// covering every wire-format field. The golden-file test freezes its
+// encoding byte-for-byte (so any accidental change to field names, ordering,
+// number formatting or checksum placement fails loudly) and FuzzProfileDecode
+// derives its seed corpus from it. It panics rather than taking a *testing.T
+// because fuzz seeding has none.
+func newV1GoldenProfile() *Profile {
+	p := &Profile{
+		Version:      ProfileVersion,
+		Manufacturer: "A",
+		Serial:       42,
+		Geometry: Geometry{
+			Banks:        2,
+			RowsPerBank:  64,
+			ColsPerRow:   1024,
+			SubarrayRows: 32,
+			WordBits:     256,
+		},
+		Characterization: CharacterizationParams{
+			TRCDNS:           10,
+			Samples:          600,
+			Tolerance:        0.35,
+			MaxBiasDelta:     0.02,
+			ScreenIterations: 50,
+			Pattern:          "SOLID0",
+			RowsPerBank:      64,
+			WordsPerRow:      4,
+			Banks:            2,
+			Deterministic:    true,
+		},
+		Cells: []Cell{
+			{Bank: 0, Row: 1, Col: 10, Word: 0, FailProbability: 0.5, SymbolEntropy: 2.99},
+			{Bank: 0, Row: 2, Col: 300, Word: 1, FailProbability: 0.49, SymbolEntropy: 2.97},
+		},
+		Selections: []Selection{
+			{
+				Bank:  0,
+				Word1: WordSelection{Row: 1, Word: 0, Cols: []int{10}},
+				Word2: WordSelection{Row: 2, Word: 1, Cols: []int{300}},
+			},
+		},
+	}
+	if err := p.Seal(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+const goldenProfilePath = "testdata/profile_v1.golden.json"
+
+// TestProfileV1GoldenFile freezes the v1 Profile JSON wire format: the
+// committed golden file must decode and validate, and re-encoding the same
+// logical profile must reproduce it byte-for-byte. A mismatch means the wire
+// format changed — which requires a version bump and a compatibility shim,
+// not a silent re-blessing of the golden file.
+func TestProfileV1GoldenFile(t *testing.T) {
+	encoded, err := newV1GoldenProfile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenProfilePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenProfilePath, encoded, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenProfilePath)
+		return
+	}
+	golden, err := os.ReadFile(goldenProfilePath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(encoded, golden) {
+		t.Fatalf("profile v1 wire format changed.\nEncoding a fixed profile no longer matches %s.\nIf this is intentional, bump ProfileVersion, keep a decode path for v1, and regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s",
+			goldenProfilePath, encoded, golden)
+	}
+
+	// The golden bytes must round-trip through the public decode path.
+	decoded, err := DecodeProfile(golden)
+	if err != nil {
+		t.Fatalf("golden profile no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, newV1GoldenProfile()) {
+		t.Error("decoded golden profile differs from the in-memory original")
+	}
+}
+
+// TestProfileV1GoldenShape pins the structural facts a byte comparison alone
+// would bury in a diff: the exact top-level field set, their order, and the
+// checksum sitting last (so the integrity digest visibly covers everything
+// before it).
+func TestProfileV1GoldenShape(t *testing.T) {
+	golden, err := os.ReadFile(goldenProfilePath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(golden))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		t.Fatalf("golden file does not open an object: %v %v", tok, err)
+	}
+	var keys []string
+	depth := 0
+	expectKey := true
+	for dec.More() || depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch v := tok.(type) {
+		case json.Delim:
+			switch v {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+			expectKey = depth == 0
+		case string:
+			if depth == 0 && expectKey {
+				keys = append(keys, v)
+				expectKey = false
+				continue
+			}
+			if depth == 0 {
+				expectKey = true
+			}
+		default:
+			if depth == 0 {
+				expectKey = true
+			}
+		}
+	}
+	want := []string{"version", "manufacturer", "serial", "geometry", "characterization", "cells", "selections", "checksum"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("top-level field order = %v, want %v", keys, want)
+	}
+	if keys[len(keys)-1] != "checksum" {
+		t.Error("checksum is not the last top-level field")
+	}
+	if !strings.Contains(string(golden), `"checksum": "sha256:`) {
+		t.Error("checksum is not a sha256-tagged digest")
+	}
+}

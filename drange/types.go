@@ -223,6 +223,10 @@ type Stats struct {
 	BitsDelivered           int64   `json:"bits_delivered"`
 	AggregateThroughputMbps float64 `json:"aggregate_throughput_mbps"`
 	Latency64NS             float64 `json:"latency_64_ns"`
+	// Health is the online health-test accounting (nil unless
+	// WithHealthTests is attached). For a Pool it aggregates the member
+	// monitors; the per-device breakdown sits in each PoolDeviceStats.
+	Health *HealthStats `json:"health,omitempty"`
 }
 
 // PoolDeviceStats is the accounting and health state of one device of a
@@ -256,6 +260,9 @@ type PoolDeviceStats struct {
 	Latency64NS    float64 `json:"latency_64_ns"`
 	// Shards is the device's per-shard breakdown.
 	Shards []ShardStats `json:"shards"`
+	// Health is this device's online health-test accounting (nil unless
+	// WithHealthTests is attached to the pool).
+	Health *HealthStats `json:"health,omitempty"`
 }
 
 // EngineStats is the former name of Stats.

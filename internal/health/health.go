@@ -1,0 +1,399 @@
+// Package health implements the SP 800-90B style online health tests that
+// guard a D-RaNGe bitstream in the hot path: the Repetition Count Test (RCT)
+// and the Adaptive Proportion Test (APT) over configurable symbol widths,
+// plus a windowed bias monitor. The paper validates D-RaNGe's output quality
+// offline with the NIST battery and notes that RNG cells drift with
+// temperature and aging (Section 5.3); these tests are the continuous
+// counterpart — they run over every harvested bit and catch a degraded
+// device from the bitstream itself, before biased output reaches a caller.
+//
+// A Monitor is not safe for concurrent use; the drange facade drives one
+// monitor per source (or per pool member) under the source's lock.
+package health
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/nist"
+)
+
+// defaultAlphaExp is -log2 of the false-positive probability the default
+// cutoffs are derived for. SP 800-90B recommends choosing alpha in
+// [2^-40, 2^-20]; 2^-30 keeps healthy sources tripping less than once per
+// ~10^9 windows while a stuck or heavily biased device trips within one.
+const defaultAlphaExp = 30
+
+// MaxSymbolBits bounds the symbol width of the RCT/APT tests. Wider symbols
+// see longer-range structure but need proportionally longer windows.
+const MaxSymbolBits = 16
+
+// DefaultRCTCutoff returns the SP 800-90B §4.4.1 repetition-count cutoff for
+// a full-entropy source emitting symbolBits-bit symbols:
+// C = 1 + ceil(-log2(alpha) / H) with alpha = 2^-30 and H = symbolBits.
+func DefaultRCTCutoff(symbolBits int) int {
+	if symbolBits < 1 {
+		symbolBits = 1
+	}
+	return 1 + (defaultAlphaExp+symbolBits-1)/symbolBits
+}
+
+// DefaultAPTWindow returns the SP 800-90B §4.4.2 window size: 1024 symbols
+// for binary sources, 512 otherwise.
+func DefaultAPTWindow(symbolBits int) int {
+	if symbolBits <= 1 {
+		return 1024
+	}
+	return 512
+}
+
+// DefaultAPTCutoff returns the smallest count C such that a full-entropy
+// source emitting symbolBits-bit symbols sees C or more copies of any fixed
+// symbol in a window-symbol window with probability at most 2^-30: the
+// critical binomial value SP 800-90B §4.4.2 prescribes, computed exactly in
+// log space.
+func DefaultAPTCutoff(window, symbolBits int) int {
+	if symbolBits < 1 {
+		symbolBits = 1
+	}
+	if window < 1 {
+		window = DefaultAPTWindow(symbolBits)
+	}
+	logP := -float64(symbolBits) * math.Ln2 // log of the per-symbol hit probability
+	logQ := math.Log1p(-math.Exp(logP))     // log(1 - p)
+	logAlpha := -defaultAlphaExp * math.Ln2 // log(2^-30)
+	lgamma := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+	n := float64(window)
+	// Walk the upper tail downwards, accumulating P[X >= c] until it first
+	// exceeds alpha; the cutoff is one above that point.
+	tail := math.Inf(-1) // log of the accumulated tail probability
+	for c := window; c >= 0; c-- {
+		k := float64(c)
+		logTerm := lgamma(n+1) - lgamma(k+1) - lgamma(n-k+1) + k*logP + (n-k)*logQ
+		// tail = log(exp(tail) + exp(logTerm)), numerically stable.
+		if logTerm > tail {
+			tail, logTerm = logTerm, tail
+		}
+		tail += math.Log1p(math.Exp(logTerm - tail))
+		if tail > logAlpha {
+			if c+1 > window {
+				return window
+			}
+			return c + 1
+		}
+	}
+	return 1
+}
+
+// Config parameterizes a Monitor. The zero value of every field selects the
+// SP 800-90B style default documented on the field.
+type Config struct {
+	// SymbolBits is the width of the symbols the RCT and APT operate on, in
+	// [1, MaxSymbolBits]. Harvested bits are packed MSB-first into symbols.
+	// Width 1 (the default) watches the raw bitstream; wider symbols catch
+	// periodic structure single bits cannot (e.g. a 0101... stutter trips the
+	// RCT at width 4 but never at width 1).
+	SymbolBits int
+	// RCTCutoff is the repetition-count cutoff: RCTCutoff consecutive
+	// identical symbols trip the test. 0 selects DefaultRCTCutoff.
+	RCTCutoff int
+	// APTWindow and APTCutoff parameterize the adaptive proportion test: at
+	// each window start the first symbol is taken as reference, and APTCutoff
+	// or more occurrences within APTWindow symbols trip the test. 0 selects
+	// DefaultAPTWindow / DefaultAPTCutoff.
+	APTWindow int
+	APTCutoff int
+	// BiasWindowBits is the bias monitor's window; at each full window the
+	// ones-fraction of the window is compared against one half. 0 selects
+	// 4096.
+	BiasWindowBits int
+	// MaxBiasDelta trips the bias monitor when |ones-fraction − 0.5| over a
+	// window exceeds it. 0 selects 0.1; negative disables the bias monitor.
+	MaxBiasDelta float64
+}
+
+// withDefaults resolves every zero field to its documented default.
+func (c Config) withDefaults() Config {
+	if c.SymbolBits == 0 {
+		c.SymbolBits = 1
+	}
+	if c.RCTCutoff == 0 {
+		c.RCTCutoff = DefaultRCTCutoff(c.SymbolBits)
+	}
+	if c.APTWindow == 0 {
+		c.APTWindow = DefaultAPTWindow(c.SymbolBits)
+	}
+	if c.APTCutoff == 0 {
+		c.APTCutoff = DefaultAPTCutoff(c.APTWindow, c.SymbolBits)
+	}
+	if c.BiasWindowBits == 0 {
+		c.BiasWindowBits = 4096
+	}
+	if c.MaxBiasDelta == 0 {
+		c.MaxBiasDelta = 0.1
+	}
+	return c
+}
+
+// validate rejects unusable parameter combinations after defaulting.
+func (c Config) validate() error {
+	if c.SymbolBits < 1 || c.SymbolBits > MaxSymbolBits {
+		return fmt.Errorf("health: symbol width %d outside [1,%d]", c.SymbolBits, MaxSymbolBits)
+	}
+	if c.RCTCutoff < 2 {
+		return fmt.Errorf("health: RCT cutoff %d must be at least 2", c.RCTCutoff)
+	}
+	if c.APTWindow < 2 {
+		return fmt.Errorf("health: APT window %d must be at least 2", c.APTWindow)
+	}
+	if c.APTCutoff < 2 || c.APTCutoff > c.APTWindow {
+		return fmt.Errorf("health: APT cutoff %d outside [2,%d]", c.APTCutoff, c.APTWindow)
+	}
+	if c.BiasWindowBits < 2 {
+		return fmt.Errorf("health: bias window %d bits must be at least 2", c.BiasWindowBits)
+	}
+	return nil
+}
+
+// Test names one of the continuous health tests.
+type Test string
+
+const (
+	// TestRCT is the repetition count test (SP 800-90B §4.4.1).
+	TestRCT Test = "rct"
+	// TestAPT is the adaptive proportion test (SP 800-90B §4.4.2).
+	TestAPT Test = "apt"
+	// TestBias is the windowed bias monitor.
+	TestBias Test = "bias"
+	// TestStartup is the startup self-test (RCT/APT plus a mini NIST battery
+	// over the first bits of a source).
+	TestStartup Test = "startup"
+)
+
+// Violation reports one health-test trip.
+type Violation struct {
+	// Test is the tripped test.
+	Test Test
+	// Detail is a human-readable description of the trip.
+	Detail string
+}
+
+// Counters is a snapshot of a Monitor's accounting.
+type Counters struct {
+	// BitsTested counts bits ingested; SymbolsTested counts the packed
+	// symbols the RCT/APT saw.
+	BitsTested    int64
+	SymbolsTested int64
+	// RCTTrips, APTTrips and BiasTrips count trips per test.
+	RCTTrips  int64
+	APTTrips  int64
+	BiasTrips int64
+	// LongestRun is the longest run of identical symbols observed (capped at
+	// the trip point: a tripped run resets).
+	LongestRun int64
+	// LastViolation describes the most recent trip ("" when none).
+	LastViolation string
+}
+
+// Trips returns the total trip count across all tests.
+func (c Counters) Trips() int64 { return c.RCTTrips + c.APTTrips + c.BiasTrips }
+
+// Monitor runs the continuous health tests over a bitstream fed to Ingest in
+// arbitrary batch sizes. State carries across batches, so the tests behave
+// identically however the stream is chunked.
+type Monitor struct {
+	cfg Config
+
+	// symbol packing: cur accumulates curBits MSB-first bits.
+	cur     uint64
+	curBits int
+
+	// RCT state: run counts consecutive occurrences of last.
+	last     uint64
+	haveLast bool
+	run      int
+
+	// APT state: ref is the window's reference symbol, refCount its
+	// occurrences, seen the symbols consumed from the current window.
+	ref      uint64
+	refCount int
+	seen     int
+
+	// bias window state.
+	winOnes int64
+	winBits int64
+
+	counters Counters
+}
+
+// New returns a Monitor for the configuration, after defaulting zero fields.
+func New(cfg Config) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{cfg: cfg}, nil
+}
+
+// Config returns the monitor's fully resolved configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Counters returns a snapshot of the monitor's accounting.
+func (m *Monitor) Counters() Counters { return m.counters }
+
+// Reset clears every window, run and partially packed symbol — the "discard
+// the dirty window and start clean" step of a blocking policy. Counters are
+// preserved.
+func (m *Monitor) Reset() {
+	m.cur, m.curBits = 0, 0
+	m.haveLast, m.run = false, 0
+	m.refCount, m.seen = 0, 0
+	m.winOnes, m.winBits = 0, 0
+}
+
+// Ingest feeds bits (one bit per byte, values 0 or 1) through the tests. It
+// returns the first violation and leaves the remaining bits of the batch
+// unprocessed — under every policy the caller discards the batch (or the
+// whole source) on a trip, so the tail would only be dropped again. The
+// tripped test's state is reset so a continuing caller re-accumulates from
+// scratch; counters record the trip either way.
+func (m *Monitor) Ingest(bits []byte) *Violation {
+	for _, b := range bits {
+		m.counters.BitsTested++
+		bit := uint64(0)
+		if b != 0 {
+			bit = 1
+		}
+		// Bias monitor runs on raw bits, whatever the symbol width.
+		m.winOnes += int64(bit)
+		m.winBits++
+		if m.winBits >= int64(m.cfg.BiasWindowBits) {
+			if v := m.biasWindowDone(); v != nil {
+				m.recordTrip(v)
+				return v
+			}
+		}
+		// Pack MSB-first into the configured symbol width.
+		m.cur = m.cur<<1 | bit
+		m.curBits++
+		if m.curBits < m.cfg.SymbolBits {
+			continue
+		}
+		sym := m.cur
+		m.cur, m.curBits = 0, 0
+		if v := m.ingestSymbol(sym); v != nil {
+			m.recordTrip(v)
+			return v
+		}
+	}
+	return nil
+}
+
+// ingestSymbol advances the RCT and APT by one symbol.
+func (m *Monitor) ingestSymbol(sym uint64) *Violation {
+	m.counters.SymbolsTested++
+
+	// Repetition count test.
+	if m.haveLast && sym == m.last {
+		m.run++
+	} else {
+		m.last, m.haveLast, m.run = sym, true, 1
+	}
+	if int64(m.run) > m.counters.LongestRun {
+		m.counters.LongestRun = int64(m.run)
+	}
+	if m.run >= m.cfg.RCTCutoff {
+		v := &Violation{Test: TestRCT, Detail: fmt.Sprintf(
+			"symbol %#x repeated %d times (cutoff %d, width %d bits)",
+			m.last, m.run, m.cfg.RCTCutoff, m.cfg.SymbolBits)}
+		m.haveLast, m.run = false, 0
+		return v
+	}
+
+	// Adaptive proportion test.
+	if m.seen == 0 {
+		m.ref, m.refCount = sym, 0
+	}
+	m.seen++
+	if sym == m.ref {
+		m.refCount++
+		if m.refCount >= m.cfg.APTCutoff {
+			v := &Violation{Test: TestAPT, Detail: fmt.Sprintf(
+				"symbol %#x occurred %d times in a %d-symbol window (cutoff %d, width %d bits)",
+				m.ref, m.refCount, m.cfg.APTWindow, m.cfg.APTCutoff, m.cfg.SymbolBits)}
+			m.refCount, m.seen = 0, 0
+			return v
+		}
+	}
+	if m.seen >= m.cfg.APTWindow {
+		m.refCount, m.seen = 0, 0
+	}
+	return nil
+}
+
+// biasWindowDone evaluates and clears a completed bias window.
+func (m *Monitor) biasWindowDone() *Violation {
+	ones, bits := m.winOnes, m.winBits
+	m.winOnes, m.winBits = 0, 0
+	if m.cfg.MaxBiasDelta < 0 {
+		return nil
+	}
+	delta := float64(ones)/float64(bits) - 0.5
+	if delta < 0 {
+		delta = -delta
+	}
+	if delta <= m.cfg.MaxBiasDelta {
+		return nil
+	}
+	return &Violation{Test: TestBias, Detail: fmt.Sprintf(
+		"|ones-fraction - 0.5| = %.3f over %d bits exceeds %.3f",
+		delta, bits, m.cfg.MaxBiasDelta)}
+}
+
+// recordTrip updates the per-test trip counters.
+func (m *Monitor) recordTrip(v *Violation) {
+	switch v.Test {
+	case TestRCT:
+		m.counters.RCTTrips++
+	case TestAPT:
+		m.counters.APTTrips++
+	case TestBias:
+		m.counters.BiasTrips++
+	}
+	m.counters.LastViolation = fmt.Sprintf("%s: %s", v.Test, v.Detail)
+}
+
+// Startup runs the SP 800-90B style startup self-test over the first bits of
+// a source: a fresh Monitor's RCT/APT/bias pass, then the NIST battery at
+// significance alpha (nist.DefaultAlpha when 0). Bits too few for the NIST
+// battery skip it — the continuous tests still apply — so a caller that
+// configures a tiny startup sample is not failed for streaming too little.
+// It returns the violation that tripped, or nil when the sample is clean.
+func Startup(bits []byte, cfg Config, alpha float64) (*Violation, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if v := m.Ingest(bits); v != nil {
+		return &Violation{Test: TestStartup, Detail: fmt.Sprintf("%s: %s", v.Test, v.Detail)}, nil
+	}
+	if alpha == 0 {
+		alpha = nist.DefaultAlpha
+	}
+	res, err := nist.RunAll(bits, alpha)
+	if err != nil {
+		if errors.Is(err, nist.ErrInsufficientData) {
+			return nil, nil // too few bits for the battery; RCT/APT passed
+		}
+		return nil, fmt.Errorf("health: startup battery: %w", err)
+	}
+	for _, r := range res.Results {
+		if r.Applicable && !r.Pass {
+			return &Violation{Test: TestStartup, Detail: fmt.Sprintf(
+				"NIST %s failed on the first %d bits (p=%.3g < alpha %.3g)",
+				r.Name, len(bits), r.PValue, alpha)}, nil
+		}
+	}
+	return nil, nil
+}

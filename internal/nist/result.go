@@ -1,10 +1,20 @@
 package nist
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // DefaultAlpha is the significance level the paper uses for Table 1
 // (α = 0.0001, the value recommended by the NIST documentation).
 const DefaultAlpha = 0.0001
+
+// ErrInsufficientData reports that a bitstream is too short for the requested
+// test (or, from RunAll, too short for any test of the suite). Callers that
+// stream bits — the online health subsystem's startup self-test in particular
+// — match it with errors.Is to distinguish "not enough bits yet" from a test
+// that actually failed.
+var ErrInsufficientData = errors.New("insufficient data")
 
 // Result is the outcome of one NIST test over one bitstream.
 type Result struct {
@@ -83,7 +93,7 @@ func (r Result) String() string {
 
 func validateBits(bits []byte, minLen int, name string) error {
 	if len(bits) < minLen {
-		return fmt.Errorf("nist: %s requires at least %d bits, got %d", name, minLen, len(bits))
+		return fmt.Errorf("nist: %s requires at least %d bits, got %d: %w", name, minLen, len(bits), ErrInsufficientData)
 	}
 	for i, b := range bits {
 		if b > 1 {

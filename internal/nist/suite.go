@@ -1,9 +1,15 @@
 package nist
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// MinSuiteBits is the smallest bitstream RunAll accepts: the minimum stream
+// length of the least demanding test (monobit). Shorter streams return
+// ErrInsufficientData.
+const MinSuiteBits = 100
 
 // SuiteResult is the outcome of running the full test suite over one
 // bitstream.
@@ -79,10 +85,16 @@ func TestNames() []string {
 // RunAll runs the full fifteen-test suite over the bitstream (one bit per
 // byte) at significance level alpha, in the order of Table 1. Tests whose
 // minimum stream-length requirements are not met are reported as not
-// applicable rather than failing.
+// applicable rather than failing. A stream too short for even the least
+// demanding test (fewer than MinSuiteBits bits) returns an error matching
+// ErrInsufficientData, so streaming callers can distinguish "not enough bits
+// yet" from a genuine failure.
 func RunAll(bits []byte, alpha float64) (SuiteResult, error) {
 	if alpha <= 0 || alpha >= 1 {
 		return SuiteResult{}, fmt.Errorf("nist: alpha %v outside (0,1)", alpha)
+	}
+	if len(bits) < MinSuiteBits {
+		return SuiteResult{}, fmt.Errorf("nist: suite requires at least %d bits, got %d: %w", MinSuiteBits, len(bits), ErrInsufficientData)
 	}
 	type runner func([]byte) (Result, error)
 	runners := []runner{
@@ -106,7 +118,13 @@ func RunAll(bits []byte, alpha float64) (SuiteResult, error) {
 	for i, run := range runners {
 		r, err := run(bits)
 		if err != nil {
-			return SuiteResult{}, fmt.Errorf("nist: %s: %w", TestNames()[i], err)
+			// A stream long enough for some tests but not this one is "not
+			// applicable", matching the documented suite semantics; every
+			// other error aborts the suite.
+			if !errors.Is(err, ErrInsufficientData) {
+				return SuiteResult{}, fmt.Errorf("nist: %s: %w", TestNames()[i], err)
+			}
+			r = notApplicable(TestNames()[i], err.Error())
 		}
 		r.Evaluate(alpha)
 		out.Results = append(out.Results, r)

@@ -1,6 +1,41 @@
 package nist
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
+
+// TestRunAllInsufficientDataTyped: streams too short for any test return the
+// typed ErrInsufficientData (so streaming callers, e.g. the health startup
+// self-test, can distinguish "not enough bits yet" from a failure), while
+// streams long enough for some tests report the rest as not applicable.
+func TestRunAllInsufficientDataTyped(t *testing.T) {
+	_, err := RunAll(prngBits(MinSuiteBits-1, 1), DefaultAlpha)
+	if !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("RunAll on %d bits = %v, want ErrInsufficientData", MinSuiteBits-1, err)
+	}
+	// Individual tests surface the same typed error.
+	if _, err := Monobit(prngBits(10, 1)); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("Monobit on 10 bits = %v, want ErrInsufficientData", err)
+	}
+	// 2000 bits: monobit applies, linear complexity (needs 10320) does not —
+	// the suite must succeed and mark the long tests not applicable.
+	res, err := RunAll(prngBits(2000, 1), DefaultAlpha)
+	if err != nil {
+		t.Fatalf("RunAll on 2000 bits: %v", err)
+	}
+	if len(res.Results) != 15 {
+		t.Fatalf("suite ran %d tests, want 15", len(res.Results))
+	}
+	mono, err := res.Lookup("monobit")
+	if err != nil || !mono.Applicable {
+		t.Errorf("monobit not applicable on 2000 bits: %+v %v", mono, err)
+	}
+	lc, err := res.Lookup("linear_complexity")
+	if err != nil || lc.Applicable || lc.Pass {
+		t.Errorf("linear complexity should be inapplicable on 2000 bits: %+v %v", lc, err)
+	}
+}
 
 func TestRunAllOnPseudorandomStream(t *testing.T) {
 	if testing.Short() {
