@@ -105,6 +105,23 @@
 // paper's claim that D-RaNGe throughput scales with the number of banks and
 // channels sampled in parallel (Figure 8, Table 2).
 //
+// # The packed serving path
+//
+// Packed 64-bit words are the native representation of the whole serving
+// path: Source.Read and Pool.Read fill the caller's buffer directly from
+// the packed shard rings (no intermediate bit-per-byte slice, zero
+// steady-state allocations), the post-processing correctors and the online
+// health monitor both operate on the packed stream, and ReadBits remains a
+// thin unpacking adapter for callers that want individual bits. A sharded
+// Source without monitor or post chain reads lock-free behind the engine's
+// consumer lock; a Pool in the same configuration schedules concurrent
+// readers onto its least-loaded members with atomic counters, so
+// multi-reader throughput scales instead of serializing behind the pool
+// mutex. Attaching WithHealthTests or WithPostprocess engages the locked
+// path: windowed tests and corrector carries need one well-defined stream
+// order. BENCH_pr5.json records the measured serving-path trajectory; the
+// CI bench job regenerates it on every push.
+//
 // The benchmark harness in bench_test.go regenerates every table and figure
 // of the paper's evaluation; see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for paper-versus-measured numbers, and README.md for the

@@ -490,6 +490,59 @@ func (g *Generator) rawBits(n int) ([]byte, error) {
 	return bits, nil
 }
 
+// rawPacked fills dst with packed raw bytes from the underlying sampler.
+// Callers hold g.mu.
+func (g *Generator) rawPacked(dst []byte) error {
+	var err error
+	if g.eng != nil {
+		err = g.eng.ReadPacked(dst)
+	} else {
+		err = g.trng.ReadPacked(dst)
+	}
+	if err != nil {
+		return err
+	}
+	g.rawDelivered.Add(int64(len(dst)) * 8)
+	return nil
+}
+
+// samplePacked fills dst with packed raw bytes, streaming them through the
+// online health monitor when one is attached — the packed counterpart of
+// sampleBits, with the same trip policies. blocked carries the
+// HealthActionBlock discard budget across the batches of one Read call, so
+// MaxBlockedWindows bounds the whole read, not each chunk. Callers hold
+// g.mu.
+func (g *Generator) samplePacked(dst []byte, blocked *int) error {
+	if g.monitor == nil {
+		return g.rawPacked(dst)
+	}
+	for {
+		if err := g.rawPacked(dst); err != nil {
+			return err
+		}
+		v := g.monitor.IngestPacked(dst, len(dst)*8)
+		if v == nil {
+			return nil
+		}
+		if g.hpolicy.OnFailure != HealthActionBlock {
+			return &HealthError{Test: string(v.Test), Device: -1, Detail: v.Detail}
+		}
+		g.monitor.Reset()
+		g.blockedWindows++
+		*blocked++
+		if *blocked >= g.hpolicy.MaxBlockedWindows {
+			return &HealthError{Test: "blocked", Device: -1, Detail: fmt.Sprintf(
+				"no clean batch after discarding %d (last violation: %s: %s)", *blocked, v.Test, v.Detail)}
+		}
+	}
+}
+
+// samplePackedFn binds samplePacked to a per-read discard budget.
+func (g *Generator) samplePackedFn() func([]byte) error {
+	blocked := 0
+	return func(dst []byte) error { return g.samplePacked(dst, &blocked) }
+}
+
 // sampleBits reads n raw bits, streaming them through the online health
 // monitor when one is attached. On a trip the HealthError policy fails the
 // read; HealthActionBlock discards the dirty batch, resets the test windows and
@@ -524,7 +577,9 @@ func (g *Generator) sampleBits(n int) ([]byte, error) {
 }
 
 // ReadBits returns n random bits, one bit per returned byte (values 0 or 1),
-// after any configured post-processing chain.
+// after any configured post-processing chain. It is a thin unpacking adapter
+// over the packed serving path: Read is the fast representation, and
+// ReadBits exists for callers that want individual bits.
 func (g *Generator) ReadBits(n int) ([]byte, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("drange: bit count must be positive, got %d", n)
@@ -554,7 +609,7 @@ func (g *Generator) ReadBits(n int) ([]byte, error) {
 	var bits []byte
 	var err error
 	if g.post != nil {
-		bits, err = g.post.readBits(n, g.sampleBits)
+		bits, err = g.post.readBits(n, g.samplePackedFn())
 	} else {
 		bits, err = g.sampleBits(n)
 	}
@@ -565,17 +620,61 @@ func (g *Generator) ReadBits(n int) ([]byte, error) {
 	return bits, nil
 }
 
+// maxReadChunkBytes bounds how much of an oversized Read request the locked
+// serving path processes per round, so a huge caller buffer behind a monitor
+// or post-processing chain is streamed through bounded working memory rather
+// than materialised in one piece.
+const maxReadChunkBytes = 1 << 16
+
 // Read fills p with random bytes, implementing io.Reader. It never returns a
 // short read except on error.
+//
+// This is the packed fast path: the caller's buffer is filled directly from
+// the sampler's packed 64-bit words — no intermediate bit-per-byte slice and,
+// with no monitor or post-processing chain attached, no steady-state
+// allocation at all. A sharded source without monitor or chain additionally
+// skips the facade mutex: the engine's own consumer lock (held per Read
+// call) is the only serialisation, so a Close or Stats never waits behind a
+// reader and readers never wait behind the facade.
 func (g *Generator) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	bits, err := g.ReadBits(len(p) * 8)
-	if err != nil {
-		return 0, err
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("drange: source is closed")
 	}
-	core.PackBitsMSBFirst(bits, p)
+	if g.eng != nil && g.post == nil && g.monitor == nil {
+		g.mu.Unlock()
+		if err := g.eng.ReadPacked(p); err != nil {
+			return 0, err
+		}
+		g.rawDelivered.Add(int64(len(p)) * 8)
+		g.delivered.Add(int64(len(p)) * 8)
+		return len(p), nil
+	}
+	defer g.mu.Unlock()
+	sample := g.samplePackedFn()
+	for off := 0; off < len(p); {
+		chunk := p[off:]
+		if len(chunk) > maxReadChunkBytes {
+			chunk = chunk[:maxReadChunkBytes]
+		}
+		var err error
+		if g.post != nil {
+			err = g.post.readPacked(chunk, sample)
+		} else {
+			err = sample(chunk)
+		}
+		if err != nil {
+			// Nothing was delivered: a failed Read returns (0, err), so the
+			// chunks already written must not count as served.
+			return 0, err
+		}
+		off += len(chunk)
+	}
+	g.delivered.Add(int64(len(p)) * 8)
 	return len(p), nil
 }
 
@@ -780,10 +879,19 @@ func (g *Generator) EstimateEnergyPerBit(iterations int) (float64, error) {
 	return out, err
 }
 
+// maxNISTBits bounds a RunNIST request: the battery needs the whole stream
+// in memory (one byte per bit), so an absurd request is rejected up front
+// instead of attempting a multi-gigabyte allocation.
+const maxNISTBits = 1 << 30
+
 // RunNIST generates bits from the generator and runs the full NIST SP 800-22
 // suite over them at the given significance level (the NIST-recommended
-// α = 0.0001 when 0).
+// α = 0.0001 when 0). bits must be in (0, 2^30]: the suite holds the whole
+// bit-per-byte stream in memory.
 func (g *Generator) RunNIST(bits int, alpha float64) ([]NISTResult, error) {
+	if bits > maxNISTBits {
+		return nil, fmt.Errorf("drange: RunNIST request of %d bits exceeds the %d-bit limit", bits, maxNISTBits)
+	}
 	if alpha == 0 {
 		alpha = nist.DefaultAlpha
 	}

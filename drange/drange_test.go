@@ -484,16 +484,20 @@ func TestPostprocessMultiStageStreaming(t *testing.T) {
 	// carry path of the SHA stage on every batch.
 	var consumed []byte
 	state := uint64(1)
-	rawBits := func(n int) ([]byte, error) {
-		out := make([]byte, n)
-		for i := range out {
-			state = state*6364136223846793005 + 1442695040888963407
-			out[i] = byte(state >> 63)
+	rawPacked := func(dst []byte) error {
+		for i := range dst {
+			var b byte
+			for j := 0; j < 8; j++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				bit := byte(state >> 63)
+				consumed = append(consumed, bit)
+				b = b<<1 | bit
+			}
+			dst[i] = b
 		}
-		consumed = append(consumed, out...)
-		return out, nil
+		return nil
 	}
-	got, err := chain.readBits(512, rawBits)
+	got, err := chain.readBits(512, rawPacked)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,11 @@ package drange
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/health"
@@ -42,6 +45,11 @@ func (p HealthPolicy) withDefaults() HealthPolicy {
 	if p.WindowBits == 0 {
 		p.WindowBits = 4096
 	}
+	// The window accumulator packs (ones, bits) into one 64-bit atomic with
+	// 32 bits each; clamp absurd windows so the packing cannot overflow.
+	if p.WindowBits > 1<<30 {
+		p.WindowBits = 1 << 30
+	}
 	if p.MaxBiasDelta == 0 {
 		p.MaxBiasDelta = 0.1
 	}
@@ -52,8 +60,8 @@ func (p HealthPolicy) withDefaults() HealthPolicy {
 }
 
 // poolMember is one device of a pool: its profile, backend device, sharded
-// engine, health accounting, and the partially consumed 64-bit word between
-// engine and pool scheduler.
+// engine, health accounting, and the partially consumed packed 64-bit word
+// between engine and pool scheduler.
 type poolMember struct {
 	idx     int
 	profile *Profile
@@ -64,19 +72,26 @@ type poolMember struct {
 
 	baseTempC float64
 
-	evicted bool
+	// evicted is lock-free so the concurrent read fast path skips dead
+	// members without the pool mutex; reason is guarded by p.mu.
+	evicted atomic.Bool
 	reason  string
 
 	// fetched counts bits pulled from this member's engine — the load metric
-	// of the least-loaded scheduler. delivered counts bits of those that
-	// reached callers.
-	fetched   int64
-	delivered int64
+	// of the least-loaded scheduler. Batches discarded under
+	// HealthActionBlock count too, so a tripping member cannot pin the
+	// scheduler while healthy members idle. delivered counts bits that
+	// reached callers. Both are atomics: the concurrent read fast path
+	// updates them without the pool mutex.
+	fetched   atomic.Int64
+	delivered atomic.Int64
 
-	// winOnes/winBits accumulate the current bias window; biasDelta holds
-	// |ones-fraction − 0.5| of the last completed window.
-	winOnes   int64
-	winBits   int64
+	// win accumulates the current bias window with the ones count in the
+	// high 32 bits and the bit count in the low 32 (one atomic, so a
+	// concurrent snapshot can never pair one window's ones with another's
+	// bits); biasDelta holds |ones-fraction − 0.5| of the last completed
+	// window (guarded by p.mu).
+	win       atomic.Int64
 	biasDelta float64
 
 	// monitor streams this member's harvested bits through the online
@@ -87,9 +102,35 @@ type poolMember struct {
 	blockedWindows int64
 	startupOK      bool
 
-	// cur holds bits fetched from the engine but not yet handed out.
-	cur    []byte
-	curOff int
+	// blockedEpoch/blockedInRead implement the per-member HealthActionBlock
+	// budget: blockedInRead counts batches this member discarded within the
+	// read identified by the pool's readEpoch, so one member exhausting its
+	// budget is reported without a shared counter throttling the others.
+	blockedEpoch  int64
+	blockedInRead int
+
+	// cur holds up to 64 bits fetched from the engine but not yet handed
+	// out, packed with the next undelivered bit at the most significant
+	// position (locked path only).
+	cur     uint64
+	curBits int
+}
+
+// addWindow folds ones set bits out of n into the member's packed bias
+// window and returns the window's new bit count.
+func (m *poolMember) addWindow(ones, n int) int64 {
+	return m.win.Add(int64(ones)<<32|int64(n)) & 0xffffffff
+}
+
+// take removes and returns the top k bits of the member's buffered word
+// (k <= curBits), first stream bit at the most significant position of the
+// k-bit result.
+func (m *poolMember) take(k int) uint64 {
+	v := m.cur >> uint(64-k)
+	m.cur <<= uint(k)
+	m.curBits -= k
+	m.delivered.Add(int64(k))
+	return v
 }
 
 // Pool is the multi-device Source returned by OpenPool. It multiplexes N
@@ -109,8 +150,22 @@ type Pool struct {
 	post         *postChain
 	cancel       context.CancelFunc
 
-	delivered int64
-	closed    bool
+	// remainder reports whether any member holds sub-word buffered bits
+	// from a bit-granular read; while set, Read takes the locked path so
+	// those bits are served in order before fresh engine words (mixing
+	// ReadBits and Read must drain one well-defined stream).
+	remainder atomic.Bool
+
+	// readEpoch numbers locked reads for the per-member blocked budget;
+	// blockCause remembers why a member was benched in the current read, so
+	// a read that runs out of members reports the health trip rather than a
+	// bare scheduling error.
+	readEpoch       int64
+	blockCause      *HealthError
+	blockCauseEpoch int64
+
+	delivered atomic.Int64
+	closed    atomic.Bool
 }
 
 // OpenPool opens one device per profile and multiplexes them behind a single
@@ -293,7 +348,7 @@ func (p *Pool) runStartupTests() error {
 			return serr
 		}
 		m.startupOK = false
-		m.evicted = true
+		m.evicted.Store(true)
 		m.reason = fmt.Sprintf("startup health test failed: %v", serr)
 		m.eng.Close()
 		if m.ownsDev {
@@ -320,7 +375,7 @@ func (p *Pool) Healthy() int {
 func (p *Pool) healthyLocked() int {
 	n := 0
 	for _, m := range p.members {
-		if !m.evicted {
+		if !m.evicted.Load() {
 			n++
 		}
 	}
@@ -332,34 +387,39 @@ func (p *Pool) healthyLocked() int {
 // never evicted — the reason is recorded for Stats but reads continue.
 // Callers hold p.mu.
 func (p *Pool) evictLocked(m *poolMember, reason string) {
-	if m.evicted {
+	if m.evicted.Load() {
 		return
 	}
 	if p.healthyLocked() <= 1 {
 		m.reason = fmt.Sprintf("unhealthy but retained (last device): %s", reason)
 		return
 	}
-	m.evicted = true
+	m.evicted.Store(true)
 	m.reason = reason
-	m.cur, m.curOff = nil, 0
+	m.cur, m.curBits = 0, 0
 	m.eng.Close()
 	if m.ownsDev {
 		closeDevice(m.pub)
 	}
 }
 
-// checkHealthLocked applies the health policy to a member whose bias window
-// just completed. Callers hold p.mu.
-func (p *Pool) checkHealthLocked(m *poolMember) {
-	if p.policy.Disabled {
-		m.winOnes, m.winBits = 0, 0
+// completeWindowLocked applies the health policy to a member whose bias
+// window just filled, snapshotting and resetting the window atomics. A
+// concurrent reader may have completed the window already; the re-check under
+// the lock makes that a no-op. Callers hold p.mu.
+func (p *Pool) completeWindowLocked(m *poolMember) {
+	if m.win.Load()&0xffffffff < int64(p.policy.WindowBits) || m.evicted.Load() {
 		return
 	}
-	m.biasDelta = float64(m.winOnes)/float64(m.winBits) - 0.5
+	w := m.win.Swap(0)
+	ones, winBits := w>>32, w&0xffffffff
+	if p.policy.Disabled || winBits == 0 {
+		return
+	}
+	m.biasDelta = float64(ones)/float64(winBits) - 0.5
 	if m.biasDelta < 0 {
 		m.biasDelta = -m.biasDelta
 	}
-	m.winOnes, m.winBits = 0, 0
 	if p.policy.MaxBiasDelta >= 0 && m.biasDelta > p.policy.MaxBiasDelta {
 		p.evictLocked(m, fmt.Sprintf("bias drift: |ones-fraction-0.5| = %.3f over %d bits exceeds %.3f",
 			m.biasDelta, p.policy.WindowBits, p.policy.MaxBiasDelta))
@@ -378,7 +438,7 @@ func (p *Pool) checkHealthLocked(m *poolMember) {
 	}
 	// A window with no violation clears a retained-device complaint, so a
 	// transient excursion does not flag the device forever.
-	if !m.evicted {
+	if !m.evicted.Load() {
 		m.reason = ""
 	}
 }
@@ -389,97 +449,172 @@ func (p *Pool) checkHealthLocked(m *poolMember) {
 // p.mu.
 func (p *Pool) nextMemberLocked() *poolMember {
 	var best *poolMember
+	var bestFetched int64
 	for _, m := range p.members {
-		if m.evicted {
+		if m.evicted.Load() || p.blockedOutLocked(m) {
 			continue
 		}
-		if best == nil || m.fetched < best.fetched {
-			best = m
+		if f := m.fetched.Load(); best == nil || f < bestFetched {
+			best, bestFetched = m, f
 		}
 	}
 	return best
 }
 
-// fetchBatchBits is the per-fetch granularity of the pool scheduler: one
-// packed ring word per fetch keeps member interleaving fine-grained enough
-// for the bias monitor while amortising the engine's consumer lock.
-const fetchBatchBits = 64
+// blockedOutLocked reports whether m exhausted its HealthActionBlock budget
+// within the current read and sits benched until the next one. Callers hold
+// p.mu.
+func (p *Pool) blockedOutLocked(m *poolMember) bool {
+	return p.testsEnabled && m.blockedEpoch == p.readEpoch &&
+		m.blockedInRead >= p.testsPolicy.MaxBlockedWindows
+}
 
-// rawBits assembles n harvested bits across the healthy members,
-// least-loaded first. A member whose engine fails is evicted and its
-// buffered bits discarded; the read carries on from the survivors and only
-// fails once no healthy member remains. Callers hold p.mu.
-func (p *Pool) rawBits(n int) ([]byte, error) {
-	out := make([]byte, 0, n)
-	blockedBatches := 0
-	for len(out) < n {
+// nextMemberWithBitsLocked returns the least-loaded healthy member with
+// buffered bits, fetching one packed 64-bit word from its engine when its
+// buffer is empty — the per-fetch granularity that keeps member interleaving
+// fine-grained for the bias monitor while amortising the engine's consumer
+// lock. A member whose engine fails is evicted and scheduling re-picks; the
+// call only fails once no healthy member remains (or a health-test policy
+// says so). Callers hold p.mu.
+func (p *Pool) nextMemberWithBitsLocked() (*poolMember, error) {
+	for {
 		m := p.nextMemberLocked()
 		if m == nil {
+			// Members benched over their blocked budget don't count as
+			// evicted; if one of them is why nobody can serve, surface the
+			// health trip (a pool of only dead-blocking devices must fail
+			// loudly, not stall).
+			if p.blockCause != nil && p.blockCauseEpoch == p.readEpoch {
+				return nil, p.blockCause
+			}
 			return nil, fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
 		}
-		if m.curOff >= len(m.cur) {
-			bits, err := m.eng.ReadBits(fetchBatchBits)
-			if err != nil {
-				// Engine failure (device error, cancelled context): evict and
-				// reschedule. The eviction keeps the last member, so a pool
-				// whose every engine is dead surfaces the error above.
-				if p.healthyLocked() <= 1 {
-					return nil, fmt.Errorf("drange: pool device %d (last healthy device): %w", m.idx, err)
-				}
-				p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
-				continue
+		if m.curBits > 0 {
+			return m, nil
+		}
+		var buf [8]byte
+		if err := m.eng.ReadPacked(buf[:]); err != nil {
+			// Engine failure (device error, cancelled context): evict and
+			// reschedule. The eviction keeps the last member, so a pool
+			// whose every engine is dead surfaces the error above.
+			if p.healthyLocked() <= 1 {
+				return nil, fmt.Errorf("drange: pool device %d (last healthy device): %w", m.idx, err)
 			}
-			if m.monitor != nil {
-				if v := m.monitor.Ingest(bits); v != nil {
-					switch p.testsPolicy.OnFailure {
-					case HealthActionError:
-						return nil, &HealthError{Test: string(v.Test), Device: m.idx, Detail: v.Detail}
-					case HealthActionBlock:
-						// Discard the dirty batch and refetch (the
-						// least-loaded scheduler naturally retries this
-						// member first), bounded per read so a pool of dead
-						// devices fails loudly.
-						m.monitor.Reset()
-						m.blockedWindows++
-						blockedBatches++
-						if blockedBatches >= p.testsPolicy.MaxBlockedWindows {
-							return nil, &HealthError{Test: "blocked", Device: m.idx, Detail: fmt.Sprintf(
-								"no clean batch after discarding %d (last violation: %s: %s)", blockedBatches, v.Test, v.Detail)}
-						}
-						continue
-					default: // HealthActionEvict
-						p.evictLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
-						if m.evicted {
-							continue
-						}
-						// The last healthy member is retained (degraded
-						// output beats no output, matching the device-health
-						// policy): serve the batch with the violation
-						// recorded in Reason and the trip counters.
-						m.monitor.Reset()
+			p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
+			continue
+		}
+		if m.monitor != nil {
+			if v := m.monitor.IngestPacked(buf[:], 64); v != nil {
+				switch p.testsPolicy.OnFailure {
+				case HealthActionError:
+					return nil, &HealthError{Test: string(v.Test), Device: m.idx, Detail: v.Detail}
+				case HealthActionBlock:
+					// Discard the dirty batch and refetch. The discarded
+					// batch still counts as load, so the least-loaded
+					// scheduler rotates to healthy members instead of
+					// re-picking the tripping one forever; the budget is
+					// per member per read, so a member that exhausts it is
+					// benched for the rest of the read while the healthy
+					// members keep serving.
+					m.monitor.Reset()
+					m.blockedWindows++
+					m.fetched.Add(64)
+					if m.blockedEpoch != p.readEpoch {
+						m.blockedEpoch, m.blockedInRead = p.readEpoch, 0
 					}
+					m.blockedInRead++
+					if m.blockedInRead >= p.testsPolicy.MaxBlockedWindows {
+						p.blockCause = &HealthError{Test: "blocked", Device: m.idx, Detail: fmt.Sprintf(
+							"no clean batch after discarding %d (last violation: %s: %s)", m.blockedInRead, v.Test, v.Detail)}
+						p.blockCauseEpoch = p.readEpoch
+					}
+					continue
+				default: // HealthActionEvict
+					p.evictLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
+					if m.evicted.Load() {
+						continue
+					}
+					// The last healthy member is retained (degraded
+					// output beats no output, matching the device-health
+					// policy): serve the batch with the violation
+					// recorded in Reason and the trip counters.
+					m.monitor.Reset()
 				}
 			}
-			m.cur, m.curOff = bits, 0
-			m.fetched += int64(len(bits))
-			for _, b := range bits {
-				m.winOnes += int64(b)
-			}
-			m.winBits += int64(len(bits))
-			if m.winBits >= int64(p.policy.WindowBits) {
-				p.checkHealthLocked(m)
+		}
+		m.cur, m.curBits = binary.BigEndian.Uint64(buf[:]), 64
+		m.fetched.Add(64)
+		if !p.policy.Disabled {
+			if w := m.addWindow(bits.OnesCount64(m.cur), 64); w >= int64(p.policy.WindowBits) {
+				p.completeWindowLocked(m)
 				// The member may have just been evicted; its buffered bits
 				// are gone and the scheduler picks the next member.
-				continue
+				if m.evicted.Load() {
+					continue
+				}
 			}
 		}
-		take := n - len(out)
-		if avail := len(m.cur) - m.curOff; take > avail {
-			take = avail
+		return m, nil
+	}
+}
+
+// readPackedLocked fills dst with packed bytes assembled across the healthy
+// members, least-loaded first. Each picked member is drained of everything
+// it has buffered (up to the space left) before the scheduler re-picks —
+// the same take-all granularity as readBitsLocked, so byte- and
+// bit-granular reads with the same call boundaries serve the same stream.
+// Callers hold p.mu.
+func (p *Pool) readPackedLocked(dst []byte) error {
+	total := len(dst) * 8
+	for pos := 0; pos < total; {
+		m, err := p.nextMemberWithBitsLocked()
+		if err != nil {
+			return err
 		}
-		out = append(out, m.cur[m.curOff:m.curOff+take]...)
-		m.curOff += take
-		m.delivered += int64(take)
+		take := m.curBits
+		if rem := total - pos; take > rem {
+			take = rem
+		}
+		writeBits(dst, pos, m.take(take), take)
+		pos += take
+	}
+	return nil
+}
+
+// writeBits stores the low n bits of v (first stream bit most significant)
+// into dst starting at bit offset pos, MSB-first.
+func writeBits(dst []byte, pos int, v uint64, n int) {
+	for n > 0 {
+		free := 8 - pos&7
+		take := n
+		if take > free {
+			take = free
+		}
+		chunk := byte(v>>uint(n-take)) & (1<<uint(take) - 1)
+		shift := uint(free - take)
+		dst[pos>>3] = dst[pos>>3]&^(byte(1<<uint(take)-1)<<shift) | chunk<<shift
+		pos += take
+		n -= take
+	}
+}
+
+// readBitsLocked returns n bits, one bit per byte, assembled across the
+// healthy members. Callers hold p.mu.
+func (p *Pool) readBitsLocked(n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		m, err := p.nextMemberWithBitsLocked()
+		if err != nil {
+			return nil, err
+		}
+		take := m.curBits
+		if rem := n - len(out); take > rem {
+			take = rem
+		}
+		v := m.take(take)
+		for j := take - 1; j >= 0; j-- {
+			out = append(out, byte(v>>uint(j))&1)
+		}
 	}
 	return out, nil
 }
@@ -503,42 +638,172 @@ func (p *Pool) evictionSummaryLocked() string {
 }
 
 // ReadBits returns n random bits, one bit per returned byte (0 or 1), after
-// any configured post-processing chain. It is safe for concurrent use.
+// any configured post-processing chain. It is a thin unpacking adapter over
+// the packed serving path and is safe for concurrent use.
 func (p *Pool) ReadBits(n int) ([]byte, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("drange: bit count must be positive, got %d", n)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil, fmt.Errorf("drange: pool is closed")
 	}
+	p.readEpoch++
 	var bits []byte
 	var err error
 	if p.post != nil {
-		bits, err = p.post.readBits(n, p.rawBits)
+		bits, err = p.post.readBits(n, p.readPackedLocked)
 	} else {
-		bits, err = p.rawBits(n)
+		bits, err = p.readBitsLocked(n)
 	}
+	p.updateRemainderLocked()
 	if err != nil {
 		return nil, err
 	}
-	p.delivered += int64(len(bits))
+	p.delivered.Add(int64(len(bits)))
 	return bits, nil
+}
+
+// updateRemainderLocked records whether any member still buffers sub-word
+// bits, which forces subsequent Reads onto the locked path until drained.
+// Callers hold p.mu.
+func (p *Pool) updateRemainderLocked() {
+	for _, m := range p.members {
+		if m.curBits > 0 {
+			p.remainder.Store(true)
+			return
+		}
+	}
+	p.remainder.Store(false)
 }
 
 // Read fills buf with random bytes, implementing io.Reader. It never returns
 // a short read except on error.
+//
+// This is the packed fast path: member engines hand the pool packed 64-bit
+// words that land in the caller's buffer without any bit-per-byte expansion.
+// With no post-processing chain and no online health tests attached, Read
+// additionally runs lock-free — concurrent readers schedule themselves onto
+// the least-loaded members through atomic load counters and only touch the
+// pool mutex at bias-window boundaries and evictions, so throughput scales
+// with readers instead of serializing behind the pool lock. (Device health
+// tracking per HealthPolicy stays fully enforced on this path.)
 func (p *Pool) Read(buf []byte) (int, error) {
 	if len(buf) == 0 {
 		return 0, nil
 	}
-	bits, err := p.ReadBits(len(buf) * 8)
-	if err != nil {
-		return 0, err
+	// Buffered sub-word bits from an earlier ReadBits must be served first
+	// and in order, so they force the locked path for this read.
+	if p.post == nil && !p.testsEnabled && !p.remainder.Load() {
+		return p.readFast(buf)
 	}
-	core.PackBitsMSBFirst(bits, buf)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return 0, fmt.Errorf("drange: pool is closed")
+	}
+	p.readEpoch++
+	defer p.updateRemainderLocked()
+	for off := 0; off < len(buf); {
+		chunk := buf[off:]
+		if len(chunk) > maxReadChunkBytes {
+			chunk = chunk[:maxReadChunkBytes]
+		}
+		var err error
+		if p.post != nil {
+			err = p.post.readPacked(chunk, p.readPackedLocked)
+		} else {
+			err = p.readPackedLocked(chunk)
+		}
+		if err != nil {
+			// A failed Read returns (0, err); chunks already written must
+			// not count as served.
+			return 0, err
+		}
+		off += len(chunk)
+	}
+	p.delivered.Add(int64(len(buf)) * 8)
 	return len(buf), nil
+}
+
+// pickMember is the lock-free counterpart of nextMemberLocked: least loaded
+// healthy member by atomic counters, ties to the lowest index.
+func (p *Pool) pickMember() *poolMember {
+	var best *poolMember
+	var bestFetched int64
+	for _, m := range p.members {
+		if m.evicted.Load() {
+			continue
+		}
+		if f := m.fetched.Load(); best == nil || f < bestFetched {
+			best, bestFetched = m, f
+		}
+	}
+	return best
+}
+
+// readFast is the concurrent Read path: packed 64-bit fetches from the
+// least-loaded member's engine straight into the caller's buffer, with the
+// pool mutex taken only for bias-window evaluation and evictions.
+func (p *Pool) readFast(dst []byte) (int, error) {
+	for i := 0; i < len(dst); {
+		if p.closed.Load() {
+			return 0, fmt.Errorf("drange: pool is closed")
+		}
+		m := p.pickMember()
+		if m == nil {
+			p.mu.Lock()
+			err := fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
+			p.mu.Unlock()
+			return 0, err
+		}
+		n := len(dst) - i
+		if n > 8 {
+			n = 8
+		}
+		chunk := dst[i : i+n]
+		// Claim the load before the engine read so concurrent readers spread
+		// across members instead of piling onto one.
+		m.fetched.Add(int64(n) * 8)
+		if err := m.eng.ReadPacked(chunk); err != nil {
+			m.fetched.Add(-int64(n) * 8)
+			p.mu.Lock()
+			if p.closed.Load() {
+				p.mu.Unlock()
+				return 0, fmt.Errorf("drange: pool is closed")
+			}
+			if m.evicted.Load() {
+				// Another reader evicted this member while we were blocked
+				// in its engine (e.g. a bias-window eviction closed it);
+				// the survivors keep serving — just re-pick.
+				p.mu.Unlock()
+				continue
+			}
+			if p.healthyLocked() <= 1 {
+				p.mu.Unlock()
+				return 0, fmt.Errorf("drange: pool device %d (last healthy device): %w", m.idx, err)
+			}
+			p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
+			p.mu.Unlock()
+			continue
+		}
+		m.delivered.Add(int64(n) * 8)
+		if !p.policy.Disabled {
+			ones := 0
+			for _, b := range chunk {
+				ones += bits.OnesCount8(b)
+			}
+			if w := m.addWindow(ones, n*8); w >= int64(p.policy.WindowBits) {
+				p.mu.Lock()
+				p.completeWindowLocked(m)
+				p.mu.Unlock()
+			}
+		}
+		i += n
+	}
+	p.delivered.Add(int64(len(dst)) * 8)
+	return len(dst), nil
 }
 
 // Uint64 returns a 64-bit random value.
@@ -555,10 +820,9 @@ func (p *Pool) Uint64() (uint64, error) {
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Swap(true) {
 		return nil
 	}
-	p.closed = true
 	p.cancel()
 	p.closeMembers()
 	return nil
@@ -570,7 +834,7 @@ func (p *Pool) Close() error {
 // log is flushed even when a later member fails to open.
 func (p *Pool) closeMembers() {
 	for _, m := range p.members {
-		if m.evicted {
+		if m.evicted.Load() {
 			continue
 		}
 		if m.eng != nil {
@@ -589,7 +853,7 @@ func (p *Pool) closeMembers() {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := Stats{BitsDelivered: p.delivered}
+	out := Stats{BitsDelivered: p.delivered.Load()}
 	if p.testsEnabled {
 		out.Health = &HealthStats{SymbolBits: p.testsPolicy.SymbolBits, StartupPassed: true}
 	}
@@ -597,17 +861,18 @@ func (p *Pool) Stats() Stats {
 	shardIdx := 0
 	for _, m := range p.members {
 		est := statsFromEngine(m.eng.Stats())
+		evicted := m.evicted.Load()
 		ds := PoolDeviceStats{
 			Device:         m.idx,
 			Serial:         m.profile.Serial,
 			Backend:        m.backend,
-			Healthy:        !m.evicted,
-			Evicted:        m.evicted,
+			Healthy:        !evicted,
+			Evicted:        evicted,
 			Reason:         m.reason,
 			BiasDelta:      m.biasDelta,
 			TemperatureC:   m.lastTemperature(),
 			BitsHarvested:  est.BitsHarvested,
-			BitsDelivered:  m.delivered,
+			BitsDelivered:  m.delivered.Load(),
 			ThroughputMbps: est.AggregateThroughputMbps,
 			Latency64NS:    est.Latency64NS,
 			Shards:         est.Shards,
@@ -639,7 +904,7 @@ func (p *Pool) Stats() Stats {
 			shardIdx++
 			out.Shards = append(out.Shards, ss)
 		}
-		if !m.evicted && est.AggregateThroughputMbps > 0 {
+		if !evicted && est.AggregateThroughputMbps > 0 {
 			bitsPerNS += est.AggregateThroughputMbps / 1000.0
 		}
 	}
@@ -653,7 +918,7 @@ func (p *Pool) Stats() Stats {
 // lastTemperature reads the member's device temperature; an evicted member
 // reports its baseline (its device may already be closed).
 func (m *poolMember) lastTemperature() float64 {
-	if m.evicted {
+	if m.evicted.Load() {
 		return m.baseTempC
 	}
 	return m.pub.Temperature()

@@ -14,6 +14,13 @@ import (
 // see. Every Source is safe for concurrent use; Read never returns a short
 // read except on error, and Close releases the sampling resources (stopping
 // harvest goroutines when sharded).
+//
+// Read is the fast representation: it fills the caller's buffer directly
+// from the sampler's packed 64-bit words (zero steady-state allocations
+// without a monitor or post-processing chain). ReadBits serves the same
+// stream bit-granularly — one value-0/1 byte per bit — as an unpacking
+// adapter; mixing the two drains a single well-defined bit sequence, no bit
+// is dropped or duplicated at the boundary.
 type Source interface {
 	io.ReadCloser
 	// ReadBits returns n random bits, one bit per returned byte (0 or 1).
@@ -96,45 +103,70 @@ func SHA256Conditioner(inputBlockBits int) Corrector {
 // postStage is one corrector in a streaming chain plus its carry buffer:
 // input bits short of the stage's block granularity wait here for the next
 // batch instead of being truncated, so the streamed output equals the
-// corrector applied to the whole concatenated input.
+// corrector applied to the whole concatenated input. The stream is carried in
+// the packed representation; built-in correctors process it packed, and
+// correctors of unknown provenance are served through an unpack/repack
+// adapter around their bit-per-byte Process.
 type postStage struct {
 	c Corrector
+	// packed is the corrector's packed fast path (nil for custom correctors).
+	packed postproc.PackedCorrector
 	// block is the stage's processing granularity (0 for correctors of
 	// unknown structure, which are fed batch-at-a-time).
 	block int
-	carry []byte
+	carry postproc.Packed
 }
 
 // feed runs the stage over its carry plus the incoming bits, consuming the
 // largest block-aligned prefix and retaining the remainder for later.
-func (s *postStage) feed(in []byte) ([]byte, error) {
-	s.carry = append(s.carry, in...)
-	usable := len(s.carry)
+func (s *postStage) feed(in postproc.Packed) (postproc.Packed, error) {
+	s.carry.Append(in)
+	usable := s.carry.Len
 	if s.block > 1 {
 		usable -= usable % s.block
 	}
 	if usable == 0 {
-		return nil, nil
+		return postproc.Packed{}, nil
 	}
-	out, err := s.c.Process(s.carry[:usable])
+	// The carry always starts at bit 0, so a fully consumed carry is a
+	// cheap view; a partial prefix is re-materialised so the bits past Len
+	// stay zero, the invariant postproc.Packed consumers rely on.
+	prefix := postproc.Packed{Data: s.carry.Data, Len: usable}
+	if usable < s.carry.Len {
+		prefix = s.carry.Slice(0, usable)
+	}
+	var out postproc.Packed
+	var err error
+	if s.packed != nil {
+		out, err = s.packed.ProcessPacked(prefix)
+	} else {
+		var legacy []byte
+		legacy, err = s.c.Process(prefix.Unpack())
+		if err == nil {
+			out = postproc.PackBits(legacy)
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("drange: postprocess stage %s: %w", s.c.Name(), err)
+		return postproc.Packed{}, fmt.Errorf("drange: postprocess stage %s: %w", s.c.Name(), err)
 	}
-	s.carry = append([]byte(nil), s.carry[usable:]...)
+	s.carry = s.carry.Slice(usable, s.carry.Len-usable)
 	return out, nil
 }
 
 // postChain streams a corrector chain over a raw bit source: raw bits are
-// harvested in batches, flow through every stage (each carrying sub-block
-// remainders across batches), and corrected bits accumulate in buf until
-// readers drain them.
+// harvested in packed batches, flow through every stage (each carrying
+// sub-block remainders across batches), and corrected bits accumulate packed
+// in buf until readers drain them.
 type postChain struct {
 	stages []*postStage
-	buf    []byte
+	buf    postproc.Packed
+	// rawBuf is the reusable packed harvest buffer.
+	rawBuf []byte
 }
 
 // basePostBatch is the raw-bit batch harvested per round; it grows
-// transiently when a heavily-discarding chain yields nothing.
+// transiently when a heavily-discarding chain yields nothing. It is a
+// multiple of 8, so packed harvests are whole bytes.
 const basePostBatch = 4096
 
 // maxPostBatch bounds batch growth when a chain yields nothing, so a chain
@@ -153,42 +185,82 @@ func newPostChain(chain []Corrector) (*postChain, error) {
 		s := &postStage{c: c}
 		if a, ok := c.(corrector); ok {
 			s.block = a.block
+			if pc, ok := a.inner.(postproc.PackedCorrector); ok {
+				s.packed = pc
+			}
+		} else if pc, ok := c.(postproc.PackedCorrector); ok {
+			s.packed = pc
 		}
 		p.stages = append(p.stages, s)
 	}
 	return p, nil
 }
 
-// readBits returns n corrected bits, harvesting raw bits via rawBits as
-// needed.
-func (p *postChain) readBits(n int, rawBits func(int) ([]byte, error)) ([]byte, error) {
+// fill harvests and corrects until at least need bits are buffered. rawPacked
+// fills its argument with packed raw bytes.
+func (p *postChain) fill(need int, rawPacked func([]byte) error) error {
 	batch := basePostBatch
-	for len(p.buf) < n {
-		raw, err := rawBits(batch)
-		if err != nil {
-			return nil, err
+	// sinceYield counts the raw bits harvested since the chain last produced
+	// output, so the exhaustion error reports the real total the doubling
+	// rounds consumed (not just the final batch size).
+	sinceYield := 0
+	for p.buf.Len < need {
+		nb := batch / 8
+		if cap(p.rawBuf) < nb {
+			p.rawBuf = make([]byte, nb)
 		}
-		bits := raw
+		raw := p.rawBuf[:nb]
+		if err := rawPacked(raw); err != nil {
+			return err
+		}
+		sinceYield += batch
+		bits := postproc.Packed{Data: raw, Len: batch}
 		for _, s := range p.stages {
+			var err error
 			bits, err = s.feed(bits)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if len(bits) == 0 {
+			if bits.Len == 0 {
 				break
 			}
 		}
-		if len(bits) == 0 {
+		if bits.Len == 0 {
 			batch *= 2
 			if batch > maxPostBatch {
-				return nil, fmt.Errorf("drange: postprocess chain produced no output from %d raw bits; the chain discards everything", maxPostBatch)
+				return fmt.Errorf("drange: postprocess chain produced no output from %d raw bits; the chain discards everything", sinceYield)
 			}
 			continue
 		}
 		batch = basePostBatch
-		p.buf = append(p.buf, bits...)
+		sinceYield = 0
+		p.buf.Append(bits)
 	}
-	out := p.buf[:n:n]
-	p.buf = append([]byte(nil), p.buf[n:]...)
+	return nil
+}
+
+// readPacked fills dst with corrected bytes, harvesting raw bits via
+// rawPacked as needed.
+func (p *postChain) readPacked(dst []byte, rawPacked func([]byte) error) error {
+	if err := p.fill(len(dst)*8, rawPacked); err != nil {
+		return err
+	}
+	// buf always starts at bit 0, so whole bytes copy straight out.
+	copy(dst, p.buf.Data[:len(dst)])
+	p.buf = p.buf.Slice(len(dst)*8, p.buf.Len-len(dst)*8)
+	return nil
+}
+
+// readBits returns n corrected bits, one bit per byte, harvesting raw bits
+// via rawPacked as needed.
+func (p *postChain) readBits(n int, rawPacked func([]byte) error) ([]byte, error) {
+	if err := p.fill(n, rawPacked); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = p.buf.Bit(i)
+	}
+	p.buf = p.buf.Slice(n, p.buf.Len-n)
 	return out, nil
 }

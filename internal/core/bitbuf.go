@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // bitBuffer is a FIFO of bits packed 64 per uint64 word. It replaces the
 // byte-per-bit queue the original TRNG used: an 8× smaller footprint for the
 // same number of buffered bits, and a representation the Engine's packed-word
@@ -46,6 +48,48 @@ func (b *bitBuffer) PopBits(n int) []byte {
 	}
 	b.compact()
 	return out
+}
+
+// popChunk removes the first n bits (n <= 64) and returns them packed
+// LSB-first: bit i of the result is the i-th popped bit. It panics if fewer
+// than n bits are buffered; callers check Len first. Storage is not
+// reclaimed; bulk callers compact once when done.
+func (b *bitBuffer) popChunk(n int) uint64 {
+	w, off := b.head>>6, uint(b.head&63)
+	v := b.words[w] >> off
+	if got := 64 - int(off); got < n {
+		v |= b.words[w+1] << uint(got)
+	}
+	if n < 64 {
+		v &= (1 << uint(n)) - 1
+	}
+	b.head += n
+	return v
+}
+
+// PopPacked removes the first 8*len(p) bits and packs them into p, eight bits
+// per output byte, most significant bit first — the same encoding
+// PackBitsMSBFirst produces — without any intermediate bit-per-byte slice. It
+// panics if fewer than 8*len(p) bits are buffered.
+func (b *bitBuffer) PopPacked(p []byte) {
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		w := b.popChunk(64)
+		// The chunk is LSB-first in stream order; Reverse8 of each byte
+		// yields the MSB-first byte encoding.
+		p[i] = bits.Reverse8(byte(w))
+		p[i+1] = bits.Reverse8(byte(w >> 8))
+		p[i+2] = bits.Reverse8(byte(w >> 16))
+		p[i+3] = bits.Reverse8(byte(w >> 24))
+		p[i+4] = bits.Reverse8(byte(w >> 32))
+		p[i+5] = bits.Reverse8(byte(w >> 40))
+		p[i+6] = bits.Reverse8(byte(w >> 48))
+		p[i+7] = bits.Reverse8(byte(w >> 56))
+	}
+	for ; i < len(p); i++ {
+		p[i] = bits.Reverse8(byte(b.popChunk(8)))
+	}
+	b.compact()
 }
 
 // PopWord removes up to 64 bits and returns them packed LSB-first together

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 func TestBitBufferRoundTrip(t *testing.T) {
 	var b bitBuffer
@@ -73,5 +76,48 @@ func TestBitBufferInterleavedAppendPop(t *testing.T) {
 	// the backing array should stay small.
 	if len(b.words) > 32 {
 		t.Errorf("buffer retains %d words for %d live bits; compaction failed", len(b.words), b.Len())
+	}
+}
+
+// TestPopPackedMatchesPopBits: PopPacked must produce the PackBitsMSBFirst
+// encoding of the same bits PopBits would return, across random chunkings
+// and non-byte-aligned interleavings.
+func TestPopPackedMatchesPopBits(t *testing.T) {
+	state := uint64(42)
+	nextBit := func() byte {
+		state = state*6364136223846793005 + 1442695040888963407
+		return byte(state >> 63)
+	}
+	var a, b bitBuffer
+	var stream []byte
+	for i := 0; i < 10000; i++ {
+		bit := nextBit()
+		a.Append(bit)
+		b.Append(bit)
+		stream = append(stream, bit)
+	}
+	// Interleave byte-aligned packed pops with odd-length bit pops on buffer
+	// a; buffer b serves as the bit-per-byte reference.
+	sizes := []int{8, 3, 64, 1, 16, 7, 120, 33}
+	off := 0
+	for i := 0; a.Len() > 200; i++ {
+		n := sizes[i%len(sizes)]
+		if n%8 == 0 {
+			packed := make([]byte, n/8)
+			a.PopPacked(packed)
+			want := make([]byte, n/8)
+			PackBitsMSBFirst(stream[off:off+n], want)
+			if !bytes.Equal(packed, want) {
+				t.Fatalf("PopPacked at offset %d: got %x want %x", off, packed, want)
+			}
+			b.PopBits(n)
+		} else {
+			got := a.PopBits(n)
+			if !bytes.Equal(got, stream[off:off+n]) {
+				t.Fatalf("PopBits at offset %d diverged", off)
+			}
+			b.PopBits(n)
+		}
+		off += n
 	}
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -288,17 +290,67 @@ func (e *Engine) ReadBits(n int) ([]byte, error) {
 	return e.readBits(n, nil)
 }
 
+// ReadPacked fills p with random bytes straight from the shard rings: each
+// ring word becomes eight output bytes with no intermediate bit-per-byte
+// slice and no allocation. The byte encoding and the round-robin word order
+// are identical to Read's. It is safe for concurrent use.
+func (e *Engine) ReadPacked(p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := 0; i < len(p); {
+		if e.curOff == e.cur.bits {
+			w, shard, err := e.nextWordLocked()
+			if err != nil {
+				return err
+			}
+			e.cur, e.curShard, e.curOff = w, shard, 0
+		}
+		if e.curOff == 0 && e.cur.bits == 64 && i+8 <= len(p) {
+			// Whole ring word to eight bytes: the word is LSB-first in
+			// stream order, so reversing it and storing big-endian yields
+			// the MSB-first byte encoding.
+			binary.BigEndian.PutUint64(p[i:], bits.Reverse64(e.cur.word))
+			e.curOff = 64
+			e.delivered[e.curShard] += 64
+			i += 8
+			continue
+		}
+		// Assemble one byte across word boundaries (a partially consumed
+		// word — e.g. after an odd-length ReadBits — or a short final word).
+		var acc byte
+		for accN := 0; accN < 8; {
+			if e.curOff == e.cur.bits {
+				w, shard, err := e.nextWordLocked()
+				if err != nil {
+					return err
+				}
+				e.cur, e.curShard, e.curOff = w, shard, 0
+			}
+			take := 8 - accN
+			if avail := e.cur.bits - e.curOff; take > avail {
+				take = avail
+			}
+			chunk := (e.cur.word >> uint(e.curOff)) & (1<<uint(take) - 1)
+			acc |= byte(chunk << uint(accN))
+			e.curOff += take
+			e.delivered[e.curShard] += int64(take)
+			accN += take
+		}
+		p[i] = bits.Reverse8(acc)
+		i++
+	}
+	return nil
+}
+
 // Read fills p with random bytes, implementing io.Reader. It never returns a
 // short read except on error. It is safe for concurrent use.
 func (e *Engine) Read(p []byte) (int, error) {
-	if len(p) == 0 {
-		return 0, nil
-	}
-	bits, err := e.ReadBits(len(p) * 8)
-	if err != nil {
+	if err := e.ReadPacked(p); err != nil {
 		return 0, err
 	}
-	PackBitsMSBFirst(bits, p)
 	return len(p), nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"repro/internal/memctrl"
@@ -43,6 +44,10 @@ type TRNG struct {
 
 	// bits holds harvested bits, packed 64 per word, not yet consumed.
 	bits bitBuffer
+
+	// scratch is the reusable destination of sampleWord's device reads, so
+	// the steady-state harvest loop performs no allocations.
+	scratch []uint64
 
 	bitsGenerated int64
 }
@@ -175,8 +180,11 @@ func (t *TRNG) BitsGenerated() int64 { return t.bitsGenerated }
 // the RNG-cell values to the bit queue, and restores the word's original
 // content (lines 8–11 / 12–15 of Algorithm 2).
 func (t *TRNG) sampleWord(bank int, w *trngWord) error {
-	got, _, err := t.ctrl.ReadWord(bank, w.row, w.wordIdx)
-	if err != nil {
+	if t.scratch == nil {
+		t.scratch = make([]uint64, t.ctrl.Device().Geometry().WordBits/64)
+	}
+	got := t.scratch
+	if _, err := t.ctrl.ReadWordInto(bank, w.row, w.wordIdx, got); err != nil {
 		return err
 	}
 	for _, col := range w.cols {
@@ -221,17 +229,29 @@ func (t *TRNG) ReadBits(n int) ([]byte, error) {
 	return t.bits.PopBits(n), nil
 }
 
+// ReadPacked fills p with random bytes straight from the packed bit queue —
+// the same byte encoding as Read, with no intermediate bit-per-byte slice and
+// no allocation in steady state.
+func (t *TRNG) ReadPacked(p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if len(p) > math.MaxInt/8 {
+		return fmt.Errorf("core: read of %d bytes overflows the bit counter", len(p))
+	}
+	if err := t.harvest(len(p) * 8); err != nil {
+		return err
+	}
+	t.bits.PopPacked(p)
+	return nil
+}
+
 // Read fills p with random bytes, implementing io.Reader. It never returns a
 // short read except on error.
 func (t *TRNG) Read(p []byte) (int, error) {
-	if len(p) == 0 {
-		return 0, nil
-	}
-	bits, err := t.ReadBits(len(p) * 8)
-	if err != nil {
+	if err := t.ReadPacked(p); err != nil {
 		return 0, err
 	}
-	PackBitsMSBFirst(bits, p)
 	return len(p), nil
 }
 

@@ -73,3 +73,16 @@ type Device interface {
 
 // The simulated device is the reference implementation of the contract.
 var _ Device = (*dram.Device)(nil)
+
+// WordReaderInto is an optional device capability: an allocation-free
+// ReadWord variant writing into a caller-owned buffer. The memory controller
+// uses it when present (the simulator implements it); wrapping backends that
+// do not are served through ReadWord with a copy.
+type WordReaderInto interface {
+	// ReadWordInto reads DRAM word wordIdx from the row open in bank into
+	// dst, which must hold Geometry().WordBits/64 uint64s. Failure-injection
+	// semantics match ReadWord exactly.
+	ReadWordInto(bank, wordIdx int, dst []uint64) error
+}
+
+var _ WordReaderInto = (*dram.Device)(nil)

@@ -63,7 +63,23 @@ type Device struct {
 	// cells.
 	weakCols map[weakKey][][]int
 
+	// chars caches the procedurally derived per-cell character, keyed by
+	// packed (bank, row, col); inject caches, per (bank, row, wordIdx), the
+	// word's weak columns together with their characters. The character is a
+	// pure function of the device identity, so both caches are transparent;
+	// they remove the dominant hashing cost from the failure-injection hot
+	// path, where generation re-reads the same few words forever.
+	chars  map[uint64]CellCharacter
+	inject map[uint64]*injectInfo
+
 	stats DeviceStats
+}
+
+// injectInfo is everything failure injection needs about one DRAM word: the
+// weak column indices and, aligned with them, the cell characters.
+type injectInfo struct {
+	cols  []int
+	chars []CellCharacter
 }
 
 // DeviceStats counts the operations a device has performed; useful for
@@ -84,9 +100,11 @@ type weakKey struct {
 }
 
 // bankStorage holds the mutable state of one bank: lazily-allocated row data
-// and the row-buffer state.
+// and the row-buffer state. rows is direct-indexed by row (nil = not yet
+// materialised): one pointer per row costs kilobytes while keeping the
+// per-access lookup a bounds-checked load instead of a map probe.
 type bankStorage struct {
-	rows map[int][]uint64
+	rows [][]uint64
 
 	openRow            int
 	open               bool
@@ -134,6 +152,14 @@ func NewDevice(cfg Config) (*Device, error) {
 		return nil, err
 	}
 
+	// The character caches pack (bank, row, col/wordIdx) into 64-bit keys
+	// (16/24/24 bits); reject geometries the packing cannot address rather
+	// than silently colliding cache entries.
+	if geom.Banks >= 1<<16 || geom.RowsPerBank >= 1<<24 || geom.ColsPerRow >= 1<<24 || geom.WordsPerRow() >= 1<<16 {
+		return nil, fmt.Errorf("dram: geometry %d banks x %d rows x %d cols (%d words/row) exceeds the addressable simulation bounds (2^16 banks, 2^24 rows, 2^24 cols, 2^16 words/row)",
+			geom.Banks, geom.RowsPerBank, geom.ColsPerRow, geom.WordsPerRow())
+	}
+
 	noise := cfg.Noise
 	if noise == nil {
 		noise = NewPhysicalNoise()
@@ -150,9 +176,11 @@ func NewDevice(cfg Config) (*Device, error) {
 		temperatureC: BaselineTemperatureC,
 		banks:        make([]*bankStorage, geom.Banks),
 		weakCols:     make(map[weakKey][][]int),
+		chars:        make(map[uint64]CellCharacter),
+		inject:       make(map[uint64]*injectInfo),
 	}
 	for i := range d.banks {
-		d.banks[i] = &bankStorage{rows: make(map[int][]uint64), openRow: -1}
+		d.banks[i] = &bankStorage{rows: make([][]uint64, geom.RowsPerBank), openRow: -1}
 	}
 	return d, nil
 }
@@ -203,7 +231,37 @@ func (d *Device) CellCharacter(bank, row, col int) (CellCharacter, error) {
 	if err := d.checkCell(bank, row, col); err != nil {
 		return CellCharacter{}, err
 	}
-	return cellCharacter(d.serial, bank, row, col, d.geom, d.profile), nil
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cellCharacterLocked(bank, row, col), nil
+}
+
+// cellCharacterLocked returns the cached character of (bank, row, col),
+// deriving and caching it on first touch. Callers hold d.mu.
+func (d *Device) cellCharacterLocked(bank, row, col int) CellCharacter {
+	key := uint64(bank)<<48 | uint64(row)<<24 | uint64(col)
+	if c, ok := d.chars[key]; ok {
+		return c
+	}
+	c := cellCharacter(d.serial, bank, row, col, d.geom, d.profile)
+	d.chars[key] = c
+	return c
+}
+
+// injectInfoLocked returns (computing and caching if needed) the injection
+// data of DRAM word (bank, row, wordIdx). Callers hold d.mu.
+func (d *Device) injectInfoLocked(bank, row, wordIdx int) *injectInfo {
+	key := uint64(bank)<<40 | uint64(row)<<16 | uint64(wordIdx)
+	if info, ok := d.inject[key]; ok {
+		return info
+	}
+	weak := d.weakColumnsLocked(bank, d.subarrayOf(row))[wordIdx]
+	info := &injectInfo{cols: weak, chars: make([]CellCharacter, len(weak))}
+	for i, col := range weak {
+		info.chars[i] = cellCharacter(d.serial, bank, row, col, d.geom, d.profile)
+	}
+	d.inject[key] = info
+	return info
 }
 
 // WeakColumnsInWord returns the column indices (absolute within the row) of
@@ -303,7 +361,7 @@ func (d *Device) StartupRow(bank, row int) ([]uint64, error) {
 // startup content lazily on first touch.
 func (d *Device) rowDataLocked(bank, row int) []uint64 {
 	b := d.banks[bank]
-	if data, ok := b.rows[row]; ok {
+	if data := b.rows[row]; data != nil {
 		return data
 	}
 	data := d.startupRow(bank, row)
@@ -410,17 +468,32 @@ func (d *Device) Refresh() error {
 // surrounding data pattern, and the device temperature, resolved by the
 // device's noise source. The returned slice is a copy owned by the caller.
 func (d *Device) ReadWord(bank, wordIdx int) ([]uint64, error) {
-	if err := d.checkBank(bank); err != nil {
+	out := make([]uint64, d.geom.wordU64s())
+	if err := d.ReadWordInto(bank, wordIdx, out); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// ReadWordInto is ReadWord writing into dst (which must hold wordU64s
+// uint64s): the allocation-free fast path sampling loops use through
+// device.WordReaderInto. Failure-injection semantics are identical.
+func (d *Device) ReadWordInto(bank, wordIdx int, dst []uint64) error {
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
 	if wordIdx < 0 || wordIdx >= d.geom.WordsPerRow() {
-		return nil, fmt.Errorf("dram: word %d out of range [0,%d)", wordIdx, d.geom.WordsPerRow())
+		return fmt.Errorf("dram: word %d out of range [0,%d)", wordIdx, d.geom.WordsPerRow())
+	}
+	nw := d.geom.wordU64s()
+	if len(dst) != nw {
+		return fmt.Errorf("dram: destination length %d, want %d uint64s", len(dst), nw)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	b := d.banks[bank]
 	if !b.open {
-		return nil, fmt.Errorf("dram: read from bank %d with no open row", bank)
+		return fmt.Errorf("dram: read from bank %d with no open row", bank)
 	}
 	row := b.openRow
 	data := d.rowDataLocked(bank, row)
@@ -433,10 +506,8 @@ func (d *Device) ReadWord(bank, wordIdx int) ([]uint64, error) {
 	}
 
 	d.stats.Reads++
-	nw := d.geom.wordU64s()
-	out := make([]uint64, nw)
-	copy(out, data[wordIdx*nw:(wordIdx+1)*nw])
-	return out, nil
+	copy(dst, data[wordIdx*nw:(wordIdx+1)*nw])
+	return nil
 }
 
 // WriteWord writes DRAM word wordIdx of the row currently open in bank.
@@ -505,19 +576,28 @@ func (d *Device) ReadRowRaw(bank, row int) ([]uint64, error) {
 // with latency trcdNS. Failed cells are flipped both in the returned data and
 // in the stored array (the sense amplifier restores the wrong value).
 func (d *Device) injectFailuresLocked(bank, row, wordIdx int, trcdNS float64, data []uint64) {
-	sub := d.subarrayOf(row)
-	weak := d.weakColumnsLocked(bank, sub)[wordIdx]
-	if len(weak) == 0 {
+	info := d.injectInfoLocked(bank, row, wordIdx)
+	if len(info.cols) == 0 {
 		return
 	}
+	// Materialise the neighbouring rows once per injection instead of once
+	// per neighbour probe; the slices alias the stored rows, so intra-word
+	// flips stay visible to later cells exactly as before.
+	var above, below []uint64
+	if row > 0 {
+		above = d.rowDataLocked(bank, row-1)
+	}
+	if row < d.geom.RowsPerBank-1 {
+		below = d.rowDataLocked(bank, row+1)
+	}
 	temp := d.temperatureC
-	for _, col := range weak {
-		c := cellCharacter(d.serial, bank, row, col, d.geom, d.profile)
+	for i, col := range info.cols {
+		c := &info.chars[i]
 		stored := getBit(data, col)
 		if !c.VulnerableWhenStoring(stored) {
 			continue
 		}
-		diff := d.differingNeighborsLocked(bank, row, col, stored)
+		diff := differingNeighbors(data, above, below, col, d.geom.ColsPerRow, stored)
 		margin := trcdNS - c.EffectiveTCritNS(temp, diff)
 		// The bitline differential at read time is the margin plus analog
 		// noise. Below the metastable window the sense amplifier latches the
@@ -552,26 +632,32 @@ func (d *Device) gaussianFor(bank int) float64 {
 // differingNeighborsLocked counts the neighbouring cells (left, right, above,
 // below) that store the opposite value of the victim cell.
 func (d *Device) differingNeighborsLocked(bank, row, col int, stored uint64) int {
-	diff := 0
-	if col > 0 {
-		if getBit(d.rowDataLocked(bank, row), col-1) != stored {
-			diff++
-		}
-	}
-	if col < d.geom.ColsPerRow-1 {
-		if getBit(d.rowDataLocked(bank, row), col+1) != stored {
-			diff++
-		}
-	}
+	var above, below []uint64
 	if row > 0 {
-		if getBit(d.rowDataLocked(bank, row-1), col) != stored {
-			diff++
-		}
+		above = d.rowDataLocked(bank, row-1)
 	}
 	if row < d.geom.RowsPerBank-1 {
-		if getBit(d.rowDataLocked(bank, row+1), col) != stored {
-			diff++
-		}
+		below = d.rowDataLocked(bank, row+1)
+	}
+	return differingNeighbors(d.rowDataLocked(bank, row), above, below, col, d.geom.ColsPerRow, stored)
+}
+
+// differingNeighbors counts the neighbours of (row data, col) storing the
+// opposite value, given the already-materialised row and its vertical
+// neighbours (nil at array edges).
+func differingNeighbors(data, above, below []uint64, col, colsPerRow int, stored uint64) int {
+	diff := 0
+	if col > 0 && getBit(data, col-1) != stored {
+		diff++
+	}
+	if col < colsPerRow-1 && getBit(data, col+1) != stored {
+		diff++
+	}
+	if above != nil && getBit(above, col) != stored {
+		diff++
+	}
+	if below != nil && getBit(below, col) != stored {
+		diff++
 	}
 	return diff
 }
@@ -587,7 +673,7 @@ func (d *Device) FailureProbabilityAt(bank, row, col int, trcdNS float64) (float
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	c := cellCharacter(d.serial, bank, row, col, d.geom, d.profile)
+	c := d.cellCharacterLocked(bank, row, col)
 	if !c.WeakColumn {
 		return 0, nil
 	}

@@ -113,36 +113,63 @@ type BankNoiseSource interface {
 // reproducible SplitMix64 stream per bank. Like DeterministicNoise it is for
 // tests, characterization and benchmarks only — never for generating keys.
 type DeterministicBankNoise struct {
-	mu      sync.Mutex
-	seed    uint64
-	streams map[int]*uint64
+	mu   sync.Mutex
+	seed uint64
+	// streams holds the per-bank stream states indexed by bank+1 (slot 0 is
+	// the bankless stream), lazily initialised; init marks live slots. A
+	// dense slice keeps the per-draw cost to an uncontended lock and an
+	// index, which matters in the failure-injection hot path.
+	streams []uint64
+	init    []bool
 }
 
 // NewDeterministicBankNoise returns a reproducible per-bank noise source
 // seeded with seed.
 func NewDeterministicBankNoise(seed uint64) *DeterministicBankNoise {
-	return &DeterministicBankNoise{seed: seed, streams: make(map[int]*uint64)}
+	return &DeterministicBankNoise{seed: seed}
+}
+
+// stateLocked returns the stream slot for bank, deriving its seed on first
+// use. Callers hold d.mu.
+func (d *DeterministicBankNoise) stateLocked(bank int) *uint64 {
+	slot := bank + 1
+	if slot >= len(d.streams) {
+		streams := make([]uint64, slot+1)
+		copy(streams, d.streams)
+		initd := make([]bool, slot+1)
+		copy(initd, d.init)
+		d.streams, d.init = streams, initd
+	}
+	if !d.init[slot] {
+		// Derive the stream seed from (seed, bank) so streams are
+		// decorrelated; run one splitmix round over the mix for diffusion.
+		s, _ := splitmix64(d.seed ^ (uint64(bank)+1)*0x9e3779b97f4a7c15)
+		d.streams[slot] = s
+		d.init[slot] = true
+	}
+	return &d.streams[slot]
 }
 
 func (d *DeterministicBankNoise) nextFor(bank int) uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	state, ok := d.streams[bank]
-	if !ok {
-		// Derive the stream seed from (seed, bank) so streams are
-		// decorrelated; run one splitmix round over the mix for diffusion.
-		s, _ := splitmix64(d.seed ^ (uint64(bank)+1)*0x9e3779b97f4a7c15)
-		state = &s
-		d.streams[bank] = state
-	}
+	state := d.stateLocked(bank)
 	var out uint64
 	*state, out = splitmix64(*state)
 	return out
 }
 
-// GaussianFor implements BankNoiseSource.
+// GaussianFor implements BankNoiseSource. Both uniform draws come from the
+// bank's stream under one lock acquisition, in the same order as two nextFor
+// calls — the sample sequence is unchanged.
 func (d *DeterministicBankNoise) GaussianFor(bank int) float64 {
-	return boxMuller(unitFloat(d.nextFor(bank)), unitFloat(d.nextFor(bank)))
+	d.mu.Lock()
+	state := d.stateLocked(bank)
+	var u1, u2 uint64
+	*state, u1 = splitmix64(*state)
+	*state, u2 = splitmix64(*state)
+	d.mu.Unlock()
+	return boxMuller(unitFloat(u1), unitFloat(u2))
 }
 
 // Gaussian implements NoiseSource; draws not attributable to a bank (e.g. the

@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/nist"
+	"repro/internal/postproc"
 )
 
 // defaultAlphaExp is -log2 of the false-positive probability the default
@@ -260,34 +262,200 @@ func (m *Monitor) Reset() {
 // scratch; counters record the trip either way.
 func (m *Monitor) Ingest(bits []byte) *Violation {
 	for _, b := range bits {
-		m.counters.BitsTested++
 		bit := uint64(0)
 		if b != 0 {
 			bit = 1
 		}
-		// Bias monitor runs on raw bits, whatever the symbol width.
-		m.winOnes += int64(bit)
-		m.winBits++
-		if m.winBits >= int64(m.cfg.BiasWindowBits) {
-			if v := m.biasWindowDone(); v != nil {
-				m.recordTrip(v)
-				return v
-			}
-		}
-		// Pack MSB-first into the configured symbol width.
-		m.cur = m.cur<<1 | bit
-		m.curBits++
-		if m.curBits < m.cfg.SymbolBits {
-			continue
-		}
-		sym := m.cur
-		m.cur, m.curBits = 0, 0
-		if v := m.ingestSymbol(sym); v != nil {
-			m.recordTrip(v)
+		if v := m.ingestBit(bit); v != nil {
 			return v
 		}
 	}
 	return nil
+}
+
+// ingestBit advances every test by one raw bit, recording and returning the
+// first violation.
+func (m *Monitor) ingestBit(bit uint64) *Violation {
+	m.counters.BitsTested++
+	// Bias monitor runs on raw bits, whatever the symbol width.
+	m.winOnes += int64(bit)
+	m.winBits++
+	if m.winBits >= int64(m.cfg.BiasWindowBits) {
+		if v := m.biasWindowDone(); v != nil {
+			m.recordTrip(v)
+			return v
+		}
+	}
+	// Pack MSB-first into the configured symbol width.
+	m.cur = m.cur<<1 | bit
+	m.curBits++
+	if m.curBits < m.cfg.SymbolBits {
+		return nil
+	}
+	sym := m.cur
+	m.cur, m.curBits = 0, 0
+	if v := m.ingestSymbol(sym); v != nil {
+		m.recordTrip(v)
+		return v
+	}
+	return nil
+}
+
+// IngestPacked feeds nbits bits packed MSB-first in p (bit i at
+// p[i/8]>>(7-i%8)) through the tests — the packed-word counterpart of Ingest,
+// with identical trip behaviour and counters for any chunking of the same
+// stream. For 1-bit symbols (the default) it advances the bias and adaptive
+// proportion windows by popcount and the repetition count test by run-length
+// scanning, falling back to bit-at-a-time processing only for chunks that
+// approach a window boundary or could trip. Wider symbol widths replay every
+// chunk bit by bit — no word-level shortcut, the win over Ingest is only
+// that the stream never materialises as a bit-per-byte slice.
+func (m *Monitor) IngestPacked(p []byte, nbits int) *Violation {
+	stream := postproc.Packed{Data: p, Len: nbits}
+	off := 0
+	for off < nbits {
+		n := nbits - off
+		if n > 64 {
+			n = 64
+		}
+		// Load the next chunk with the first stream bit at the most
+		// significant position (chunks after the first are byte-aligned).
+		v := stream.Chunk(off, n)
+		if m.cfg.SymbolBits == 1 && m.chunkIsQuiet(v, n) {
+			m.applyQuietChunk(v, n)
+			off += n
+			continue
+		}
+		// A window boundary, a potential trip, or a wide-symbol
+		// configuration: replay the chunk bit by bit (first bit at v's MSB).
+		for i := n - 1; i >= 0; i-- {
+			if viol := m.ingestBit((v >> uint(i)) & 1); viol != nil {
+				return viol
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// chunkIsQuiet reports whether an n-bit chunk (first bit most significant)
+// can be applied to the 1-bit-symbol tests in bulk: no bias or APT window
+// completes inside it, the APT cutoff cannot be reached, and no symbol run —
+// including the carried-in run — can reach the RCT cutoff. Quiet chunks
+// advance every test with word-level operations; loud ones replay bit by bit.
+func (m *Monitor) chunkIsQuiet(v uint64, n int) bool {
+	if m.winBits+int64(n) >= int64(m.cfg.BiasWindowBits) {
+		return false
+	}
+	if m.seen+n >= m.cfg.APTWindow {
+		return false
+	}
+	ones := bits.OnesCount64(v)
+	ref := m.ref
+	refCount := m.refCount
+	if m.seen == 0 {
+		// The window restarts inside this chunk: its first bit becomes the
+		// reference symbol.
+		ref = (v >> uint(n-1)) & 1
+		refCount = 0
+	}
+	matches := ones
+	if ref == 0 {
+		matches = n - ones
+	}
+	if refCount+matches >= m.cfg.APTCutoff {
+		return false
+	}
+	run0, run1, lead := runStats(v, n)
+	carried := lead
+	first := (v >> uint(n-1)) & 1
+	if m.haveLast && m.last == first {
+		carried += m.run
+	}
+	maxRun := carried
+	if run0 > maxRun {
+		maxRun = run0
+	}
+	if run1 > maxRun {
+		maxRun = run1
+	}
+	return maxRun < m.cfg.RCTCutoff
+}
+
+// applyQuietChunk advances the 1-bit-symbol tests over a chunk that
+// chunkIsQuiet accepted, without per-bit work.
+func (m *Monitor) applyQuietChunk(v uint64, n int) {
+	ones := int64(bits.OnesCount64(v))
+	m.counters.BitsTested += int64(n)
+	m.counters.SymbolsTested += int64(n)
+	m.winOnes += ones
+	m.winBits += int64(n)
+
+	// RCT bookkeeping: fold the carried run into the leading run, track the
+	// longest run observed, and carry the trailing run out.
+	run0, run1, lead := runStats(v, n)
+	first := (v >> uint(n-1)) & 1
+	last := v & 1
+	carried := lead
+	if m.haveLast && m.last == first {
+		carried += m.run
+	}
+	for _, r := range [3]int{carried, run0, run1} {
+		if int64(r) > m.counters.LongestRun {
+			m.counters.LongestRun = int64(r)
+		}
+	}
+	if lead == n {
+		// Single-symbol chunk: the whole carried run continues.
+		m.run = carried
+	} else if last == 1 {
+		m.run = bits.TrailingZeros64(^v)
+	} else {
+		m.run = bits.TrailingZeros64(v | 1<<uint(n))
+	}
+	m.last, m.haveLast = last, true
+
+	// APT bookkeeping (no window completes inside a quiet chunk).
+	if m.seen == 0 {
+		m.ref, m.refCount = first, 0
+	}
+	m.seen += n
+	matches := int(ones)
+	if m.ref == 0 {
+		matches = n - int(ones)
+	}
+	m.refCount += matches
+}
+
+// runStats returns the longest run of zeros and of ones within the low-n-bit
+// window of v (first stream bit at bit n-1), plus the length of the leading
+// (first-bit) run.
+func runStats(v uint64, n int) (run0, run1, lead int) {
+	// Shift the window to the top of the word so leading-zero counts line up
+	// with stream order; mask the vacated low bits out of the zero runs.
+	top := v << uint(64-n)
+	mask := ^uint64(0) << uint(64-n)
+	run1 = longestOnes(top)
+	run0 = longestOnes(^top & mask)
+	if first := (v >> uint(n-1)) & 1; first == 1 {
+		lead = bits.LeadingZeros64(^top)
+	} else {
+		lead = bits.LeadingZeros64(top)
+	}
+	if lead > n {
+		lead = n
+	}
+	return run0, run1, lead
+}
+
+// longestOnes returns the length of the longest run of set bits.
+func longestOnes(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x << 1
+		n++
+	}
+	return n
 }
 
 // ingestSymbol advances the RCT and APT by one symbol.

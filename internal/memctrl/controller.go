@@ -49,15 +49,23 @@ type Controller struct {
 	dev    device.Device
 	params timing.Params
 
+	// Cached cycle conversions of the rank-level constraints (Params
+	// conversions copy the parameter struct per call — too costly per
+	// sampled word).
+	cTRRD, cTFAW, cBurst, cTCWL int64
+
 	// reducedTRCDNS is the programmed activation latency override in
 	// nanoseconds; 0 means the JEDEC default applies.
 	reducedTRCDNS float64
 
 	banks []*timing.BankFSM
 
-	now          int64
-	lastACT      int64
-	recentACTs   []int64 // for the four-activate window
+	now     int64
+	lastACT int64
+	// recentACTs is a fixed ring of the last four activate cycles (for the
+	// four-activate tFAW window); actCount is the number of ACTs issued.
+	recentACTs   [4]int64
+	actCount     int64
 	busBusyUntil int64
 
 	refreshEnabled bool
@@ -76,6 +84,10 @@ func NewController(dev device.Device, opts ...Option) *Controller {
 	c := &Controller{
 		dev:     dev,
 		params:  p,
+		cTRRD:   p.Cycles(p.TRRD),
+		cTFAW:   p.Cycles(p.TFAW),
+		cBurst:  p.BurstCycles(),
+		cTCWL:   p.Cycles(p.TCWL),
 		banks:   make([]*timing.BankFSM, dev.Geometry().Banks),
 		lastACT: -1 << 60,
 	}
@@ -229,11 +241,13 @@ func (c *Controller) earliestFor(e int64) int64 {
 func (c *Controller) activateAt(bank, row int) (int64, error) {
 	b := c.banks[bank]
 	issue := c.earliestFor(b.EarliestACT())
-	if t := c.lastACT + c.params.Cycles(c.params.TRRD); t > issue {
+	if t := c.lastACT + c.cTRRD; t > issue {
 		issue = t
 	}
-	if len(c.recentACTs) >= 4 {
-		if t := c.recentACTs[len(c.recentACTs)-4] + c.params.Cycles(c.params.TFAW); t > issue {
+	if c.actCount >= 4 {
+		// The oldest of the last four ACTs sits at the ring slot the new ACT
+		// is about to overwrite.
+		if t := c.recentACTs[c.actCount&3] + c.cTFAW; t > issue {
 			issue = t
 		}
 	}
@@ -245,10 +259,8 @@ func (c *Controller) activateAt(bank, row int) (int64, error) {
 		return 0, err
 	}
 	c.lastACT = issue
-	c.recentACTs = append(c.recentACTs, issue)
-	if len(c.recentACTs) > 8 {
-		c.recentACTs = c.recentACTs[len(c.recentACTs)-8:]
-	}
+	c.recentACTs[c.actCount&3] = issue
+	c.actCount++
 	c.record(timing.CmdACT, bank, row, -1, issue)
 	c.now = issue + 1
 	return issue, nil
@@ -321,20 +333,33 @@ func (c *Controller) ActivateRow(bank, row int) error {
 // the first word read after the activation). It returns the word and the
 // cycle at which the data burst completes on the data bus.
 func (c *Controller) ReadWord(bank, row, wordIdx int) ([]uint64, int64, error) {
-	if err := c.checkBank(bank); err != nil {
+	data := make([]uint64, c.dev.Geometry().WordBits/64)
+	done, err := c.ReadWordInto(bank, row, wordIdx, data)
+	if err != nil {
 		return nil, 0, err
 	}
+	return data, done, nil
+}
+
+// ReadWordInto is ReadWord writing the word into dst (which must hold
+// WordBits/64 uint64s), so steady-state sampling loops can reuse one buffer
+// instead of allocating per read. It returns the cycle at which the data
+// burst completes.
+func (c *Controller) ReadWordInto(bank, row, wordIdx int, dst []uint64) (int64, error) {
+	if err := c.checkBank(bank); err != nil {
+		return 0, err
+	}
 	if err := c.openRowFor(bank, row); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	b := c.banks[bank]
 	issue := c.earliestFor(b.EarliestRead())
 	done, viol, err := b.Read(issue)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	if viol != nil && !viol.Intentional() {
-		return nil, 0, viol
+		return 0, viol
 	}
 	if viol != nil {
 		c.stats.TRCDViolations++
@@ -342,18 +367,32 @@ func (c *Controller) ReadWord(bank, row, wordIdx int) ([]uint64, int64, error) {
 	if c.reducedTRCDNS > 0 {
 		c.stats.TRCDViolations++
 	}
-	data, err := c.dev.ReadWord(bank, wordIdx)
-	if err != nil {
-		return nil, 0, err
+	if err := readWordInto(c.dev, bank, wordIdx, dst); err != nil {
+		return 0, err
 	}
-	if done < c.busBusyUntil+c.params.BurstCycles() {
-		done = c.busBusyUntil + c.params.BurstCycles()
+	if done < c.busBusyUntil+c.cBurst {
+		done = c.busBusyUntil + c.cBurst
 	}
 	c.busBusyUntil = done
-	c.stats.DataBusCycles += c.params.BurstCycles()
+	c.stats.DataBusCycles += c.cBurst
 	c.record(timing.CmdRead, bank, row, wordIdx, issue)
 	c.now = issue + 1
-	return data, done, nil
+	return done, nil
+}
+
+// readWordInto reads a device word into dst, using the device's
+// allocation-free fast path when it offers one (the capability is optional so
+// wrapping backends — replay, fault injection — keep working unchanged).
+func readWordInto(dev device.Device, bank, wordIdx int, dst []uint64) error {
+	if fast, ok := dev.(device.WordReaderInto); ok {
+		return fast.ReadWordInto(bank, wordIdx, dst)
+	}
+	data, err := dev.ReadWord(bank, wordIdx)
+	if err != nil {
+		return err
+	}
+	copy(dst, data)
+	return nil
 }
 
 // WriteWord writes the DRAM word at (bank, row, wordIdx). It returns the
@@ -377,8 +416,8 @@ func (c *Controller) WriteWord(bank, row, wordIdx int, word []uint64) (int64, er
 	if err := c.dev.WriteWord(bank, wordIdx, word); err != nil {
 		return 0, err
 	}
-	c.busBusyUntil = issue + c.params.Cycles(c.params.TCWL) + c.params.BurstCycles()
-	c.stats.DataBusCycles += c.params.BurstCycles()
+	c.busBusyUntil = issue + c.cTCWL + c.cBurst
+	c.stats.DataBusCycles += c.cBurst
 	c.record(timing.CmdWrite, bank, row, wordIdx, issue)
 	c.now = issue + 1
 	return done, nil

@@ -1,0 +1,122 @@
+package postproc
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+func randomBits(rng *rand.Rand, n int, bias float64) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		if rng.Float64() < bias {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// TestPackedRoundTrip pins the Packed encoding helpers against each other.
+func TestPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		bits := randomBits(rng, rng.IntN(300), 0.5)
+		p := PackBits(bits)
+		if p.Len != len(bits) {
+			t.Fatalf("PackBits length %d, want %d", p.Len, len(bits))
+		}
+		if !bytes.Equal(p.Unpack(), bits) {
+			t.Fatalf("trial %d: pack/unpack mismatch", trial)
+		}
+		for i, b := range bits {
+			if p.Bit(i) != b {
+				t.Fatalf("trial %d: bit %d = %d, want %d", trial, i, p.Bit(i), b)
+			}
+		}
+		// Chunk/AppendChunk round-trip through a rebuilt stream.
+		var q Packed
+		for off := 0; off < p.Len; {
+			n := 1 + rng.IntN(64)
+			if off+n > p.Len {
+				n = p.Len - off
+			}
+			q.AppendChunk(p.Chunk(off, n), n)
+			off += n
+		}
+		if q.Len != p.Len || !bytes.Equal(q.Unpack(), bits) {
+			t.Fatalf("trial %d: chunked rebuild mismatch", trial)
+		}
+		// Slice keeps order and values.
+		if p.Len > 2 {
+			off := rng.IntN(p.Len - 1)
+			n := 1 + rng.IntN(p.Len-off-1)
+			s := p.Slice(off, n)
+			if !bytes.Equal(s.Unpack(), bits[off:off+n]) {
+				t.Fatalf("trial %d: Slice(%d,%d) mismatch", trial, off, n)
+			}
+		}
+		// Append onto an unaligned prefix.
+		var u Packed
+		cut := 0
+		if p.Len > 0 {
+			cut = rng.IntN(p.Len)
+		}
+		u.Append(p.Slice(0, cut))
+		u.Append(p.Slice(cut, p.Len-cut))
+		if !bytes.Equal(u.Unpack(), bits) {
+			t.Fatalf("trial %d: Append mismatch", trial)
+		}
+	}
+}
+
+// TestPackedCorrectorEquivalence is the acceptance property test: every
+// built-in corrector's ProcessPacked output must be bit-identical to the
+// legacy bit-per-byte Process across random inputs, biases and lengths —
+// including lengths not divisible by the corrector's block.
+func TestPackedCorrectorEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	correctors := []Corrector{
+		VonNeumann{},
+		XORDecimator{Factor: 2},
+		XORDecimator{Factor: 3},
+		XORDecimator{Factor: 17},
+		XORDecimator{Factor: 100},
+		SHA256Conditioner{InputBlockBits: 256},
+		SHA256Conditioner{InputBlockBits: 512},
+		SHA256Conditioner{InputBlockBits: 300}, // non-byte-aligned blocks
+	}
+	for _, c := range correctors {
+		pc, ok := c.(PackedCorrector)
+		if !ok {
+			t.Fatalf("%s does not implement PackedCorrector", c.Name())
+		}
+		for trial := 0; trial < 40; trial++ {
+			n := rng.IntN(2200)
+			bias := []float64{0.5, 0.1, 0.9, 0.0, 1.0}[trial%5]
+			in := randomBits(rng, n, bias)
+			want, err := c.Process(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pc.ProcessPacked(PackBits(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len != len(want) || !bytes.Equal(got.Unpack(), want) {
+				t.Fatalf("%s: trial %d (n=%d bias=%.1f): packed output %d bits differs from legacy %d bits",
+					c.Name(), trial, n, bias, got.Len, len(want))
+			}
+		}
+	}
+}
+
+// TestPackedCorrectorParameterErrors: packed implementations reject the same
+// bad parameters as the legacy ones.
+func TestPackedCorrectorParameterErrors(t *testing.T) {
+	if _, err := (XORDecimator{Factor: 1}).ProcessPacked(Packed{}); err == nil {
+		t.Error("packed XOR decimator accepted factor 1")
+	}
+	if _, err := (SHA256Conditioner{InputBlockBits: 128}).ProcessPacked(Packed{}); err == nil {
+		t.Error("packed SHA-256 conditioner accepted a 128-bit block")
+	}
+}

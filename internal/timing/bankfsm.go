@@ -8,6 +8,14 @@ import "fmt"
 type BankFSM struct {
 	params Params
 
+	// Cached cycle conversions of the fixed parameters. Params conversions
+	// copy the whole parameter struct per call, which shows up in the
+	// per-sample hot path; converting once here keeps command application to
+	// integer adds.
+	cTRCD, cTRAS, cTRC, cTCL, cTCCD, cTRTP int64
+	cTCWL, cTWR, cTWTR, cTRP, cTRFC        int64
+	cBurst                                 int64
+
 	state   BankState
 	openRow int
 
@@ -31,6 +39,18 @@ type BankFSM struct {
 func NewBankFSM(p Params) *BankFSM {
 	return &BankFSM{
 		params:       p,
+		cTRCD:        p.Cycles(p.TRCD),
+		cTRAS:        p.Cycles(p.TRAS),
+		cTRC:         p.Cycles(p.TRC),
+		cTCL:         p.Cycles(p.TCL),
+		cTCCD:        p.Cycles(p.TCCD),
+		cTRTP:        p.Cycles(p.TRTP),
+		cTCWL:        p.Cycles(p.TCWL),
+		cTWR:         p.Cycles(p.TWR),
+		cTWTR:        p.Cycles(p.TWTR),
+		cTRP:         p.Cycles(p.TRP),
+		cTRFC:        p.Cycles(p.TRFC),
+		cBurst:       p.BurstCycles(),
 		state:        BankPrecharged,
 		openRow:      -1,
 		lastACTCycle: -1 << 60,
@@ -101,20 +121,19 @@ func (b *BankFSM) Activate(now int64, row int, reducedTRCDNS float64) (*Violatio
 			Command: Command{Kind: CmdACT, Row: row, IssueCycle: now}}
 	}
 
-	p := b.params
-	trcd := p.TRCD
+	cTRCD := b.cTRCD
 	if reducedTRCDNS > 0 {
-		trcd = reducedTRCDNS
+		cTRCD = b.params.Cycles(reducedTRCDNS)
 	}
 	b.state = BankActivating
 	b.openRow = row
 	b.lastACTCycle = now
 	b.lastACTReducedTRCD = reducedTRCDNS
 
-	b.nextRead = now + p.Cycles(trcd)
-	b.nextWrite = now + p.Cycles(trcd)
-	b.nextPRE = now + p.Cycles(p.TRAS)
-	b.nextACT = now + p.Cycles(p.TRC)
+	b.nextRead = now + cTRCD
+	b.nextWrite = now + cTRCD
+	b.nextPRE = now + b.cTRAS
+	b.nextACT = now + b.cTRC
 	return viol, nil
 }
 
@@ -129,18 +148,17 @@ func (b *BankFSM) Read(now int64) (dataDoneCycle int64, viol *Violation, err err
 		viol = &Violation{Parameter: "tRCD", RequiredCycle: b.nextRead, ActualCycle: now,
 			Command: Command{Kind: CmdRead, Row: b.openRow, IssueCycle: now}}
 	}
-	p := b.params
 	b.state = BankActive
-	dataDoneCycle = now + p.Cycles(p.TCL) + p.BurstCycles()
+	dataDoneCycle = now + b.cTCL + b.cBurst
 	// A subsequent read must respect tCCD; a precharge must respect tRTP and
 	// tRAS (already captured in nextPRE).
-	if nr := now + p.Cycles(p.TCCD); nr > b.nextRead {
+	if nr := now + b.cTCCD; nr > b.nextRead {
 		b.nextRead = nr
 	}
-	if nw := now + p.Cycles(p.TCCD); nw > b.nextWrite {
+	if nw := now + b.cTCCD; nw > b.nextWrite {
 		b.nextWrite = nw
 	}
-	if np := now + p.Cycles(p.TRTP); np > b.nextPRE {
+	if np := now + b.cTRTP; np > b.nextPRE {
 		b.nextPRE = np
 	}
 	return dataDoneCycle, viol, nil
@@ -156,13 +174,12 @@ func (b *BankFSM) Write(now int64) (writeDoneCycle int64, viol *Violation, err e
 		viol = &Violation{Parameter: "tRCD", RequiredCycle: b.nextWrite, ActualCycle: now,
 			Command: Command{Kind: CmdWrite, Row: b.openRow, IssueCycle: now}}
 	}
-	p := b.params
 	b.state = BankActive
-	writeDoneCycle = now + p.Cycles(p.TCWL) + p.BurstCycles() + p.Cycles(p.TWR)
-	if nr := now + p.Cycles(p.TCWL) + p.BurstCycles() + p.Cycles(p.TWTR); nr > b.nextRead {
+	writeDoneCycle = now + b.cTCWL + b.cBurst + b.cTWR
+	if nr := now + b.cTCWL + b.cBurst + b.cTWTR; nr > b.nextRead {
 		b.nextRead = nr
 	}
-	if nw := now + p.Cycles(p.TCCD); nw > b.nextWrite {
+	if nw := now + b.cTCCD; nw > b.nextWrite {
 		b.nextWrite = nw
 	}
 	if np := writeDoneCycle; np > b.nextPRE {
@@ -183,10 +200,9 @@ func (b *BankFSM) Precharge(now int64) (*Violation, error) {
 		viol = &Violation{Parameter: "tRAS/tRTP/tWR", RequiredCycle: b.nextPRE, ActualCycle: now,
 			Command: Command{Kind: CmdPRE, Row: b.openRow, IssueCycle: now}}
 	}
-	p := b.params
 	b.state = BankPrecharging
 	b.openRow = -1
-	if na := now + p.Cycles(p.TRP); na > b.nextACT {
+	if na := now + b.cTRP; na > b.nextACT {
 		b.nextACT = na
 	}
 	return viol, nil
@@ -203,8 +219,7 @@ func (b *BankFSM) Refresh(now int64) (*Violation, error) {
 		viol = &Violation{Parameter: "tRP", RequiredCycle: b.nextACT, ActualCycle: now,
 			Command: Command{Kind: CmdRefresh, IssueCycle: now}}
 	}
-	p := b.params
-	if na := now + p.Cycles(p.TRFC); na > b.nextACT {
+	if na := now + b.cTRFC; na > b.nextACT {
 		b.nextACT = na
 	}
 	return viol, nil
