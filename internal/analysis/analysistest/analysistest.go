@@ -1,0 +1,146 @@
+// Package analysistest runs analyzers over golden packages under a
+// testdata/src tree and checks their diagnostics against expectations
+// embedded in the sources, mirroring golang.org/x/tools/go/analysis/analysistest
+// on the standard library alone.
+//
+// An expectation is a trailing comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// Each diagnostic reported on that line must match one (still unmatched)
+// regexp, and every regexp must be matched by exactly one diagnostic.
+// Diagnostics on lines without a matching expectation, and expectations left
+// unmatched, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each package path from dir (a testdata directory containing a
+// src/ tree), applies the analyzer, and checks the findings against the
+// // want comments in the package's files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader("", dir+"/src")
+	for _, path := range pkgPaths {
+		pkg, err := loader.LoadFromSource(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, pkg, findings)
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	expects := collectExpectations(t, pkg.Fset, pkg.Syntax)
+	for _, f := range findings {
+		matched := false
+		for _, e := range expects {
+			if e.matched || e.file != f.Position.Filename || e.line != f.Position.Line {
+				continue
+			}
+			if e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWant(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, r := range res {
+					re, err := regexp.Compile(r)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, r, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: r})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWant splits a want payload like `"a b" "c"` into its quoted strings.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated regexp in %q", s)
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", s[:end+1], err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no regexps")
+	}
+	return out, nil
+}

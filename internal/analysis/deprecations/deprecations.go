@@ -1,0 +1,91 @@
+// Package deprecations flags uses of the legacy drange.New / drange.Config
+// API outside its home file, legacy.go. It replaces the CI grep gate with a
+// type-aware check: aliasing the package or the identifiers cannot dodge it.
+//
+// Each finding carries a SuggestedFix inserting a migration TODO at the use
+// site. New(cfg) fuses identification and opening, so there is no
+// expression-for-expression rewrite; the fix marks the site and the
+// diagnostic spells out the replacement (Characterize + Open, or functional
+// Options in place of Config).
+//
+// Test files are exempt: exercising the deprecated shims in tests is how
+// their behavior stays pinned.
+package deprecations
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecations",
+	Doc:  "flag drange.New and drange.Config uses outside legacy.go",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		if filepath.Base(pass.Fset.File(f.Pos()).Name()) == "legacy.go" {
+			continue
+		}
+		// Qualified uses (drange.New) report on the whole selector so the
+		// suggested fix lands before the package qualifier.
+		qualified := make(map[*ast.Ident]ast.Node)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				qualified[sel.Sel] = sel
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || !analysis.PkgPathIs(obj.Pkg().Path(), "drange") {
+				return true
+			}
+			var msg string
+			switch obj.(type) {
+			case *types.Func:
+				if obj.Name() != "New" {
+					return true
+				}
+				msg = "drange.New is deprecated: it re-runs identification on every call; use drange.Characterize once, then drange.Open (or drange.OpenPool) with the profile"
+			case *types.TypeName:
+				if obj.Name() != "Config" {
+					return true
+				}
+				msg = "drange.Config is deprecated: use the functional Options (drange.WithSerial, drange.WithDeterministic, ...) accepted by Characterize and Open"
+			default:
+				return true
+			}
+			at := ast.Node(id)
+			if sel, ok := qualified[id]; ok {
+				at = sel
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos:     at.Pos(),
+				End:     at.End(),
+				Message: msg,
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "mark the call site for migration",
+					TextEdits: []analysis.TextEdit{{
+						Pos:     at.Pos(),
+						End:     at.Pos(),
+						NewText: []byte("/* TODO(drange-vet): migrate off deprecated API */ "),
+					}},
+				}},
+			})
+			return true
+		})
+	}
+	return nil
+}

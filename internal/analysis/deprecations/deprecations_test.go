@@ -1,0 +1,75 @@
+package deprecations_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deprecations"
+)
+
+func TestDeprecations(t *testing.T) {
+	analysistest.Run(t, "testdata", deprecations.Analyzer,
+		"userpkg",
+		"repro/drange",
+	)
+}
+
+// TestSuggestedFix applies the analyzer's TextEdits to the flagged file and
+// checks the migration markers land at the use sites.
+func TestSuggestedFix(t *testing.T) {
+	loader := analysis.NewLoader("", "testdata/src")
+	pkg, err := loader.LoadFromSource("userpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{deprecations.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "userpkg", "user.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply all edits back to front so earlier offsets stay valid.
+	type edit struct {
+		off  int
+		text []byte
+	}
+	var edits []edit
+	for _, f := range findings {
+		if len(f.Diag.SuggestedFixes) != 1 {
+			t.Fatalf("finding %v: want exactly one suggested fix", f)
+		}
+		for _, te := range f.Diag.SuggestedFixes[0].TextEdits {
+			if te.Pos != te.End {
+				t.Fatalf("expected pure insertions, got replacement")
+			}
+			edits = append(edits, edit{off: pkg.Fset.Position(te.Pos).Offset, text: te.NewText})
+		}
+	}
+	for i := range edits {
+		for j := i + 1; j < len(edits); j++ {
+			if edits[j].off > edits[i].off {
+				edits[i], edits[j] = edits[j], edits[i]
+			}
+		}
+	}
+	fixed := string(src)
+	for _, e := range edits {
+		fixed = fixed[:e.off] + string(e.text) + fixed[e.off:]
+	}
+	if got := strings.Count(fixed, "TODO(drange-vet): migrate off deprecated API"); got != 2 {
+		t.Fatalf("applied fixes contain %d migration markers, want 2:\n%s", got, fixed)
+	}
+	if !strings.Contains(fixed, "/* TODO(drange-vet): migrate off deprecated API */ drange.New(cfg)") {
+		t.Fatalf("fix not anchored at drange.New use:\n%s", fixed)
+	}
+}

@@ -1,0 +1,18 @@
+// Package drange stands in for the facade; legacy.go is where the
+// deprecated API lives and may reference itself freely.
+package drange
+
+// Config is the deprecated all-in-one configuration.
+type Config struct {
+	Serial        uint64
+	Deterministic bool
+}
+
+// Engine is the deprecated generator shim.
+type Engine struct{ cfg Config }
+
+// New is the deprecated fused constructor.
+func New(cfg Config) (*Engine, error) {
+	def := Config{Serial: cfg.Serial, Deterministic: cfg.Deterministic}
+	return &Engine{cfg: def}, nil
+}

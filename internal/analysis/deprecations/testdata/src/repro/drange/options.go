@@ -1,0 +1,13 @@
+package drange
+
+// Option is the supported configuration mechanism.
+type Option func(*Engine)
+
+// Open is the supported constructor.
+func Open(opts ...Option) (*Engine, error) {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}

@@ -1,0 +1,17 @@
+// Package userpkg consumes the deprecated API and gets flagged for it.
+package userpkg
+
+import "repro/drange"
+
+func Build() error {
+	var cfg drange.Config // want "drange.Config is deprecated"
+	cfg.Serial = 7
+	eng, err := drange.New(cfg) // want "drange.New is deprecated"
+	_ = eng
+	return err
+}
+
+func BuildSupported() error {
+	_, err := drange.Open()
+	return err
+}

@@ -1,0 +1,17 @@
+package entropyflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/entropyflow"
+)
+
+func TestEntropyflow(t *testing.T) {
+	analysistest.Run(t, "testdata", entropyflow.Analyzer,
+		"badpkg",
+		"repro/internal/memctrl",
+		"repro/drange",
+		"x/internal/serve",
+	)
+}

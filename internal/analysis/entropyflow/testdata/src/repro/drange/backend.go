@@ -1,0 +1,11 @@
+// Package drange stands in for the facade; backend.go is an allowlisted
+// adapter file.
+package drange
+
+import "repro/internal/device"
+
+type wrapped struct{ inner device.Device }
+
+func (w wrapped) ReadWord(bank, wordIdx int) ([]uint64, error) {
+	return w.inner.ReadWord(bank, wordIdx) // adapter file: allowed
+}

@@ -1,0 +1,7 @@
+package drange
+
+import "repro/internal/device"
+
+func sneak(dev device.Device) ([]uint64, error) {
+	return dev.ReadWord(0, 0) // want "raw device read device.ReadWord"
+}

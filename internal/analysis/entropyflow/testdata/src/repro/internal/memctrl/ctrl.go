@@ -1,0 +1,12 @@
+// Package memctrl stands in for the real controller: raw device reads are
+// legal here.
+package memctrl
+
+import "repro/internal/device"
+
+func Read(dev device.Device) ([]uint64, error) {
+	if err := dev.Activate(0, 1, 6.0); err != nil {
+		return nil, err
+	}
+	return dev.ReadWord(0, 0)
+}

@@ -1,0 +1,11 @@
+// Package serve: this file adapts entropy OUT to math/rand consumers.
+//
+//drange:entropyflow-exempt entropy flows to math/rand, never from it
+package serve
+
+import "math/rand/v2"
+
+// NewPCG seeds a rand generator from harvested entropy.
+func NewPCG(seed1, seed2 uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed1, seed2))
+}

@@ -1,0 +1,6 @@
+// Package serve is serving code (under internal/): math/rand is banned.
+package serve
+
+import "math/rand/v2" // want "import of math/rand/v2 in serving code"
+
+func Sample() float64 { return rand.Float64() }

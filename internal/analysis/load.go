@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Dir       string
+}
+
+// A Loader resolves and type-checks packages without golang.org/x/tools.
+//
+// Packages named by Load patterns are parsed and type-checked from source;
+// their dependencies are imported from compiler export data located with
+// "go list -export". SrcRoots adds GOPATH-style source trees (analysistest's
+// testdata/src) that take priority over export data: an import path that
+// resolves to a directory under a source root is type-checked from source
+// recursively, which is how testdata packages can stand in for real repo
+// packages such as repro/internal/device.
+type Loader struct {
+	Fset     *token.FileSet
+	Dir      string   // working directory for go commands ("" = current)
+	SrcRoots []string // GOPATH-style roots searched before export data
+
+	mu       sync.Mutex
+	exports  map[string]string // import path -> export data file
+	gc       types.Importer
+	srcPkgs  map[string]*Package // source-checked packages by import path
+	srcIssue map[string]error
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string, srcRoots ...string) *Loader {
+	l := &Loader{
+		Fset:     token.NewFileSet(),
+		Dir:      dir,
+		SrcRoots: srcRoots,
+		exports:  make(map[string]string),
+		srcPkgs:  make(map[string]*Package),
+		srcIssue: make(map[string]error),
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+func (l *Loader) goList(args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-deps", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching the go list patterns, in a stable
+// order. Test files are not part of the loaded syntax (GoFiles excludes
+// them); the analyzers additionally skip _test.go files so the same analyzer
+// code behaves identically under the unitchecker, where test variants do
+// include them.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var roots []*listPkg
+	l.mu.Lock()
+	for _, p := range listed {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	var out []*Package
+	for _, p := range roots {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s: cgo packages are not supported", p.ImportPath)
+		}
+		if p.Name == "" || len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadFromSource type-checks the package at the import path relative to the
+// loader's source roots (analysistest mode).
+func (l *Loader) LoadFromSource(path string) (*Package, error) {
+	dir, ok := l.srcRootDir(path)
+	if !ok {
+		return nil, fmt.Errorf("package %s not found under source roots %v", path, l.SrcRoots)
+	}
+	return l.checkSourceDir(path, dir)
+}
+
+func (l *Loader) srcRootDir(path string) (string, bool) {
+	for _, root := range l.SrcRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+func (l *Loader) checkSourceDir(path, dir string) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.srcPkgs[path]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	if err, ok := l.srcIssue[path]; ok {
+		l.mu.Unlock()
+		return nil, err
+	}
+	l.mu.Unlock()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	pkg, err := l.check(path, dir, files)
+	l.mu.Lock()
+	if err != nil {
+		l.srcIssue[path] = err
+	} else {
+		l.srcPkgs[path] = pkg
+	}
+	l.mu.Unlock()
+	return pkg, err
+}
+
+// check parses and type-checks one package from source.
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.Import),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	return &Package{Fset: l.Fset, Syntax: files, Types: tpkg, TypesInfo: info, Dir: dir}, nil
+}
+
+// Import implements the types.Importer used while checking from source:
+// source roots first, then export data (fetched lazily via go list for
+// packages outside the original pattern set, e.g. stdlib imports of
+// testdata packages).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.srcRootDir(path); ok {
+		pkg, err := l.checkSourceDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// lookup feeds the gc export-data importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		listed, err := l.goList(path)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		for _, p := range listed {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+		file, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// CheckFiles type-checks already-parsed files as the package at path using
+// the given importer. It is the unitchecker entry point, where the vet .cfg
+// supplies both the file list and the export-data locations.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	return &Package{Fset: fset, Syntax: files, Types: tpkg, TypesInfo: info}, nil
+}

@@ -1,0 +1,216 @@
+// Package lockcheck formalizes the repo's mutex conventions as a static
+// check.
+//
+// A struct field carrying a "// drange:guardedby <mu>" directive may only be
+// accessed from a lock-holding context. A context holds the lock when the
+// enclosing top-level function
+//
+//   - has a name ending in "Locked" (the repo convention for "caller holds
+//     the lock"),
+//   - carries a "//drange:holds <mu>" directive (exclusive access by
+//     construction, e.g. before the value is published), or
+//   - lexically contains a call to <mu>.Lock() or <mu>.RLock() before the
+//     access.
+//
+// The check is lexical and per-function: it does not track Unlock, so a
+// function that unlocks and then touches a guarded field is not caught. It
+// is a convention enforcer, not a race detector — the -race suite remains
+// the ground truth. Closures inherit the context of the function they are
+// defined in, matching how the serving path passes *Locked method values
+// into the post-processing chain while holding the lock.
+//
+// Two companion rules keep the *Locked convention itself sound:
+//
+//   - a *Locked (or //drange:holds) function must not acquire the mutex it
+//     already holds;
+//   - any reference to a *Locked function — call or method value — must come
+//     from a context that holds a lock.
+//
+// Test files are exempt: tests freely poke single-threaded state.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "check that // drange:guardedby fields are accessed with the lock held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guards, muNames := collectGuards(pass)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards, muNames)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each annotated field object to its mutex name and
+// returns the set of mutex names that guard anything in this package.
+func collectGuards(pass *analysis.Pass) (map[types.Object]string, map[string]bool) {
+	guards := make(map[types.Object]string)
+	muNames := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardName(fld)
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+						muNames[mu] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards, muNames
+}
+
+func guardName(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		for _, d := range analysis.Directives(cg) {
+			if d.Name == "guardedby" && len(d.Args) >= 1 {
+				return d.Args[0]
+			}
+		}
+	}
+	return ""
+}
+
+// lockAcq records one mu.Lock()/mu.RLock() call.
+type lockAcq struct {
+	mu   string     // mutex field/variable name
+	root *ast.Ident // leftmost identifier of the receiver chain, if any
+	pos  token.Pos
+	call *ast.CallExpr
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[types.Object]string, muNames map[string]bool) {
+	name := fd.Name.Name
+	locked := strings.HasSuffix(name, "Locked")
+	holds := make(map[string]bool)
+	if d := analysis.FuncDirective(fd, "holds"); d != nil && len(d.Args) >= 1 {
+		holds[d.Args[0]] = true
+	}
+
+	var recvObj types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recvObj = pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	}
+
+	acqs := collectAcquires(fd.Body)
+	holder := locked || len(holds) > 0
+
+	// Rule: a lock-holding function must not re-acquire a guarding mutex it
+	// already holds (deadlock for sync.Mutex, convention break regardless).
+	for _, a := range acqs {
+		if !muNames[a.mu] {
+			continue
+		}
+		if holds[a.mu] {
+			pass.Reportf(a.call, "%s declares //drange:holds %s but acquires %s", name, a.mu, a.mu)
+			continue
+		}
+		if locked && a.root != nil && recvObj != nil && pass.TypesInfo.Uses[a.root] == recvObj {
+			pass.Reportf(a.call, "%s is a *Locked method but acquires %s.%s", name, a.root.Name, a.mu)
+		}
+	}
+
+	heldAt := func(mu string, pos token.Pos) bool {
+		if holder {
+			return true
+		}
+		for _, a := range acqs {
+			if a.pos < pos && (mu == "" || a.mu == mu) {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// Guarded field access.
+			sel := pass.TypesInfo.Selections[n]
+			if sel != nil && sel.Kind() == types.FieldVal {
+				if mu, ok := guards[sel.Obj()]; ok && !heldAt(mu, n.Pos()) {
+					pass.Reportf(n.Sel, "access to %s (guarded by %s) in %s, which does not hold %s: lock %s, rename %s to end in Locked, or annotate it //drange:holds %s",
+						sel.Obj().Name(), mu, name, mu, mu, name, mu)
+				}
+			}
+		case *ast.Ident:
+			// Reference (call or method value) to a *Locked function.
+			fn, ok := pass.TypesInfo.Uses[n].(*types.Func)
+			if ok && strings.HasSuffix(fn.Name(), "Locked") && !heldAt("", n.Pos()) {
+				pass.Reportf(n, "reference to %s from %s, which holds no lock: *Locked functions may only be used by lock holders or other *Locked functions", fn.Name(), name)
+			}
+		}
+		return true
+	})
+}
+
+// collectAcquires finds every <chain>.<mu>.Lock() / RLock() call in the
+// body, including inside closures (lexical context).
+func collectAcquires(body *ast.BlockStmt) []lockAcq {
+	var out []lockAcq
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr: // p.mu.Lock()
+			out = append(out, lockAcq{mu: x.Sel.Name, root: rootIdent(x.X), pos: call.Pos(), call: call})
+		case *ast.Ident: // mu.Lock() on a local or package-level mutex
+			out = append(out, lockAcq{mu: x.Name, pos: call.Pos(), call: call})
+		}
+		return true
+	})
+	return out
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

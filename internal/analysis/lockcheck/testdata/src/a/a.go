@@ -1,0 +1,54 @@
+// Package a seeds lockcheck violations.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // drange:guardedby mu
+	ok bool
+}
+
+func bad(c *counter) int {
+	c.ok = true // unguarded: fine
+	return c.n  // want "access to n"
+}
+
+func good(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bumpLocked() { c.n++ }
+
+func (c *counter) badRelockLocked() {
+	c.mu.Lock() // want "acquires c.mu"
+	c.n++
+}
+
+func caller(c *counter) {
+	c.bumpLocked() // want "reference to bumpLocked"
+}
+
+func okCaller(c *counter) {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+func methodValue(c *counter) func() {
+	return c.bumpLocked // want "reference to bumpLocked"
+}
+
+// newCounter simulates construction-time exclusive access, then breaks its
+// own promise by locking.
+//
+//drange:holds mu
+func newCounter() *counter {
+	c := &counter{n: 1} // composite literal: not a field access
+	c.n = 2
+	c.mu.Lock() // want "declares //drange:holds mu but acquires"
+	c.mu.Unlock()
+	return c
+}

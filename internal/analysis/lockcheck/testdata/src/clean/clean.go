@@ -1,0 +1,54 @@
+// Package clean is fully annotated and produces no lockcheck findings.
+package clean
+
+import "sync"
+
+type buf struct {
+	mu sync.RWMutex
+	// drange:guardedby mu
+	data []int
+	// seq is written only under mu.
+	seq int // drange:guardedby mu
+}
+
+// newBuf has exclusive access during construction.
+//
+//drange:holds mu
+func newBuf() *buf {
+	b := &buf{}
+	b.data = []int{1, 2}
+	b.seq = 1
+	return b
+}
+
+func (b *buf) popLocked() int {
+	if len(b.data) == 0 {
+		return 0
+	}
+	v := b.data[len(b.data)-1]
+	b.data = b.data[:len(b.data)-1]
+	b.seq++
+	return v
+}
+
+// Drain holds the lock and may call *Locked methods, including through a
+// closure and a method value, which inherit the held context lexically.
+func (b *buf) Drain() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	pop := b.popLocked
+	f := func() { n += pop() + b.popLocked() }
+	f()
+	return n + len(b.data)
+}
+
+// Peek uses a read lock.
+func (b *buf) Peek() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(b.data) == 0 {
+		return 0
+	}
+	return b.data[0]
+}

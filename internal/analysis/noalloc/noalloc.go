@@ -1,0 +1,227 @@
+// Package noalloc structurally pins the serving path's allocation-free
+// guarantee: a function annotated //drange:noalloc may not contain
+// constructs that allocate on the steady-state path.
+//
+// Banned in strict mode (//drange:noalloc):
+//
+//   - make and new
+//   - append, unless it reuses a backing array via x[:0]
+//   - slice and map composite literals, and &T{...} pointer literals
+//   - calls into package fmt
+//   - string <-> []byte conversions
+//   - function literals (escaping closures) and go statements
+//
+// The relaxed mode //drange:noalloc amortized additionally permits make,
+// growing append, new, slice literals and &T{...} — for functions whose
+// output buffer grows to a steady-state capacity and is then reused (the
+// PackedCorrectors, bitBuffer.Append). fmt, conversions, closures, map
+// literals and go statements stay banned.
+//
+// Error paths are real code too, so banned constructs are allowed inside an
+// if or switch-case body whose final statement is a return, panic, or
+// branch: `if err != nil { return fmt.Errorf(...) }` is fine, because a
+// diverging guard never executes on the steady-state path the annotation
+// protects.
+//
+// The check is per-function: callees are not inspected, so the annotation
+// must be present on every function of the hot path (the inventory test in
+// internal/analysis pins the required set).
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "check that //drange:noalloc functions contain no allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			d := analysis.FuncDirective(fd, "noalloc")
+			if d == nil {
+				continue
+			}
+			amortized := len(d.Args) >= 1 && d.Args[0] == "amortized"
+			if len(d.Args) >= 1 && d.Args[0] != "amortized" {
+				pass.Reportf(fd.Name, "unknown //drange:noalloc mode %q (only \"amortized\" is recognized)", d.Args[0])
+			}
+			checkFunc(pass, fd, amortized)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, amortized bool) {
+	name := fd.Name.Name
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ban := func(format string, args ...any) {
+			if !inDivergingGuard(stack) {
+				pass.Reportf(n, "//drange:noalloc function %s: "+format, append([]any{name}, args...)...)
+			}
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(pass, n.Fun, "make"):
+				if !amortized {
+					ban("make allocates")
+				}
+			case isBuiltin(pass, n.Fun, "new"):
+				if !amortized {
+					ban("new allocates")
+				}
+			case isBuiltin(pass, n.Fun, "append"):
+				if !amortized && !isReslice0(n.Args[0]) {
+					ban("append may grow the backing array (reuse via x[:0], or use //drange:noalloc amortized)")
+				}
+			case isFmtCall(pass, n.Fun):
+				ban("call into package fmt allocates")
+			case isStringBytesConversion(pass, n):
+				ban("string <-> []byte conversion allocates")
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				ban("map literal allocates")
+			case *types.Slice:
+				if !amortized {
+					ban("slice literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND && !amortized {
+				ban("&composite literal escapes to the heap")
+			}
+		case *ast.FuncLit:
+			ban("function literal may escape (closure allocation)")
+		case *ast.GoStmt:
+			ban("go statement allocates a goroutine")
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// inDivergingGuard reports whether the innermost statement context is an if
+// or case body that ends by diverging (return/panic/branch), i.e. off the
+// steady-state path.
+func inDivergingGuard(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			if i > 0 {
+				if _, ok := stack[i-1].(*ast.IfStmt); ok && diverges(lastStmt(n.List)) {
+					return true
+				}
+			}
+		case *ast.CaseClause:
+			if diverges(lastStmt(n.Body)) {
+				return true
+			}
+		case *ast.CommClause:
+			if diverges(lastStmt(n.Body)) {
+				return true
+			}
+		case *ast.FuncLit:
+			return false // a closure body is its own steady-state path
+		}
+	}
+	return false
+}
+
+func lastStmt(list []ast.Stmt) ast.Stmt {
+	if len(list) == 0 {
+		return nil
+	}
+	return list[len(list)-1]
+}
+
+func diverges(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isFmtCall(pass *analysis.Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	return ok && analysis.IsPkgIdent(pass.TypesInfo, sel.X, "fmt")
+}
+
+// isStringBytesConversion reports whether call is a conversion between
+// string and []byte (in either direction).
+func isStringBytesConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	to := tv.Type.Underlying()
+	argT := pass.TypesInfo.TypeOf(call.Args[0])
+	if argT == nil {
+		return false
+	}
+	from := argT.Underlying()
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && e.Kind() == types.Byte
+}
+
+// isReslice0 reports whether e is x[:0] — the append-for-compaction idiom
+// (append(b.words[:0], b.words[w:]...)) that reuses the backing array.
+func isReslice0(e ast.Expr) bool {
+	se, ok := e.(*ast.SliceExpr)
+	if !ok || se.High == nil {
+		return false
+	}
+	lit, ok := se.High.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

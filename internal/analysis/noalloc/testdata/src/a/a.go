@@ -1,0 +1,52 @@
+// Package a seeds noalloc violations alongside permitted idioms.
+package a
+
+import "fmt"
+
+//drange:noalloc
+func bad(dst []byte, s string) int {
+	m := make([]byte, 8) // want "make allocates"
+	_ = m
+	dst = append(dst, 1) // want "append may grow"
+	b := []byte(s)       // want "conversion allocates"
+	_ = b
+	fmt.Println(s)    // want "fmt allocates"
+	_ = []int{1, 2}   // want "slice literal allocates"
+	p := &point{x: 1} // want "escapes to the heap"
+	_ = p
+	f := func() int { return 1 } // want "function literal may escape"
+	go f()                       // want "go statement"
+	return f()
+}
+
+type point struct{ x int }
+
+//drange:noalloc
+func guarded(err error, n int) error {
+	if err != nil {
+		return fmt.Errorf("drange: read failed after %d bits: %w", n, err)
+	}
+	switch {
+	case n < 0:
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+	return nil
+}
+
+//drange:noalloc
+func compact(buf []int, keep int) []int {
+	return append(buf[:0], buf[keep:]...)
+}
+
+//drange:noalloc amortized
+func amortized(out []byte, v byte) []byte {
+	out = append(out, v)
+	tmp := make([]byte, 4)
+	_ = tmp
+	_ = map[string]int{"k": 1} // want "map literal allocates"
+	_ = fmt.Sprint(v)          // want "fmt allocates"
+	return out
+}
+
+//drange:noalloc bogus
+func badMode() {} // want "unknown //drange:noalloc mode"

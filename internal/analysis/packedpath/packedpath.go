@@ -1,0 +1,68 @@
+// Package packedpath keeps the packed 64-bit-word representation native
+// inside the serving core: the bit-per-byte ReadBits/PopBits APIs exist only
+// as adapters at the facade, and calling them from inside the internal
+// serving packages (internal/core, internal/memctrl, internal/health,
+// internal/postproc) would silently re-introduce the 8x-expanded
+// representation the packed refactor removed.
+//
+// Inside a serving package, a call to a method named ReadBits or PopBits is
+// only legal when the enclosing function is itself such an adapter (named
+// ReadBits, readBits, PopBits or popBits). Test files are exempt — tests
+// routinely compare packed output against the bit-per-byte reference.
+package packedpath
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "packedpath",
+	Doc:  "ban bit-per-byte ReadBits/PopBits calls inside the packed serving packages",
+	Run:  run,
+}
+
+var servingPkgs = []string{"internal/core", "internal/memctrl", "internal/health", "internal/postproc"}
+
+var bitAPIs = map[string]bool{"ReadBits": true, "PopBits": true}
+
+// adapterNames are functions allowed to call the bit-per-byte APIs: the
+// adapters themselves.
+var adapterNames = map[string]bool{"ReadBits": true, "readBits": true, "PopBits": true, "popBits": true}
+
+func run(pass *analysis.Pass) error {
+	inServing := false
+	for _, p := range servingPkgs {
+		if analysis.PkgPathIs(pass.Pkg.Path(), p) {
+			inServing = true
+		}
+	}
+	if !inServing {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || adapterNames[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !bitAPIs[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(sel.Sel, "bit-per-byte %s call inside serving package %s: the packed representation is native here; only the %s adapters may expand it", sel.Sel.Name, pass.Pkg.Name(), sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

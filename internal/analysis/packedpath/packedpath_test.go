@@ -1,0 +1,15 @@
+package packedpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/packedpath"
+)
+
+func TestPackedpath(t *testing.T) {
+	analysistest.Run(t, "testdata", packedpath.Analyzer,
+		"repro/internal/core",
+		"adapterpkg",
+	)
+}

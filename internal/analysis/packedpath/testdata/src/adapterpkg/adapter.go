@@ -1,0 +1,11 @@
+// Package adapterpkg is outside the serving set: bit-per-byte calls are
+// fine here.
+package adapterpkg
+
+type src struct{}
+
+func (src) ReadBits(n int) []byte { return nil }
+
+func Expand(s src, n int) []byte {
+	return s.ReadBits(n)
+}

@@ -1,0 +1,27 @@
+// Package core stands in for a packed serving package: bit-per-byte calls
+// are banned except inside the adapters themselves.
+package core
+
+type src struct{}
+
+func (src) ReadBits(n int) []byte { return nil }
+
+func (src) PopBits(n int) []byte { return nil }
+
+type engine struct{ s src }
+
+func (e engine) Read(p []byte) (int, error) {
+	bits := e.s.ReadBits(len(p) * 8) // want "bit-per-byte ReadBits call"
+	copy(p, bits)
+	_ = e.s.PopBits(8) // want "bit-per-byte PopBits call"
+	return len(p), nil
+}
+
+// ReadBits is the adapter: expanding here is its whole job.
+func (e engine) ReadBits(n int) []byte {
+	return e.s.ReadBits(n)
+}
+
+func (e engine) readBits(n int) []byte {
+	return e.s.ReadBits(n)
+}
