@@ -376,7 +376,7 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 		}
 		g.hpolicy, g.monitor, g.startupOK = hp, mon, true
 		if hp.StartupBits > 0 {
-			sample, err := g.rawBits(hp.StartupBits)
+			sample, err := g.rawBitsLocked(hp.StartupBits)
 			if err != nil {
 				return failStarted(err)
 			}
@@ -474,8 +474,8 @@ func (g *Generator) Selections() []Selection { return g.profile.Selections }
 // DRAM words containing x RNG cells, per bank.
 func (g *Generator) DensityHistograms() []Density { return g.profile.DensityHistograms() }
 
-// rawBits reads n bits from the underlying sampler. Callers hold g.mu.
-func (g *Generator) rawBits(n int) ([]byte, error) {
+// rawBitsLocked reads n bits from the underlying sampler.
+func (g *Generator) rawBitsLocked(n int) ([]byte, error) {
 	var bits []byte
 	var err error
 	if g.eng != nil {
@@ -490,9 +490,9 @@ func (g *Generator) rawBits(n int) ([]byte, error) {
 	return bits, nil
 }
 
-// rawPacked fills dst with packed raw bytes from the underlying sampler.
+// rawPackedLocked fills dst with packed raw bytes from the underlying sampler.
 // Callers hold g.mu.
-func (g *Generator) rawPacked(dst []byte) error {
+func (g *Generator) rawPackedLocked(dst []byte) error {
 	var err error
 	if g.eng != nil {
 		err = g.eng.ReadPacked(dst)
@@ -506,18 +506,18 @@ func (g *Generator) rawPacked(dst []byte) error {
 	return nil
 }
 
-// samplePacked fills dst with packed raw bytes, streaming them through the
+// samplePackedLocked fills dst with packed raw bytes, streaming them through the
 // online health monitor when one is attached — the packed counterpart of
-// sampleBits, with the same trip policies. blocked carries the
+// sampleBitsLocked, with the same trip policies. blocked carries the
 // HealthActionBlock discard budget across the batches of one Read call, so
 // MaxBlockedWindows bounds the whole read, not each chunk. Callers hold
 // g.mu.
-func (g *Generator) samplePacked(dst []byte, blocked *int) error {
+func (g *Generator) samplePackedLocked(dst []byte, blocked *int) error {
 	if g.monitor == nil {
-		return g.rawPacked(dst)
+		return g.rawPackedLocked(dst)
 	}
 	for {
-		if err := g.rawPacked(dst); err != nil {
+		if err := g.rawPackedLocked(dst); err != nil {
 			return err
 		}
 		v := g.monitor.IngestPacked(dst, len(dst)*8)
@@ -537,25 +537,26 @@ func (g *Generator) samplePacked(dst []byte, blocked *int) error {
 	}
 }
 
-// samplePackedFn binds samplePacked to a per-read discard budget.
-func (g *Generator) samplePackedFn() func([]byte) error {
+// samplePackedFnLocked binds samplePackedLocked to a per-read discard budget;
+// the returned closure runs under g.mu like its caller.
+func (g *Generator) samplePackedFnLocked() func([]byte) error {
 	blocked := 0
-	return func(dst []byte) error { return g.samplePacked(dst, &blocked) }
+	return func(dst []byte) error { return g.samplePackedLocked(dst, &blocked) }
 }
 
-// sampleBits reads n raw bits, streaming them through the online health
+// sampleBitsLocked reads n raw bits, streaming them through the online health
 // monitor when one is attached. On a trip the HealthError policy fails the
 // read; HealthActionBlock discards the dirty batch, resets the test windows and
 // harvests a fresh batch until one passes cleanly (bounded by
 // MaxBlockedWindows, so a dead device fails loudly instead of stalling
 // forever). Callers hold g.mu.
-func (g *Generator) sampleBits(n int) ([]byte, error) {
+func (g *Generator) sampleBitsLocked(n int) ([]byte, error) {
 	if g.monitor == nil {
-		return g.rawBits(n)
+		return g.rawBitsLocked(n)
 	}
 	blocked := 0
 	for {
-		bits, err := g.rawBits(n)
+		bits, err := g.rawBitsLocked(n)
 		if err != nil {
 			return nil, err
 		}
@@ -609,9 +610,9 @@ func (g *Generator) ReadBits(n int) ([]byte, error) {
 	var bits []byte
 	var err error
 	if g.post != nil {
-		bits, err = g.post.readBits(n, g.samplePackedFn())
+		bits, err = g.post.readBits(n, g.samplePackedFnLocked())
 	} else {
-		bits, err = g.sampleBits(n)
+		bits, err = g.sampleBitsLocked(n)
 	}
 	if err != nil {
 		return nil, err
@@ -655,7 +656,7 @@ func (g *Generator) Read(p []byte) (int, error) {
 		return len(p), nil
 	}
 	defer g.mu.Unlock()
-	sample := g.samplePackedFn()
+	sample := g.samplePackedFnLocked()
 	for off := 0; off < len(p); {
 		chunk := p[off:]
 		if len(chunk) > maxReadChunkBytes {

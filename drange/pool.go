@@ -122,10 +122,10 @@ func (m *poolMember) addWindow(ones, n int) int64 {
 	return m.win.Add(int64(ones)<<32|int64(n)) & 0xffffffff
 }
 
-// take removes and returns the top k bits of the member's buffered word
-// (k <= curBits), first stream bit at the most significant position of the
-// k-bit result.
-func (m *poolMember) take(k int) uint64 {
+// takeLocked removes and returns the top k bits of the member's buffered
+// word (k <= curBits), first stream bit at the most significant position of
+// the k-bit result.
+func (m *poolMember) takeLocked(k int) uint64 {
 	v := m.cur >> uint(64-k)
 	m.cur <<= uint(k)
 	m.curBits -= k
@@ -575,7 +575,7 @@ func (p *Pool) readPackedLocked(dst []byte) error {
 		if rem := total - pos; take > rem {
 			take = rem
 		}
-		writeBits(dst, pos, m.take(take), take)
+		writeBits(dst, pos, m.takeLocked(take), take)
 		pos += take
 	}
 	return nil
@@ -611,7 +611,7 @@ func (p *Pool) readBitsLocked(n int) ([]byte, error) {
 		if rem := n - len(out); take > rem {
 			take = rem
 		}
-		v := m.take(take)
+		v := m.takeLocked(take)
 		for j := take - 1; j >= 0; j-- {
 			out = append(out, byte(v>>uint(j))&1)
 		}

@@ -157,7 +157,8 @@ type recordDevice struct {
 	w       *bufio.Writer
 	enc     *json.Encoder
 	absPath string
-	err     error // sticky log-write failure
+	// err is the sticky log-write failure.
+	err error
 }
 
 func newRecordDevice(inner Device, path, manufacturer string) (*recordDevice, error) {
@@ -188,8 +189,8 @@ func newRecordDevice(inner Device, path, manufacturer string) (*recordDevice, er
 	return r, nil
 }
 
-// log appends one operation entry, capturing err (if any) in the entry.
-func (r *recordDevice) log(op replayOp, err error) {
+// logLocked appends one operation entry, capturing err (if any) in the entry.
+func (r *recordDevice) logLocked(op replayOp, err error) {
 	if err != nil {
 		op.Err = err.Error()
 	}
@@ -211,77 +212,77 @@ func (r *recordDevice) Activate(bank, row int, trcdNS float64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	err := r.inner.Activate(bank, row, trcdNS)
-	r.log(replayOp{Op: opActivate, Bank: bank, Row: row, TRCD: trcdNS}, err)
-	return r.fail(err)
+	r.logLocked(replayOp{Op: opActivate, Bank: bank, Row: row, TRCD: trcdNS}, err)
+	return r.failLocked(err)
 }
 
 func (r *recordDevice) Precharge(bank int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	err := r.inner.Precharge(bank)
-	r.log(replayOp{Op: opPrecharge, Bank: bank}, err)
-	return r.fail(err)
+	r.logLocked(replayOp{Op: opPrecharge, Bank: bank}, err)
+	return r.failLocked(err)
 }
 
 func (r *recordDevice) Refresh() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	err := r.inner.Refresh()
-	r.log(replayOp{Op: opRefresh}, err)
-	return r.fail(err)
+	r.logLocked(replayOp{Op: opRefresh}, err)
+	return r.failLocked(err)
 }
 
 func (r *recordDevice) ReadWord(bank, wordIdx int) ([]uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	data, err := r.inner.ReadWord(bank, wordIdx)
-	r.log(replayOp{Op: opReadWord, Bank: bank, Word: wordIdx, Data: data}, err)
-	return data, r.fail(err)
+	r.logLocked(replayOp{Op: opReadWord, Bank: bank, Word: wordIdx, Data: data}, err)
+	return data, r.failLocked(err)
 }
 
 func (r *recordDevice) WriteWord(bank, wordIdx int, word []uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	err := r.inner.WriteWord(bank, wordIdx, word)
-	r.log(replayOp{Op: opWriteWord, Bank: bank, Word: wordIdx, Data: word}, err)
-	return r.fail(err)
+	r.logLocked(replayOp{Op: opWriteWord, Bank: bank, Word: wordIdx, Data: word}, err)
+	return r.failLocked(err)
 }
 
 func (r *recordDevice) WriteRow(bank, row int, data []uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	err := r.inner.WriteRow(bank, row, data)
-	r.log(replayOp{Op: opWriteRow, Bank: bank, Row: row, Data: data}, err)
-	return r.fail(err)
+	r.logLocked(replayOp{Op: opWriteRow, Bank: bank, Row: row, Data: data}, err)
+	return r.failLocked(err)
 }
 
 func (r *recordDevice) ReadRowRaw(bank, row int) ([]uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	data, err := r.inner.ReadRowRaw(bank, row)
-	r.log(replayOp{Op: opReadRowRaw, Bank: bank, Row: row, Data: data}, err)
-	return data, r.fail(err)
+	r.logLocked(replayOp{Op: opReadRowRaw, Bank: bank, Row: row, Data: data}, err)
+	return data, r.failLocked(err)
 }
 
 func (r *recordDevice) StartupRow(bank, row int) ([]uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	data, err := r.inner.StartupRow(bank, row)
-	r.log(replayOp{Op: opStartupRow, Bank: bank, Row: row, Data: data}, err)
-	return data, r.fail(err)
+	r.logLocked(replayOp{Op: opStartupRow, Bank: bank, Row: row, Data: data}, err)
+	return data, r.failLocked(err)
 }
 
 func (r *recordDevice) SetTemperature(c float64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	err := r.inner.SetTemperature(c)
-	r.log(replayOp{Op: opSetTemp, Temp: c}, err)
-	return r.fail(err)
+	r.logLocked(replayOp{Op: opSetTemp, Temp: c}, err)
+	return r.failLocked(err)
 }
 
-// fail surfaces a sticky log-write error in preference to the op result, so a
-// run whose recording is incomplete cannot silently pass as recorded.
-func (r *recordDevice) fail(opErr error) error {
+// failLocked surfaces a sticky log-write error in preference to the op result,
+// so a run whose recording is incomplete cannot silently pass as recorded.
+func (r *recordDevice) failLocked(opErr error) error {
 	if r.err != nil {
 		return r.err
 	}
@@ -381,10 +382,9 @@ func (d *replayDevice) OpStats() DeviceStats {
 	return d.stats
 }
 
-// next matches the next logged operation against (op, want) — kind, address
-// arguments, and for writes the data written — and returns it. Callers hold
-// d.mu.
-func (d *replayDevice) next(op string, want replayOp) (replayOp, error) {
+// nextLocked matches the next logged operation against (op, want) — kind,
+// address arguments, and for writes the data written — and returns it.
+func (d *replayDevice) nextLocked(op string, want replayOp) (replayOp, error) {
 	if d.cursor >= len(d.ops) {
 		return replayOp{}, fmt.Errorf("drange: replay log exhausted after %d operations; the replayed run issued more device commands than were recorded (read fewer bytes, or re-record)", len(d.ops))
 	}
@@ -420,7 +420,7 @@ func writeDataMatches(got, want replayOp) bool {
 func (d *replayDevice) Activate(bank, row int, trcdNS float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := d.next(opActivate, replayOp{Bank: bank, Row: row, TRCD: trcdNS})
+	_, err := d.nextLocked(opActivate, replayOp{Bank: bank, Row: row, TRCD: trcdNS})
 	if err == nil {
 		d.stats.Activates++
 		if trcdNS < d.hdr.TRCDNS {
@@ -433,7 +433,7 @@ func (d *replayDevice) Activate(bank, row int, trcdNS float64) error {
 func (d *replayDevice) Precharge(bank int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := d.next(opPrecharge, replayOp{Bank: bank})
+	_, err := d.nextLocked(opPrecharge, replayOp{Bank: bank})
 	if err == nil {
 		d.stats.Precharges++
 	}
@@ -443,7 +443,7 @@ func (d *replayDevice) Precharge(bank int) error {
 func (d *replayDevice) Refresh() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := d.next(opRefresh, replayOp{})
+	_, err := d.nextLocked(opRefresh, replayOp{})
 	if err == nil {
 		d.stats.Refreshes++
 	}
@@ -453,7 +453,7 @@ func (d *replayDevice) Refresh() error {
 func (d *replayDevice) ReadWord(bank, wordIdx int) ([]uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	op, err := d.next(opReadWord, replayOp{Bank: bank, Word: wordIdx})
+	op, err := d.nextLocked(opReadWord, replayOp{Bank: bank, Word: wordIdx})
 	if err != nil {
 		return nil, err
 	}
@@ -464,7 +464,7 @@ func (d *replayDevice) ReadWord(bank, wordIdx int) ([]uint64, error) {
 func (d *replayDevice) WriteWord(bank, wordIdx int, word []uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := d.next(opWriteWord, replayOp{Op: opWriteWord, Bank: bank, Word: wordIdx, Data: word})
+	_, err := d.nextLocked(opWriteWord, replayOp{Op: opWriteWord, Bank: bank, Word: wordIdx, Data: word})
 	if err == nil {
 		d.stats.Writes++
 	}
@@ -474,7 +474,7 @@ func (d *replayDevice) WriteWord(bank, wordIdx int, word []uint64) error {
 func (d *replayDevice) WriteRow(bank, row int, data []uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := d.next(opWriteRow, replayOp{Op: opWriteRow, Bank: bank, Row: row, Data: data})
+	_, err := d.nextLocked(opWriteRow, replayOp{Op: opWriteRow, Bank: bank, Row: row, Data: data})
 	if err == nil {
 		d.stats.Writes += int64(d.hdr.Geometry.wordsPerRow())
 	}
@@ -484,7 +484,7 @@ func (d *replayDevice) WriteRow(bank, row int, data []uint64) error {
 func (d *replayDevice) ReadRowRaw(bank, row int) ([]uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	op, err := d.next(opReadRowRaw, replayOp{Bank: bank, Row: row})
+	op, err := d.nextLocked(opReadRowRaw, replayOp{Bank: bank, Row: row})
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +494,7 @@ func (d *replayDevice) ReadRowRaw(bank, row int) ([]uint64, error) {
 func (d *replayDevice) StartupRow(bank, row int) ([]uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	op, err := d.next(opStartupRow, replayOp{Bank: bank, Row: row})
+	op, err := d.nextLocked(opStartupRow, replayOp{Bank: bank, Row: row})
 	if err != nil {
 		return nil, err
 	}
@@ -504,7 +504,7 @@ func (d *replayDevice) StartupRow(bank, row int) ([]uint64, error) {
 func (d *replayDevice) SetTemperature(c float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := d.next(opSetTemp, replayOp{Temp: c})
+	_, err := d.nextLocked(opSetTemp, replayOp{Temp: c})
 	if err == nil {
 		d.tempC = c
 	}
