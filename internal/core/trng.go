@@ -92,7 +92,9 @@ func NewTRNG(ctrl *memctrl.Controller, selections []BankSelection, cfg TRNGConfi
 	}
 
 	g := ctrl.Device().Geometry()
-	t := &TRNG{ctrl: ctrl, cfg: cfg}
+	// The sampling scratch buffer is sized here, not lazily in sampleWord,
+	// so the steady-state sampling path never allocates.
+	t := &TRNG{ctrl: ctrl, cfg: cfg, scratch: make([]uint64, g.WordBits/64)}
 	for _, s := range sels {
 		if s.Bits() == 0 {
 			return nil, fmt.Errorf("core: bank %d selection has no RNG cells", s.Bank)
@@ -180,9 +182,6 @@ func (t *TRNG) BitsGenerated() int64 { return t.bitsGenerated }
 // the RNG-cell values to the bit queue, and restores the word's original
 // content (lines 8–11 / 12–15 of Algorithm 2).
 func (t *TRNG) sampleWord(bank int, w *trngWord) error {
-	if t.scratch == nil {
-		t.scratch = make([]uint64, t.ctrl.Device().Geometry().WordBits/64)
-	}
 	got := t.scratch
 	if _, err := t.ctrl.ReadWordInto(bank, w.row, w.wordIdx, got); err != nil {
 		return err
