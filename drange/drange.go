@@ -51,6 +51,24 @@
 //
 //	src, err := drange.Open(ctx, profile,
 //	    drange.WithHealthTests(drange.HealthTestPolicy{}))  // full default battery
+//
+// # Machine-checked invariants
+//
+// The concurrency and allocation rules this package relies on are not just
+// documented — they are enforced by cmd/drange-vet, a go/analysis suite run
+// in CI as "go vet -vettool". Source comments carry the annotations it
+// checks: "// drange:guardedby <mu>" on a struct field restricts access to
+// lock holders (functions named *Locked, functions annotated
+// "//drange:holds <mu>", or code after an explicit <mu>.Lock()),
+// "//drange:noalloc" on a function bans allocating constructs from the
+// serving fast path ("//drange:noalloc amortized" permits amortized buffer
+// growth), and "//drange:entropyflow-exempt <reason>" waives the
+// pseudo-randomness ban for a file whose entropy only flows outward. The
+// full grammar is documented in repro/internal/analysis. Run the suite
+// locally with "make lint" or:
+//
+//	go build -o bin/drange-vet ./cmd/drange-vet
+//	go vet -vettool=$PWD/bin/drange-vet ./...
 package drange
 
 import (
@@ -253,6 +271,8 @@ func Characterize(ctx context.Context, opts ...Option) (*Profile, error) {
 // Source interface and, under deterministic noise, the same byte stream per
 // shard layout. The concrete type is *Generator, which additionally exposes
 // the profile and the paper's throughput/latency/energy estimators.
+//
+//drange:holds mu construction: the Generator is not published until Open returns
 func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -417,7 +437,7 @@ type Generator struct {
 	// legacy is the Engine attached through the deprecated Engine method;
 	// while set, estimates refuse to run (their fresh controllers would
 	// desynchronise the running shards' bank state).
-	legacy *Engine
+	legacy *Engine // drange:guardedby mu
 
 	// monitor streams every raw bit through the online health tests (nil
 	// when WithHealthTests is not attached); hpolicy is the resolved policy,
@@ -426,10 +446,10 @@ type Generator struct {
 	// (the lock-free sharded fast path is disabled while a monitor is
 	// attached, so the stream ordering the windowed tests rely on is
 	// well-defined).
-	monitor        *health.Monitor
-	hpolicy        HealthTestPolicy
-	blockedWindows int64
-	startupOK      bool
+	monitor        *health.Monitor  // drange:guardedby mu
+	hpolicy        HealthTestPolicy // drange:guardedby mu
+	blockedWindows int64            // drange:guardedby mu
+	startupOK      bool             // drange:guardedby mu
 
 	post *postChain
 	// rawDelivered counts bits drawn from the sampler; delivered counts
@@ -438,7 +458,7 @@ type Generator struct {
 	// read path updates them without holding mu.
 	rawDelivered atomic.Int64
 	delivered    atomic.Int64
-	closed       bool
+	closed       bool // drange:guardedby mu
 }
 
 // Profile returns the device profile this generator runs under.

@@ -75,7 +75,7 @@ type poolMember struct {
 	// evicted is lock-free so the concurrent read fast path skips dead
 	// members without the pool mutex; reason is guarded by p.mu.
 	evicted atomic.Bool
-	reason  string
+	reason  string // drange:guardedby mu
 
 	// fetched counts bits pulled from this member's engine — the load metric
 	// of the least-loaded scheduler. Batches discarded under
@@ -92,28 +92,28 @@ type poolMember struct {
 	// bits); biasDelta holds |ones-fraction − 0.5| of the last completed
 	// window (guarded by p.mu).
 	win       atomic.Int64
-	biasDelta float64
+	biasDelta float64 // drange:guardedby mu
 
 	// monitor streams this member's harvested bits through the online
 	// health tests (nil unless WithHealthTests is attached);
 	// blockedWindows counts batches discarded under HealthActionBlock and
 	// startupOK records the startup self-test outcome.
-	monitor        *health.Monitor
-	blockedWindows int64
-	startupOK      bool
+	monitor        *health.Monitor // drange:guardedby mu
+	blockedWindows int64           // drange:guardedby mu
+	startupOK      bool            // drange:guardedby mu
 
 	// blockedEpoch/blockedInRead implement the per-member HealthActionBlock
 	// budget: blockedInRead counts batches this member discarded within the
 	// read identified by the pool's readEpoch, so one member exhausting its
 	// budget is reported without a shared counter throttling the others.
-	blockedEpoch  int64
-	blockedInRead int
+	blockedEpoch  int64 // drange:guardedby mu
+	blockedInRead int   // drange:guardedby mu
 
 	// cur holds up to 64 bits fetched from the engine but not yet handed
 	// out, packed with the next undelivered bit at the most significant
 	// position (locked path only).
-	cur     uint64
-	curBits int
+	cur     uint64 // drange:guardedby mu
+	curBits int    // drange:guardedby mu
 }
 
 // addWindow folds ones set bits out of n into the member's packed bias
@@ -160,9 +160,9 @@ type Pool struct {
 	// blockCause remembers why a member was benched in the current read, so
 	// a read that runs out of members reports the health trip rather than a
 	// bare scheduling error.
-	readEpoch       int64
-	blockCause      *HealthError
-	blockCauseEpoch int64
+	readEpoch       int64        // drange:guardedby mu
+	blockCause      *HealthError // drange:guardedby mu
+	blockCauseEpoch int64        // drange:guardedby mu
 
 	delivered atomic.Int64
 	closed    atomic.Bool
@@ -185,6 +185,8 @@ type Pool struct {
 // Stats.Devices.
 //
 // ctx cancellation stops every member engine. Close releases all members.
+//
+//drange:holds mu construction: the pool is not published until OpenPool returns
 func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -325,6 +327,8 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 // runtime eviction this may empty the pool, which fails the open — a fleet
 // where every device flunks its self-test must not come up at all. Any other
 // action fails the open on the first failing member.
+//
+//drange:holds mu construction: runs from OpenPool before the pool is published
 func (p *Pool) runStartupTests() error {
 	if !p.testsEnabled || p.testsPolicy.StartupBits <= 0 {
 		return nil
@@ -583,6 +587,8 @@ func (p *Pool) readPackedLocked(dst []byte) error {
 
 // writeBits stores the low n bits of v (first stream bit most significant)
 // into dst starting at bit offset pos, MSB-first.
+//
+//drange:noalloc
 func writeBits(dst []byte, pos int, v uint64, n int) {
 	for n > 0 {
 		free := 8 - pos&7
@@ -729,6 +735,8 @@ func (p *Pool) Read(buf []byte) (int, error) {
 
 // pickMember is the lock-free counterpart of nextMemberLocked: least loaded
 // healthy member by atomic counters, ties to the lowest index.
+//
+//drange:noalloc
 func (p *Pool) pickMember() *poolMember {
 	var best *poolMember
 	var bestFetched int64
@@ -746,6 +754,8 @@ func (p *Pool) pickMember() *poolMember {
 // readFast is the concurrent Read path: packed 64-bit fetches from the
 // least-loaded member's engine straight into the caller's buffer, with the
 // pool mutex taken only for bias-window evaluation and evictions.
+//
+//drange:noalloc
 func (p *Pool) readFast(dst []byte) (int, error) {
 	for i := 0; i < len(dst); {
 		if p.closed.Load() {

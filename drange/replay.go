@@ -153,14 +153,16 @@ func releaseRecordPath(abs string) {
 type recordDevice struct {
 	mu      sync.Mutex
 	inner   Device
-	f       *os.File
-	w       *bufio.Writer
-	enc     *json.Encoder
-	absPath string
+	f       *os.File      // drange:guardedby mu
+	w       *bufio.Writer // drange:guardedby mu
+	enc     *json.Encoder // drange:guardedby mu
+	absPath string        // drange:guardedby mu
 	// err is the sticky log-write failure.
+	// drange:guardedby mu
 	err error
 }
 
+//drange:holds mu construction: the recorder is not shared until newRecordDevice returns
 func newRecordDevice(inner Device, path, manufacturer string) (*recordDevice, error) {
 	abs, err := claimRecordPath(path)
 	if err != nil {
@@ -317,12 +319,13 @@ func (r *recordDevice) Close() error {
 type replayDevice struct {
 	mu     sync.Mutex
 	hdr    replayHeader
-	ops    []replayOp
-	cursor int
-	tempC  float64
-	stats  DeviceStats
+	ops    []replayOp  // drange:guardedby mu
+	cursor int         // drange:guardedby mu
+	tempC  float64     // drange:guardedby mu
+	stats  DeviceStats // drange:guardedby mu
 }
 
+//drange:holds mu construction: the device is not shared until openReplayDevice returns
 func openReplayDevice(path string, p BackendParams) (*replayDevice, error) {
 	f, err := os.Open(path)
 	if err != nil {

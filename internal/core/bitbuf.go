@@ -71,6 +71,8 @@ func (b *bitBuffer) popChunk(n int) uint64 {
 // per output byte, most significant bit first — the same encoding
 // PackBitsMSBFirst produces — without any intermediate bit-per-byte slice. It
 // panics if fewer than 8*len(p) bits are buffered.
+//
+//drange:noalloc
 func (b *bitBuffer) PopPacked(p []byte) {
 	i := 0
 	for ; i+8 <= len(p); i += 8 {

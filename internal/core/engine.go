@@ -97,16 +97,16 @@ type Engine struct {
 	closeOnce sync.Once
 
 	errMu    sync.Mutex
-	shardErr error
+	shardErr error // drange:guardedby errMu
 
 	// mu serialises consumers and guards the partially-consumed word, the
 	// round-robin cursor and the per-shard delivery counters.
 	mu        sync.Mutex
-	cur       ringWord
-	curShard  int
-	curOff    int
-	rr        int
-	delivered []int64
+	cur       ringWord // drange:guardedby mu
+	curShard  int      // drange:guardedby mu
+	curOff    int      // drange:guardedby mu
+	rr        int      // drange:guardedby mu
+	delivered []int64  // drange:guardedby mu
 }
 
 // NewEngine partitions selections round-robin across cfg.Shards shards (the
@@ -294,6 +294,8 @@ func (e *Engine) ReadBits(n int) ([]byte, error) {
 // ring word becomes eight output bytes with no intermediate bit-per-byte
 // slice and no allocation. The byte encoding and the round-robin word order
 // are identical to Read's. It is safe for concurrent use.
+//
+//drange:noalloc
 func (e *Engine) ReadPacked(p []byte) error {
 	if len(p) == 0 {
 		return nil

@@ -231,6 +231,8 @@ func (t *TRNG) ReadBits(n int) ([]byte, error) {
 // ReadPacked fills p with random bytes straight from the packed bit queue —
 // the same byte encoding as Read, with no intermediate bit-per-byte slice and
 // no allocation in steady state.
+//
+//drange:noalloc
 func (t *TRNG) ReadPacked(p []byte) error {
 	if len(p) == 0 {
 		return nil

@@ -55,13 +55,13 @@ type Device struct {
 	bankNoise BankNoiseSource
 
 	mu           sync.Mutex
-	temperatureC float64
-	banks        []*bankStorage
+	temperatureC float64        // drange:guardedby mu
+	banks        []*bankStorage // drange:guardedby mu
 
 	// weakCols caches, per bank and subarray, the weak column indices
 	// grouped by DRAM word, so failure injection only inspects candidate
 	// cells.
-	weakCols map[weakKey][][]int
+	weakCols map[weakKey][][]int // drange:guardedby mu
 
 	// chars caches the procedurally derived per-cell character, keyed by
 	// packed (bank, row, col); inject caches, per (bank, row, wordIdx), the
@@ -69,10 +69,10 @@ type Device struct {
 	// pure function of the device identity, so both caches are transparent;
 	// they remove the dominant hashing cost from the failure-injection hot
 	// path, where generation re-reads the same few words forever.
-	chars  map[uint64]CellCharacter
-	inject map[uint64]*injectInfo
+	chars  map[uint64]CellCharacter // drange:guardedby mu
+	inject map[uint64]*injectInfo   // drange:guardedby mu
 
-	stats DeviceStats
+	stats DeviceStats // drange:guardedby mu
 }
 
 // injectInfo is everything failure injection needs about one DRAM word: the
@@ -113,6 +113,8 @@ type bankStorage struct {
 }
 
 // NewDevice constructs a simulated device from cfg.
+//
+//drange:holds mu construction: the device is not shared until NewDevice returns
 func NewDevice(cfg Config) (*Device, error) {
 	prof := Profile{}
 	if cfg.Profile != nil {

@@ -37,8 +37,8 @@ func boxMuller(u1, u2 float64) float64 {
 // It buffers entropy to avoid a system call per sample.
 type PhysicalNoise struct {
 	mu  sync.Mutex
-	buf []byte
-	off int
+	buf []byte // drange:guardedby mu
+	off int    // drange:guardedby mu
 }
 
 // NewPhysicalNoise returns a NoiseSource that draws from crypto/rand.
@@ -73,7 +73,7 @@ func (p *PhysicalNoise) Gaussian() float64 {
 // benchmarks; it is NOT suitable for generating keys.
 type DeterministicNoise struct {
 	mu    sync.Mutex
-	state uint64
+	state uint64 // drange:guardedby mu
 }
 
 // NewDeterministicNoise returns a reproducible noise source seeded with seed.
@@ -119,8 +119,8 @@ type DeterministicBankNoise struct {
 	// the bankless stream), lazily initialised; init marks live slots. A
 	// dense slice keeps the per-draw cost to an uncontended lock and an
 	// index, which matters in the failure-injection hot path.
-	streams []uint64
-	init    []bool
+	streams []uint64 // drange:guardedby mu
+	init    []bool   // drange:guardedby mu
 }
 
 // NewDeterministicBankNoise returns a reproducible per-bank noise source

@@ -310,6 +310,8 @@ func (m *Monitor) ingestBit(bit uint64) *Violation {
 // approach a window boundary or could trip. Wider symbol widths replay every
 // chunk bit by bit — no word-level shortcut, the win over Ingest is only
 // that the stream never materialises as a bit-per-byte slice.
+//
+//drange:noalloc
 func (m *Monitor) IngestPacked(p []byte, nbits int) *Violation {
 	stream := postproc.Packed{Data: p, Len: nbits}
 	off := 0

@@ -345,6 +345,8 @@ func (c *Controller) ReadWord(bank, row, wordIdx int) ([]uint64, int64, error) {
 // WordBits/64 uint64s), so steady-state sampling loops can reuse one buffer
 // instead of allocating per read. It returns the cycle at which the data
 // burst completes.
+//
+//drange:noalloc
 func (c *Controller) ReadWordInto(bank, row, wordIdx int, dst []uint64) (int64, error) {
 	if err := c.checkBank(bank); err != nil {
 		return 0, err

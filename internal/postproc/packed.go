@@ -163,6 +163,8 @@ func init() {
 // ProcessPacked implements PackedCorrector: the von Neumann corrector over a
 // packed stream via table-driven pairwise bit extraction, one input byte
 // (four pairs) at a time.
+//
+//drange:noalloc amortized
 func (VonNeumann) ProcessPacked(in Packed) (Packed, error) {
 	out := Packed{Data: make([]byte, 0, (in.Len/4+7)/8)}
 	pairsBits := in.Len &^ 1 // Process ignores a trailing odd bit
@@ -184,6 +186,8 @@ func (VonNeumann) ProcessPacked(in Packed) (Packed, error) {
 
 // ProcessPacked implements PackedCorrector: XOR decimation as parity folds
 // over packed chunks.
+//
+//drange:noalloc amortized
 func (x XORDecimator) ProcessPacked(in Packed) (Packed, error) {
 	if x.Factor < 2 {
 		return Packed{}, fmt.Errorf("postproc: XOR decimation factor must be at least 2, got %d", x.Factor)
@@ -205,6 +209,8 @@ func (x XORDecimator) ProcessPacked(in Packed) (Packed, error) {
 
 // ProcessPacked implements PackedCorrector: SHA-256 conditioning hashing the
 // packed block bytes directly — zero re-encoding when blocks are byte-aligned.
+//
+//drange:noalloc amortized
 func (s SHA256Conditioner) ProcessPacked(in Packed) (Packed, error) {
 	if s.InputBlockBits < 256 {
 		return Packed{}, fmt.Errorf("postproc: SHA-256 input block must be at least 256 bits, got %d", s.InputBlockBits)
