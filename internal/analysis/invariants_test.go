@@ -1,0 +1,166 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/deprecations"
+	"repro/internal/analysis/entropyflow"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/packedpath"
+)
+
+var repoAnalyzers = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	noalloc.Analyzer,
+	entropyflow.Analyzer,
+	packedpath.Analyzer,
+	deprecations.Analyzer,
+}
+
+// repoRoot is the module root relative to this package's directory.
+const repoRoot = "../.."
+
+// TestRepoIsClean runs every drange-vet analyzer over the whole module and
+// fails on any finding. This is the same sweep CI runs through the vet tool;
+// having it in the test suite means `go test ./...` alone catches an invariant
+// regression.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short mode")
+	}
+	findings, err := analysis.Run(repoRoot, []string{"./..."}, repoAnalyzers)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// requiredFieldGuards lists guarded-field annotations that must never be
+// dropped: each entry pins a (file, field, mutex) triple that the concurrency
+// design depends on. If a refactor removes one, this test — and with it CI —
+// goes red, rather than lockcheck silently losing its subject.
+var requiredFieldGuards = []struct {
+	file  string // path relative to the repo root
+	field string
+	mu    string
+}{
+	{"drange/pool.go", "reason", "mu"},
+	{"drange/pool.go", "cur", "mu"},
+	{"drange/pool.go", "curBits", "mu"},
+	{"drange/pool.go", "readEpoch", "mu"},
+	{"drange/pool.go", "blockCause", "mu"},
+	{"drange/drange.go", "monitor", "mu"},
+	{"drange/drange.go", "closed", "mu"},
+	{"drange/replay.go", "err", "mu"},
+	{"drange/replay.go", "cursor", "mu"},
+	{"internal/core/engine.go", "shardErr", "errMu"},
+	{"internal/core/engine.go", "delivered", "mu"},
+	{"internal/dram/device.go", "banks", "mu"},
+	{"internal/dram/device.go", "stats", "mu"},
+}
+
+// requiredNoalloc lists the functions the paper's serving path promises are
+// allocation-free (or allocation-amortized); dropping the annotation would
+// stop noalloc from watching them.
+var requiredNoalloc = []struct {
+	file string
+	fn   string // function or method name
+}{
+	{"drange/pool.go", "readFast"},
+	{"drange/pool.go", "pickMember"},
+	{"drange/pool.go", "writeBits"},
+	{"internal/core/engine.go", "ReadPacked"},
+	{"internal/core/trng.go", "ReadPacked"},
+	{"internal/core/bitbuf.go", "PopPacked"},
+	{"internal/memctrl/controller.go", "ReadWordInto"},
+	{"internal/health/health.go", "IngestPacked"},
+	{"internal/postproc/packed.go", "ProcessPacked"},
+}
+
+// TestRequiredAnnotationsPresent re-parses the annotated files and asserts the
+// inventory above still exists. A dropped annotation is invisible to the
+// analyzers themselves (no annotation, nothing to check), so the inventory is
+// what makes removal loud.
+func TestRequiredAnnotationsPresent(t *testing.T) {
+	files := map[string]*ast.File{}
+	fset := token.NewFileSet()
+	parse := func(rel string) *ast.File {
+		if f, ok := files[rel]; ok {
+			return f
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(repoRoot, rel), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", rel, err)
+		}
+		files[rel] = f
+		return f
+	}
+
+	for _, want := range requiredFieldGuards {
+		f := parse(want.file)
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if name.Name != want.field {
+						continue
+					}
+					for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+						for _, d := range analysis.Directives(cg) {
+							if d.Name == "guardedby" && len(d.Args) > 0 && d.Args[0] == want.mu {
+								found = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !found {
+			t.Errorf("%s: field %s lost its // drange:guardedby %s annotation", want.file, want.field, want.mu)
+		}
+	}
+
+	for _, want := range requiredNoalloc {
+		f := parse(want.file)
+		found := false
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != want.fn {
+				continue
+			}
+			if analysis.FuncDirective(fd, "noalloc") != nil {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: function %s lost its //drange:noalloc annotation", want.file, want.fn)
+		}
+	}
+
+	// The entropyflow waiver is a privilege: exactly one file (the
+	// math/rand adapter) may hold it. A second waiver means someone routed
+	// pseudo-randomness near the entropy path and silenced the analyzer
+	// instead of fixing it.
+	waivers := []string{}
+	for _, rel := range []string{"drange/source.go", "drange/drange.go", "drange/pool.go", "drange/replay.go", "drange/health.go"} {
+		if analysis.FileDirective(parse(rel), "entropyflow-exempt") != nil {
+			waivers = append(waivers, rel)
+		}
+	}
+	if len(waivers) != 1 || waivers[0] != "drange/source.go" {
+		t.Errorf("entropyflow-exempt waivers = %v, want exactly [drange/source.go]", waivers)
+	}
+}
