@@ -721,6 +721,45 @@ func BenchmarkMonitoredRead(b *testing.B) {
 	}
 }
 
+// BenchmarkDRBGRead measures the two-tier serving split introduced by
+// WithDRBG: "drbg" is Source.Read serving ChaCha20 DRBG output reseeded from
+// the screened raw harvest every 1024 requests, "drbg-ctr" the CTR_DRBG
+// construction, and "raw" the same Source's ReadRaw physical tier. The
+// acceptance metrics are the drbg/raw throughput ratio (the DRBG tier must
+// serve at crypto speed, orders of magnitude above the simulated harvest
+// rate) and 0 steady-state allocs/op on the ChaCha tier.
+func BenchmarkDRBGRead(b *testing.B) {
+	run := func(b *testing.B, src drange.Source, read func([]byte) (int, error)) {
+		buf := make([]byte, 1024)
+		// Warm up past instantiation so reseed cadence, not open-time setup,
+		// is what the steady state measures.
+		if _, err := read(buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := read(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("drbg", func(b *testing.B) {
+		src := benchSource(b, drange.WithShards(4), drange.WithDRBG(drange.DRBGPolicy{}))
+		run(b, src, src.Read)
+	})
+	b.Run("drbg-ctr", func(b *testing.B) {
+		src := benchSource(b, drange.WithShards(4),
+			drange.WithDRBG(drange.DRBGPolicy{Algorithm: drange.DRBGCTRAES256}))
+		run(b, src, src.Read)
+	})
+	b.Run("raw", func(b *testing.B) {
+		src := benchSource(b, drange.WithShards(4), drange.WithDRBG(drange.DRBGPolicy{}))
+		run(b, src, src.ReadRaw)
+	})
+}
+
 // BenchmarkPostprocessedRead measures the serving path through a von Neumann
 // corrector chain (Section 2.2), the heaviest-discarding built-in stage.
 func BenchmarkPostprocessedRead(b *testing.B) {

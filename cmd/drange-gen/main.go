@@ -13,6 +13,7 @@
 //	drange-gen -profile-out device.json -bytes 32   # characterize once, save
 //	drange-gen -profile-in device.json -bytes 4096  # reopen without re-profiling
 //	drange-gen -bytes 4096 -devices 4 -json         # 4-device pool, JSON stats
+//	drange-gen -bytes 1048576 -tier drbg            # DRBG tier: 90B-screened seeds, 90A expansion
 //
 // Device backends (-backend, -backend-opt key=value) select how the device
 // is opened: the default "sim" simulator, "replay" for operation-log
@@ -64,6 +65,7 @@ type jsonReport struct {
 	Hex      string       `json:"hex,omitempty"`
 	Devices  int          `json:"devices"`
 	Backend  string       `json:"backend"`
+	Tier     string       `json:"tier"`
 	Profiles []uint64     `json:"profile_serials"`
 	Stats    drange.Stats `json:"stats"`
 }
@@ -79,6 +81,7 @@ func main() {
 		parallel      = flag.Int("parallel", 0, "harvest with a sharded engine using this many parallel controllers per device, clamped to the bank count (0 = sequential; pools default to 1)")
 		devices       = flag.Int("devices", 1, "open a multi-device pool of this many devices (serials serial..serial+N-1, characterized individually)")
 		backend       = flag.String("backend", "", "device backend: sim (default), replay, faulty, or a registered name")
+		tier          = flag.String("tier", "raw", "serving tier: raw (physical harvested bits) or drbg (ChaCha20 DRBG reseeded from the health-screened harvest; implies the online health tests)")
 		jsonOut       = flag.Bool("json", false, "print a JSON report (bytes as hex unless -out, plus aggregate and per-device/per-shard stats) to stdout")
 		profileIn     = flag.String("profile-in", "", "open this saved device profile instead of re-running characterization")
 		profileOut    = flag.String("profile-out", "", "write the device profile (JSON) to this file after characterization")
@@ -104,6 +107,10 @@ func main() {
 	}
 	if *devices > 1 && *profileOut != "" {
 		fmt.Fprintln(os.Stderr, "drange-gen: -profile-out writes a single per-device profile; it cannot combine with -devices (save each device's profile in its own run)")
+		os.Exit(2)
+	}
+	if *tier != "raw" && *tier != "drbg" {
+		fmt.Fprintln(os.Stderr, "drange-gen: -tier must be raw or drbg")
 		os.Exit(2)
 	}
 	if *backend == "replay" && *profileIn == "" {
@@ -191,12 +198,16 @@ func main() {
 		}
 	}
 
+	opts = append(opts, drange.WithShards(*parallel))
+	if *tier == "drbg" {
+		opts = append(opts, drange.WithDRBG(drange.DRBGPolicy{}))
+	}
 	var src drange.Source
 	var err error
 	if *devices > 1 {
-		src, err = drange.OpenPool(ctx, profiles, append(opts, drange.WithShards(*parallel))...)
+		src, err = drange.OpenPool(ctx, profiles, opts...)
 	} else {
-		src, err = drange.Open(ctx, profiles[0], append(opts, drange.WithShards(*parallel))...)
+		src, err = drange.Open(ctx, profiles[0], opts...)
 	}
 	if err != nil {
 		fatal(err)
@@ -212,6 +223,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drange-gen: %d devices, %d shards, aggregate %.1f Mb/s simulated (64-bit latency %.0f ns)\n",
 			*devices, len(st.Shards), st.AggregateThroughputMbps, st.Latency64NS)
 	}
+	if st.DRBG != nil {
+		fmt.Fprintf(os.Stderr, "drange-gen: drbg tier (%s): %d generates, %d reseeds, credit %+d bits (%d credited, %d debited)\n",
+			st.DRBG.Algorithm, st.DRBG.Generates, st.DRBG.Reseeds,
+			st.DRBG.Credit.BalanceBits, st.DRBG.Credit.CreditedBits, st.DRBG.Credit.DebitedBits)
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, buf, 0o600); err != nil {
 			fatal(err)
@@ -224,6 +240,7 @@ func main() {
 			Bytes:   len(buf),
 			Devices: *devices,
 			Backend: *backend,
+			Tier:    *tier,
 			Stats:   st,
 		}
 		if rep.Backend == "" {

@@ -20,6 +20,7 @@
 //	drange-soak -duration 10s -deterministic                 # healthy soak
 //	drange-soak -duration 10s -backend faulty -startup-bits -1
 //	drange-soak -duration 10s -devices 4 -faulty-member 2 -policy evict
+//	drange-soak -duration 10s -devices 3 -faulty-member 1 -tier drbg  # DRBG tier over a degraded pool
 //	drange-soak -duration 30s -workloads stream-like,gcc-like -out report.json
 package main
 
@@ -30,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -109,11 +111,18 @@ type scenarioReport struct {
 	WallMS   float64 `json:"wall_ms"`
 	WallMbps float64 `json:"wall_mbps"`
 	SimMbps  float64 `json:"sim_mbps"`
+	// LatencyP50MS/LatencyP99MS are wall-clock per-request read latency
+	// percentiles over the scenario's successful requests, in milliseconds.
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
 	// DevicesEvicted counts pool members evicted during the scenario.
 	DevicesEvicted int                 `json:"devices_evicted"`
 	Trips          tripReport          `json:"trips"`
 	Health         *drange.HealthStats `json:"health,omitempty"`
-	NIST           *nistSummary        `json:"nist,omitempty"`
+	// DRBG carries the DRBG-tier counters (reseeds, generates, entropy
+	// credit) when the scenario serves through -tier drbg.
+	DRBG *drange.DRBGStats `json:"drbg,omitempty"`
+	NIST *nistSummary      `json:"nist,omitempty"`
 }
 
 // totalsReport aggregates every scenario.
@@ -146,6 +155,7 @@ func main() {
 		devices       = flag.Int("devices", 1, "number of pool devices (1 opens a single Source unless -policy evict)")
 		parallel      = flag.Int("parallel", 1, "harvesting shards per device")
 		backend       = flag.String("backend", "", "device backend for every device: sim (default), faulty, or a registered name")
+		tier          = flag.String("tier", "raw", "serving tier: raw (physical harvested bits) or drbg (ChaCha20 DRBG reseeded from the health-screened harvest; implies the online health tests)")
 		faultyMember  = flag.Int("faulty-member", -1, "pool member index opened through the faulty backend with every column stuck at 1")
 		policy        = flag.String("policy", "", "health action on a trip: error, block, evict, or off (default: error; evict for pools)")
 		symbolBits    = flag.Int("symbol-bits", 1, "RCT/APT symbol width in bits")
@@ -172,6 +182,9 @@ func main() {
 	if *faultyMember >= *devices {
 		fatal(fmt.Errorf("-faulty-member %d outside the %d devices", *faultyMember, *devices))
 	}
+	if *tier != "raw" && *tier != "drbg" {
+		fatal(fmt.Errorf("-tier must be raw or drbg"))
+	}
 	if *backend == "faulty" && len(bopts) == 0 {
 		// The faulty backend's default is every column stuck: the worst case.
 		bopts["stuck"] = "1"
@@ -179,6 +192,9 @@ func main() {
 
 	profiles := pickWorkloads(*workloads)
 	htp, healthOn := healthPolicy(*policy, *symbolBits, *startupBits)
+	if *tier == "drbg" && !healthOn {
+		fatal(fmt.Errorf("-tier drbg requires the health tests (the DRBG expands screened entropy); drop -policy off"))
+	}
 	// A faulty member or an explicit evict policy forces the pool path even
 	// for one device; resolve the effective trip policy from the same facts
 	// so the report's config block matches what actually ran.
@@ -208,6 +224,7 @@ func main() {
 		"policy":            effectivePolicy,
 		"symbol_bits":       *symbolBits,
 		"startup_bits":      *startupBits,
+		"tier":              *tier,
 		"bytes_per_request": *perRequest,
 		"deterministic":     *deterministic,
 		"workloads":         names(profiles),
@@ -225,6 +242,9 @@ func main() {
 		}
 		if healthOn {
 			opts = append(opts, drange.WithHealthTests(htp))
+		}
+		if *tier == "drbg" {
+			opts = append(opts, drange.WithDRBG(drange.DRBGPolicy{}))
 		}
 		sc := soakScenario(ctx, wp, scenarioConfig{
 			profiles:   deviceProfiles,
@@ -247,8 +267,8 @@ func main() {
 			rep.Totals.StartupFailures++
 		}
 		rep.Totals.Trips.add(sc.Health)
-		fmt.Fprintf(os.Stderr, "drange-soak: %-16s %7d requests, %5.1f Mb/s wall, trips %d, health errors %d\n",
-			wp.Name, sc.Requests, sc.WallMbps, sc.Trips.Total, sc.HealthErrors)
+		fmt.Fprintf(os.Stderr, "drange-soak: %-16s %7d requests, %5.1f Mb/s wall, p50 %.2f ms, p99 %.2f ms, trips %d, health errors %d\n",
+			wp.Name, sc.Requests, sc.WallMbps, sc.LatencyP50MS, sc.LatencyP99MS, sc.Trips.Total, sc.HealthErrors)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -323,6 +343,7 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 
 	deadline := start.Add(cfg.budget)
 	buf := make([]byte, cfg.perRequest)
+	var lats []time.Duration
 	for time.Now().Before(deadline) {
 		// Each trace request is one unit of random-number demand (the trace's
 		// arrival intensity is what differentiates the workloads); the trace
@@ -332,6 +353,7 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 				break
 			}
 			sc.Requests++
+			t0 := time.Now()
 			if _, err := src.Read(buf); err != nil {
 				sc.ReadErrors++
 				var herr *drange.HealthError
@@ -343,6 +365,9 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 				sc.WallMS = float64(time.Since(start).Microseconds()) / 1000.0
 				return sc
 			}
+			if len(lats) < maxLatencySamples {
+				lats = append(lats, time.Since(t0))
+			}
 			sc.ReadsOK++
 			sc.Bytes += int64(len(buf))
 		}
@@ -352,10 +377,12 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 	if wall > 0 {
 		sc.WallMbps = float64(sc.Bytes) * 8 / wall.Seconds() / 1e6
 	}
+	sc.LatencyP50MS, sc.LatencyP99MS = latencyPercentiles(lats)
 
 	st := src.Stats()
 	sc.SimMbps = st.AggregateThroughputMbps
 	sc.Health = st.Health
+	sc.DRBG = st.DRBG
 	sc.Trips.add(st.Health)
 	for _, d := range st.Devices {
 		if d.Evicted {
@@ -381,6 +408,25 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 		sc.Trips.add(sc.Health)
 	}
 	return sc
+}
+
+// maxLatencySamples bounds the per-scenario latency sample buffer; a soak
+// long enough to overflow it computes its percentiles over the first million
+// requests rather than growing without bound.
+const maxLatencySamples = 1 << 20
+
+// latencyPercentiles returns the p50/p99 of the successful-request read
+// latencies in milliseconds (zeros when no request succeeded). lats is
+// reordered in place.
+func latencyPercentiles(lats []time.Duration) (p50, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pick := func(q float64) float64 {
+		return float64(lats[int(q*float64(len(lats)-1))].Nanoseconds()) / 1e6
+	}
+	return pick(0.50), pick(0.99)
 }
 
 // characterizeAll runs the one-time characterization for every device serial

@@ -52,6 +52,23 @@
 //	src, err := drange.Open(ctx, profile,
 //	    drange.WithHealthTests(drange.HealthTestPolicy{}))  // full default battery
 //
+// WithDRBG adds a deterministic output stage (SP 800-90A style) in front of
+// the physical harvest, splitting the Source into two tiers: Read, ReadBits
+// and Uint64 serve a DRBG — DRBGChaCha20 (fast-key-erasure, default) or
+// DRBGCTRAES256 (CTR_DRBG, AES-256 no-df, CAVP-tested in
+// repro/internal/drbg) — reseeded from health-screened physical seeds every
+// ReseedInterval requests (or before every request under
+// PredictionResistance), while ReadRaw keeps serving the raw physical tier.
+// WithDRBG implies WithHealthTests: a seed cannot bypass the 90B screens. An
+// entropy credit ledger credits every clean health window and debits every
+// seed; Stats reports it (Stats.DRBG.Credit) alongside per-tier read/byte
+// counts (Stats.TierRaw, Stats.TierDRBG). On pools each member runs its own
+// DRBG with staggered reseed deadlines and least-loaded serving:
+//
+//	src, err := drange.Open(ctx, profile, drange.WithDRBG(drange.DRBGPolicy{}))
+//	_, err = src.Read(buf)     // DRBG tier: expanded from screened seeds
+//	_, err = src.ReadRaw(buf)  // raw tier: the physical harvest
+//
 // # Machine-checked invariants
 //
 // The concurrency and allocation rules this package relies on are not just
@@ -233,8 +250,8 @@ func Characterize(ctx context.Context, opts ...Option) (*Profile, error) {
 		ctx = context.Background()
 	}
 	o := buildOptions(opts)
-	if o.shards != nil || len(o.post) > 0 || o.healthTests != nil {
-		return nil, fmt.Errorf("drange: generation options (WithShards, WithPostprocess, WithHealthTests) apply to Open, not Characterize")
+	if o.shards != nil || len(o.post) > 0 || o.healthTests != nil || o.drbg != nil {
+		return nil, fmt.Errorf("drange: generation options (WithShards, WithPostprocess, WithHealthTests, WithDRBG) apply to Open, not Characterize")
 	}
 	if err := o.rejectPoolOnly("Characterize"); err != nil {
 		return nil, err
@@ -288,6 +305,12 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 		return nil, err
 	}
 	if err := o.rejectPoolOnly("Open"); err != nil {
+		return nil, err
+	}
+	// Resolve the DRBG tier first: it implies the health tests, so the
+	// monitor construction below must already see the implied policy.
+	drbgPolicy, drbgOn, err := o.resolveDRBG()
+	if err != nil {
 		return nil, err
 	}
 	if o.manufacturer != nil && *o.manufacturer != profile.Manufacturer {
@@ -407,6 +430,23 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 				return failStarted(err)
 			}
 		}
+		if drbgOn {
+			// Instantiate the DRBG tier from a health-screened seed. The
+			// ledger registers as the monitor's credit sink first, so even
+			// the first seed's harvest accrues toward the credit windows.
+			s := newDRBGState(drbgPolicy, drbgPolicy.ReseedInterval)
+			g.monitor.SetCreditSink(s.ledger)
+			blocked := 0
+			if err := g.samplePackedLocked(s.seedBuf, &blocked); err != nil {
+				g.Close()
+				return nil, err
+			}
+			if err := s.instantiate(); err != nil {
+				g.Close()
+				return nil, err
+			}
+			g.drbgOn, g.drbg = true, s
+		}
 	}
 	return g, nil
 }
@@ -451,6 +491,14 @@ type Generator struct {
 	blockedWindows int64            // drange:guardedby mu
 	startupOK      bool             // drange:guardedby mu
 
+	// drbgOn mirrors drbg != nil for the pre-lock tier dispatch in Read;
+	// both are set once at open time, but only drbg guards mutable state.
+	// The DRBG instance, its ledger registration and its seed buffer are
+	// driven strictly under mu, exactly like the monitor that screens its
+	// seeds.
+	drbgOn bool
+	drbg   *drbgState // drange:guardedby mu
+
 	post *postChain
 	// rawDelivered counts bits drawn from the sampler; delivered counts
 	// bits returned to callers. They differ only when a post-processing
@@ -458,7 +506,15 @@ type Generator struct {
 	// read path updates them without holding mu.
 	rawDelivered atomic.Int64
 	delivered    atomic.Int64
-	closed       bool // drange:guardedby mu
+
+	// Per-tier serving accounting (atomic: the raw tier's lock-free sharded
+	// fast path updates them without mu).
+	tierRawReads  atomic.Int64
+	tierRawBytes  atomic.Int64
+	tierDRBGReads atomic.Int64
+	tierDRBGBytes atomic.Int64
+
+	closed bool // drange:guardedby mu
 }
 
 // Profile returns the device profile this generator runs under.
@@ -610,6 +666,19 @@ func (g *Generator) ReadBits(n int) ([]byte, error) {
 		g.mu.Unlock()
 		return nil, fmt.Errorf("drange: source is closed")
 	}
+	if g.drbgOn {
+		defer g.mu.Unlock()
+		packed := make([]byte, (n+7)/8)
+		if err := g.drbgReadLocked(packed); err != nil {
+			return nil, err
+		}
+		out := make([]byte, n)
+		unpackBits(out, packed)
+		g.delivered.Add(int64(n))
+		g.tierDRBGReads.Add(1)
+		g.tierDRBGBytes.Add(int64(len(packed)))
+		return out, nil
+	}
 	if g.eng != nil && g.post == nil && g.monitor == nil {
 		// Sharded without post-processing or health tests: delegate to the
 		// thread-safe engine without holding the mutex, so concurrent
@@ -650,6 +719,76 @@ const maxReadChunkBytes = 1 << 16
 // Read fills p with random bytes, implementing io.Reader. It never returns a
 // short read except on error.
 //
+// Without WithDRBG this is the raw packed fast path (see ReadRaw). With
+// WithDRBG attached, Read serves the DRBG tier: deterministic output
+// expanded from health-screened raw entropy, reseeded on the policy's
+// interval, with nothing allocated per request under the default ChaCha20
+// construction.
+func (g *Generator) Read(p []byte) (int, error) {
+	if !g.drbgOn {
+		return g.ReadRaw(p)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return 0, fmt.Errorf("drange: source is closed")
+	}
+	if err := g.drbgReadLocked(p); err != nil {
+		return 0, err
+	}
+	g.delivered.Add(int64(len(p)) * 8)
+	g.tierDRBGReads.Add(1)
+	g.tierDRBGBytes.Add(int64(len(p)))
+	return len(p), nil
+}
+
+// drbgReadLocked serves one DRBG-tier read: chunks of at most the policy's
+// per-request limit, each preceded by a reseed when the interval elapsed (or
+// on every chunk under prediction resistance). Reseeds draw their seed
+// through samplePackedLocked, so the raw bits feeding the DRBG pass the
+// online health tests under the same policies as raw-tier reads. Callers
+// hold g.mu.
+//
+//drange:noalloc
+func (g *Generator) drbgReadLocked(p []byte) error {
+	s := g.drbg
+	for off := 0; off < len(p); {
+		chunk := p[off:]
+		if len(chunk) > s.policy.MaxRequestBytes {
+			chunk = chunk[:s.policy.MaxRequestBytes]
+		}
+		if s.policy.PredictionResistance || s.d.NeedsReseed() {
+			if err := g.drbgReseedLocked(); err != nil {
+				return err
+			}
+		}
+		if err := s.d.Generate(chunk, nil); err != nil {
+			return err
+		}
+		off += len(chunk)
+	}
+	return nil
+}
+
+// drbgReseedLocked harvests a fresh health-screened seed and folds it into
+// the DRBG state, debiting the credit ledger. Callers hold g.mu.
+//
+//drange:noalloc
+func (g *Generator) drbgReseedLocked() error {
+	blocked := 0
+	if err := g.samplePackedLocked(g.drbg.seedBuf, &blocked); err != nil {
+		return err
+	}
+	return g.drbg.reseedFromBuf()
+}
+
+// ReadRaw fills p with raw harvested bytes — the physical tier. Health tests
+// and any post-processing chain still apply; only the WithDRBG expansion is
+// bypassed. Without WithDRBG, Read is this same path.
+//
 // This is the packed fast path: the caller's buffer is filled directly from
 // the sampler's packed 64-bit words — no intermediate bit-per-byte slice and,
 // with no monitor or post-processing chain attached, no steady-state
@@ -657,10 +796,14 @@ const maxReadChunkBytes = 1 << 16
 // skips the facade mutex: the engine's own consumer lock (held per Read
 // call) is the only serialisation, so a Close or Stats never waits behind a
 // reader and readers never wait behind the facade.
-func (g *Generator) Read(p []byte) (int, error) {
+func (g *Generator) ReadRaw(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	defer func() {
+		g.tierRawReads.Add(1)
+		g.tierRawBytes.Add(int64(len(p)))
+	}()
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -748,6 +891,7 @@ func (g *Generator) Stats() Stats {
 		// only under a post-processing chain).
 		st.BitsDelivered = g.delivered.Load()
 		st.Health = g.healthStatsLocked()
+		g.tierStatsLocked(&st)
 		return st
 	}
 	bits := g.trng.BitsGenerated()
@@ -766,13 +910,25 @@ func (g *Generator) Stats() Stats {
 		ss.ThroughputMbps = float64(bits) / ns * 1000.0
 		ss.Latency64NS = ns / float64(bits) * 64.0
 	}
-	return Stats{
+	st := Stats{
 		Shards:                  []ShardStats{ss},
 		BitsHarvested:           bits,
 		BitsDelivered:           g.delivered.Load(),
 		AggregateThroughputMbps: ss.ThroughputMbps,
 		Latency64NS:             ss.Latency64NS,
 		Health:                  g.healthStatsLocked(),
+	}
+	g.tierStatsLocked(&st)
+	return st
+}
+
+// tierStatsLocked fills the per-tier serving counters and the DRBG snapshot
+// into st. Callers hold g.mu.
+func (g *Generator) tierStatsLocked(st *Stats) {
+	st.TierRaw = TierStats{Reads: g.tierRawReads.Load(), Bytes: g.tierRawBytes.Load()}
+	st.TierDRBG = TierStats{Reads: g.tierDRBGReads.Load(), Bytes: g.tierDRBGBytes.Load()}
+	if g.drbgOn {
+		st.DRBG = g.drbg.stats()
 	}
 }
 

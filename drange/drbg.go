@@ -1,0 +1,216 @@
+package drange
+
+// Two-tier serving: WithDRBG layers an SP 800-90A style deterministic random
+// bit generator over the physical harvest path, turning a Source into the
+// standard 90B + 90A pipeline — health-screened raw D-RaNGe bits seed (and
+// periodically reseed) a fast DRBG, Read serves the DRBG tier at crypto
+// speed, and ReadRaw keeps the raw physical tier available side by side. The
+// entropy credit ledger accounts the exchange: every bias window the online
+// health tests pass credits its bits, every seed consumed debits the seed
+// length, so the screened-entropy flow backing the DRBG output stays
+// auditable in Stats.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/drbg"
+)
+
+// DRBGAlgorithm selects the deterministic bit generator construction behind
+// WithDRBG.
+type DRBGAlgorithm string
+
+const (
+	// DRBGChaCha20 is a fast-key-erasure DRBG over the ChaCha20 block
+	// function — the default and the allocation-free fast tier. Every
+	// Generate derives the request's output and a replacement key in one
+	// pass, so past output is unrecoverable from captured state.
+	DRBGChaCha20 DRBGAlgorithm = "chacha20"
+	// DRBGCTRAES256 is the SP 800-90A CTR_DRBG using AES-256 without a
+	// derivation function, pinned by the NIST CAVP vectors. Its
+	// CTR_DRBG_Update rekeys AES on every request, which costs a small
+	// per-request allocation — choose it for 90A conformance, DRBGChaCha20
+	// for throughput.
+	DRBGCTRAES256 DRBGAlgorithm = "ctr-aes256"
+)
+
+// defaultDRBGReseedInterval is the default number of Read requests served
+// per seed. At the default request sizes this reseeds far more often than SP
+// 800-90A requires — harvesting 48 screened bytes costs the simulator well
+// under a millisecond, so the policy leans fresh.
+const defaultDRBGReseedInterval = 1024
+
+// DRBGPolicy configures the DRBG tier attached by WithDRBG. The zero value
+// selects the defaults: ChaCha20, reseed every 1024 requests, 64 KiB
+// per-request limit, no prediction resistance.
+type DRBGPolicy struct {
+	// Algorithm selects the construction ("" selects DRBGChaCha20).
+	Algorithm DRBGAlgorithm
+	// ReseedInterval is the number of DRBG requests served per seed before
+	// fresh screened entropy is harvested (0 selects 1024; capped by the SP
+	// 800-90A ceiling). A pool staggers its members' first intervals across
+	// [interval, 2·interval) so reseed points spread out instead of
+	// bunching.
+	ReseedInterval int64
+	// MaxRequestBytes caps one DRBG request; larger Reads are served in
+	// multiple requests (0 selects 65536, the SP 800-90A per-request
+	// ceiling).
+	MaxRequestBytes int
+	// PredictionResistance forces a reseed with fresh screened entropy
+	// before every request, trading the raw harvest rate for the 90A
+	// prediction-resistance guarantee. The DRBG tier then cannot outrun the
+	// physical tier — use it for high-value keys, not bulk streams.
+	PredictionResistance bool
+	// Disabled turns the DRBG tier off, as if WithDRBG were not applied.
+	Disabled bool
+}
+
+// withDefaults resolves zero fields.
+func (p DRBGPolicy) withDefaults() DRBGPolicy {
+	if p.Algorithm == "" {
+		p.Algorithm = DRBGChaCha20
+	}
+	if p.ReseedInterval == 0 {
+		p.ReseedInterval = defaultDRBGReseedInterval
+	}
+	if p.MaxRequestBytes == 0 {
+		p.MaxRequestBytes = drbg.DefaultMaxRequestBytes
+	}
+	return p
+}
+
+// validate rejects out-of-range values (after withDefaults).
+func (p DRBGPolicy) validate() error {
+	switch p.Algorithm {
+	case DRBGChaCha20, DRBGCTRAES256:
+	default:
+		return fmt.Errorf("drange: unknown DRBG algorithm %q (use DRBGChaCha20 or DRBGCTRAES256)", p.Algorithm)
+	}
+	if p.ReseedInterval < 0 {
+		return fmt.Errorf("drange: negative DRBG reseed interval %d", p.ReseedInterval)
+	}
+	if p.MaxRequestBytes < 0 || p.MaxRequestBytes > drbg.MaxRequestBytes {
+		return fmt.Errorf("drange: DRBG max request bytes %d outside (0, %d]", p.MaxRequestBytes, drbg.MaxRequestBytes)
+	}
+	return nil
+}
+
+// WithDRBG attaches the DRBG tier to an opened Source: Read (and ReadBits
+// and Uint64) serve DRBG output expanded from health-screened raw entropy,
+// while the new ReadRaw method keeps serving the raw physical tier, and
+// Stats gains TierRaw/TierDRBG accounting plus the entropy credit ledger.
+//
+// The DRBG must expand screened entropy, so WithDRBG implies WithHealthTests
+// with the default battery when none is configured; combining it with an
+// explicitly Disabled health-test policy is an error. Seeds are harvested
+// straight from the monitored raw stream — a WithPostprocess chain applies
+// only to the raw tier. In a pool each member runs its own DRBG seeded from
+// its own device, reseeds are staged across members by the least-loaded
+// scheduler so a reseed never stalls serving, and a member whose seed
+// harvest trips the health tests is handled by the health policy (evicted by
+// default). It applies to Open and OpenPool, not Characterize.
+func WithDRBG(p DRBGPolicy) Option {
+	return func(o *options) { o.drbg = &p }
+}
+
+// resolveDRBG validates the WithDRBG policy and makes it imply the online
+// health tests. It returns the resolved policy, or enabled=false when no
+// DRBG was requested.
+func (o *options) resolveDRBG() (DRBGPolicy, bool, error) {
+	if o.drbg == nil || o.drbg.Disabled {
+		return DRBGPolicy{}, false, nil
+	}
+	dp := o.drbg.withDefaults()
+	if err := dp.validate(); err != nil {
+		return DRBGPolicy{}, false, err
+	}
+	if o.healthTests != nil && o.healthTests.Disabled {
+		return DRBGPolicy{}, false, fmt.Errorf("drange: WithDRBG requires the online health tests (the DRBG expands health-screened entropy); remove the Disabled health-test policy or disable the DRBG")
+	}
+	if o.healthTests == nil {
+		o.healthTests = &HealthTestPolicy{}
+	}
+	return dp, true, nil
+}
+
+// errDRBGMemberEvicted signals that a member was evicted mid-seed-harvest
+// (engine failure or health policy); scheduling re-picks.
+var errDRBGMemberEvicted = errors.New("drange: pool member evicted during DRBG seed harvest")
+
+// drbgState bundles one DRBG instance with its entropy credit ledger and its
+// preallocated seed-harvest buffer. One drbgState serves one raw-entropy
+// producer — a Generator, or one pool member — and is driven under the
+// owner's lock like the health monitor it draws through.
+type drbgState struct {
+	policy DRBGPolicy
+	// firstInterval shortens the first seed's request budget (pool
+	// staggering); later seeds use the policy interval.
+	firstInterval int64
+	d             drbg.DRBG
+	ledger        *drbg.Ledger
+	// seedBuf is the reusable packed seed-harvest buffer, sized to the
+	// construction's seed length so reseeds allocate nothing.
+	seedBuf []byte
+}
+
+// newDRBGState allocates the shell — ledger and seed buffer — for a resolved
+// policy. The caller registers the ledger as the monitor's credit sink,
+// harvests the first seed into seedBuf, then calls instantiate.
+func newDRBGState(p DRBGPolicy, firstInterval int64) *drbgState {
+	s := &drbgState{policy: p, firstInterval: firstInterval, ledger: &drbg.Ledger{}}
+	n := drbg.ChaChaSeedLen
+	if p.Algorithm == DRBGCTRAES256 {
+		n = drbg.CTRSeedLen
+	}
+	s.seedBuf = make([]byte, n)
+	return s
+}
+
+// instantiate consumes the harvested seed in seedBuf, debiting the ledger.
+func (s *drbgState) instantiate() error {
+	s.ledger.DebitBits(int64(len(s.seedBuf)) * 8)
+	opts := drbg.Options{
+		ReseedInterval:  s.policy.ReseedInterval,
+		FirstInterval:   s.firstInterval,
+		MaxRequestBytes: s.policy.MaxRequestBytes,
+	}
+	var err error
+	switch s.policy.Algorithm {
+	case DRBGCTRAES256:
+		s.d, err = drbg.NewCTR(s.seedBuf, nil, opts)
+	default:
+		s.d, err = drbg.NewChaCha(s.seedBuf, nil, opts)
+	}
+	return err
+}
+
+// reseedFromBuf folds the freshly harvested seedBuf into the DRBG state,
+// debiting the ledger.
+func (s *drbgState) reseedFromBuf() error {
+	s.ledger.DebitBits(int64(len(s.seedBuf)) * 8)
+	return s.d.Reseed(s.seedBuf, nil)
+}
+
+// stats snapshots the instance for Stats.
+func (s *drbgState) stats() *DRBGStats {
+	return &DRBGStats{
+		Algorithm:            string(s.policy.Algorithm),
+		Reseeds:              s.d.Reseeds(),
+		Generates:            s.d.Generates(),
+		PredictionResistance: s.policy.PredictionResistance,
+		Credit: CreditStats{
+			CreditedBits: s.ledger.Credited(),
+			DebitedBits:  s.ledger.Debited(),
+			BalanceBits:  s.ledger.Balance(),
+		},
+	}
+}
+
+// unpackBits expands the packed MSB-first bytes of buf into out, one bit per
+// byte — the adapter ReadBits uses to serve the DRBG tier bit-granularly.
+func unpackBits(out, buf []byte) {
+	for i := range out {
+		out[i] = buf[i>>3] >> (7 - i&7) & 1
+	}
+}

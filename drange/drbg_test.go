@@ -1,0 +1,337 @@
+package drange
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+// openDRBG opens a deterministic single-device Source with the DRBG tier.
+func openDRBG(t *testing.T, p DRBGPolicy, extra ...Option) Source {
+	t.Helper()
+	src, err := Open(context.Background(), quickProfile(t), append([]Option{WithDRBG(p)}, extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src
+}
+
+func TestDRBGGeneratorServing(t *testing.T) {
+	// Credits accrue in whole bias windows; the 256-bit window makes every
+	// 32-byte seed harvest complete one, so the ledger moves within the test.
+	src := openDRBG(t, DRBGPolicy{},
+		WithHealthTests(HealthTestPolicy{BiasWindowBits: 256}))
+	buf := make([]byte, 8192)
+	if n, err := src.Read(buf); n != len(buf) || err != nil {
+		t.Fatalf("DRBG Read = (%d, %v), want (%d, nil)", n, err, len(buf))
+	}
+	checkBias(t, buf)
+
+	raw := make([]byte, 256)
+	if n, err := src.ReadRaw(raw); n != len(raw) || err != nil {
+		t.Fatalf("ReadRaw = (%d, %v), want (%d, nil)", n, err, len(raw))
+	}
+
+	st := src.Stats()
+	if st.TierDRBG.Reads != 1 || st.TierDRBG.Bytes != int64(len(buf)) {
+		t.Errorf("TierDRBG = %+v, want 1 read of %d bytes", st.TierDRBG, len(buf))
+	}
+	if st.TierRaw.Reads != 1 || st.TierRaw.Bytes != int64(len(raw)) {
+		t.Errorf("TierRaw = %+v, want 1 read of %d bytes", st.TierRaw, len(raw))
+	}
+	if st.DRBG == nil {
+		t.Fatal("Stats.DRBG missing with WithDRBG attached")
+	}
+	if st.DRBG.Algorithm != string(DRBGChaCha20) {
+		t.Errorf("default algorithm = %q, want %q", st.DRBG.Algorithm, DRBGChaCha20)
+	}
+	if st.DRBG.Reseeds < 1 || st.DRBG.Generates == 0 {
+		t.Errorf("DRBG counters = %+v, want >=1 reseed (instantiation) and >0 generates", st.DRBG)
+	}
+	// The instantiation seed was debited, and the raw harvest backing it
+	// (plus the startup self-test and ReadRaw bits) accrued credit windows.
+	if st.DRBG.Credit.DebitedBits == 0 {
+		t.Errorf("credit ledger never debited: %+v", st.DRBG.Credit)
+	}
+	if st.DRBG.Credit.CreditedBits == 0 {
+		t.Errorf("credit ledger never credited: %+v", st.DRBG.Credit)
+	}
+	if st.DRBG.Credit.BalanceBits != st.DRBG.Credit.CreditedBits-st.DRBG.Credit.DebitedBits {
+		t.Errorf("credit balance inconsistent: %+v", st.DRBG.Credit)
+	}
+	if st.Health == nil {
+		t.Error("WithDRBG implies WithHealthTests, but Stats.Health is nil")
+	}
+}
+
+func TestDRBGReadBits(t *testing.T) {
+	src := openDRBG(t, DRBGPolicy{})
+	bits, err := src.ReadBits(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != 1000 {
+		t.Fatalf("got %d bits, want 1000", len(bits))
+	}
+	ones := 0
+	for i, b := range bits {
+		if b > 1 {
+			t.Fatalf("bit %d = %d, want 0 or 1", i, b)
+		}
+		ones += int(b)
+	}
+	if ones < 400 || ones > 600 {
+		t.Errorf("ones fraction %d/1000 outside [400, 600]", ones)
+	}
+	if st := src.Stats(); st.TierDRBG.Reads != 1 {
+		t.Errorf("ReadBits did not account to the DRBG tier: %+v", st.TierDRBG)
+	}
+}
+
+// TestDRBGDeterministicStream: with deterministic noise the whole pipeline —
+// harvest, health screening, seed, DRBG expansion — is reproducible, and the
+// two constructions expand the same seed to different streams.
+func TestDRBGDeterministicStream(t *testing.T) {
+	read := func(alg DRBGAlgorithm) []byte {
+		src := openDRBG(t, DRBGPolicy{Algorithm: alg})
+		buf := make([]byte, 1024)
+		if _, err := src.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := read(DRBGChaCha20), read(DRBGChaCha20)
+	if !bytes.Equal(a, b) {
+		t.Error("identical deterministic opens produced different DRBG streams")
+	}
+	c := read(DRBGCTRAES256)
+	if bytes.Equal(a, c) {
+		t.Error("ChaCha20 and CTR_DRBG produced the same stream")
+	}
+	// The DRBG tier must not replay the raw tier.
+	rawSrc, err := Open(context.Background(), quickProfile(t), WithDeterministic(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawSrc.Close()
+	raw := make([]byte, 1024)
+	if _, err := rawSrc.Read(raw); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, raw) {
+		t.Error("DRBG tier replayed the raw stream")
+	}
+}
+
+func TestDRBGPredictionResistance(t *testing.T) {
+	src := openDRBG(t, DRBGPolicy{PredictionResistance: true})
+	buf := make([]byte, 64)
+	for i := 0; i < 3; i++ {
+		if _, err := src.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := src.Stats()
+	if !st.DRBG.PredictionResistance {
+		t.Error("prediction resistance not reported in Stats")
+	}
+	// Instantiation counts as the first seeding; every request forces one
+	// more reseed.
+	if st.DRBG.Reseeds != 4 {
+		t.Errorf("Reseeds = %d after 3 prediction-resistant reads, want 4", st.DRBG.Reseeds)
+	}
+}
+
+func TestDRBGReseedInterval(t *testing.T) {
+	src := openDRBG(t, DRBGPolicy{ReseedInterval: 4})
+	buf := make([]byte, 16)
+	for i := 0; i < 12; i++ {
+		if _, err := src.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := src.Stats()
+	// 12 requests on a 4-request budget: instantiation plus reseeds after
+	// requests 4 and 8.
+	if st.DRBG.Reseeds != 3 {
+		t.Errorf("Reseeds = %d after 12 reads at interval 4, want 3", st.DRBG.Reseeds)
+	}
+	if st.DRBG.Generates != 12 {
+		t.Errorf("Generates = %d, want 12", st.DRBG.Generates)
+	}
+}
+
+func TestDRBGOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	profile := quickProfile(t)
+	if _, err := Characterize(ctx, WithDRBG(DRBGPolicy{})); err == nil {
+		t.Error("WithDRBG accepted by Characterize")
+	}
+	if _, err := Open(ctx, profile, WithDRBG(DRBGPolicy{Algorithm: "md5"})); err == nil {
+		t.Error("unknown DRBG algorithm accepted")
+	}
+	if _, err := Open(ctx, profile, WithDRBG(DRBGPolicy{ReseedInterval: -1})); err == nil {
+		t.Error("negative reseed interval accepted")
+	}
+	if _, err := Open(ctx, profile, WithDRBG(DRBGPolicy{MaxRequestBytes: 1 << 20})); err == nil {
+		t.Error("over-ceiling request size accepted")
+	}
+	if _, err := Open(ctx, profile,
+		WithDRBG(DRBGPolicy{}), WithHealthTests(HealthTestPolicy{Disabled: true})); err == nil {
+		t.Error("WithDRBG combined with disabled health tests accepted")
+	}
+	// Disabled policy is a no-op, not an error, and leaves the raw tier.
+	src, err := Open(ctx, profile, WithDRBG(DRBGPolicy{Disabled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if st := src.Stats(); st.DRBG != nil {
+		t.Error("disabled DRBG policy still attached a DRBG")
+	}
+}
+
+// TestDRBGGeneratorReadNoAlloc: the steady-state DRBG serving path — generate
+// plus periodic reseed through the health monitor — allocates nothing.
+func TestDRBGGeneratorReadNoAlloc(t *testing.T) {
+	src := openDRBG(t, DRBGPolicy{ReseedInterval: 8})
+	buf := make([]byte, 1024)
+	if _, err := src.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(64, func() {
+		if _, err := src.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DRBG Read allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestPoolDRBGServing(t *testing.T) {
+	profiles := poolProfiles(t, 3)
+	pool, err := OpenPool(context.Background(), profiles, WithDRBG(DRBGPolicy{}),
+		WithHealthTests(HealthTestPolicy{BiasWindowBits: 256}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	buf := make([]byte, 4096)
+	if _, err := pool.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	checkBias(t, buf)
+	st := pool.Stats()
+	if st.DRBG == nil {
+		t.Fatal("pool Stats.DRBG missing with WithDRBG attached")
+	}
+	if st.TierDRBG.Reads != 1 || st.TierDRBG.Bytes != int64(len(buf)) {
+		t.Errorf("pool TierDRBG = %+v, want 1 read of %d bytes", st.TierDRBG, len(buf))
+	}
+	var reseeds, generates int64
+	for i, d := range st.Devices {
+		if d.DRBG == nil {
+			t.Fatalf("device %d has no DRBG stats", i)
+		}
+		if d.DRBG.Reseeds < 1 {
+			t.Errorf("device %d never seeded: %+v", i, d.DRBG)
+		}
+		reseeds += d.DRBG.Reseeds
+		generates += d.DRBG.Generates
+	}
+	if st.DRBG.Reseeds != reseeds || st.DRBG.Generates != generates {
+		t.Errorf("aggregate DRBG counters %+v do not sum the members (%d reseeds, %d generates)",
+			st.DRBG, reseeds, generates)
+	}
+	if st.DRBG.Credit.DebitedBits == 0 || st.DRBG.Credit.CreditedBits == 0 {
+		t.Errorf("pool credit ledger unused: %+v", st.DRBG.Credit)
+	}
+}
+
+// TestPoolDRBGReseedUnderLoad is the acceptance check for the staged reseed
+// scheduler: a short reseed interval under concurrent read load must never
+// fail a read, and every member must reseed at least once beyond its
+// instantiation.
+func TestPoolDRBGReseedUnderLoad(t *testing.T) {
+	profiles := poolProfiles(t, 3)
+	pool, err := OpenPool(context.Background(), profiles,
+		WithDRBG(DRBGPolicy{ReseedInterval: 4, MaxRequestBytes: 256}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const readers, readsPerReader = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 1024)
+			for i := 0; i < readsPerReader; i++ {
+				if _, err := pool.Read(buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("read failed under reseed load: %v", err)
+	}
+
+	st := pool.Stats()
+	for i, d := range st.Devices {
+		if d.DRBG == nil {
+			t.Fatalf("device %d has no DRBG stats", i)
+		}
+		// Reseeds == 1 would mean the member only ever saw its
+		// instantiation seed — the staged scheduler never refreshed it.
+		if d.DRBG.Reseeds < 2 {
+			t.Errorf("device %d reseeded %d times under load, want >= 2", i, d.DRBG.Reseeds)
+		}
+	}
+	if st.TierDRBG.Reads != readers*readsPerReader {
+		t.Errorf("TierDRBG.Reads = %d, want %d", st.TierDRBG.Reads, readers*readsPerReader)
+	}
+}
+
+// TestPoolDRBGEvictsFaultyMember: the DRBG tier inherits the pool's health
+// machinery — a stuck member is dropped (its seeds cannot pass the startup
+// self-test or the online tests) and reads reroute to the survivors.
+func TestPoolDRBGEvictsFaultyMember(t *testing.T) {
+	profiles := poolProfiles(t, 3)
+	pool, err := OpenPool(context.Background(), profiles,
+		WithDeviceBackend(1, "faulty", map[string]string{"stuck": "1", "stuck-value": "1"}),
+		WithDRBG(DRBGPolicy{ReseedInterval: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	buf := make([]byte, 1024)
+	for i := 0; i < 32; i++ {
+		if _, err := pool.Read(buf); err != nil {
+			t.Fatalf("read %d failed during DRBG-tier eviction: %v", i, err)
+		}
+	}
+	if pool.Healthy() != 2 {
+		t.Fatalf("healthy = %d, want 2 (faulty member evicted); devices: %+v",
+			pool.Healthy(), pool.Stats().Devices)
+	}
+	st := pool.Stats()
+	if !st.Devices[1].Evicted {
+		t.Errorf("faulty member not evicted: %+v", st.Devices[1])
+	}
+	for _, i := range []int{0, 2} {
+		if d := st.Devices[i]; d.DRBG == nil || d.DRBG.Generates == 0 {
+			t.Errorf("surviving device %d did not serve DRBG output: %+v", i, d)
+		}
+	}
+}

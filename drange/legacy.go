@@ -185,6 +185,10 @@ func (g *Generator) Engine(ctx context.Context, shards int) (*Engine, error) {
 // Read fills p with true random bytes (io.Reader). Safe for concurrent use.
 func (e *Engine) Read(p []byte) (int, error) { return e.eng.Read(p) }
 
+// ReadRaw is identical to Read: the shim predates the DRBG tier and only
+// ever serves raw harvested bits. Safe for concurrent use.
+func (e *Engine) ReadRaw(p []byte) (int, error) { return e.eng.Read(p) }
+
 // ReadBits returns n random bits, one per byte. Safe for concurrent use.
 func (e *Engine) ReadBits(n int) ([]byte, error) { return e.eng.ReadBits(n) }
 

@@ -38,6 +38,7 @@ type options struct {
 	deviceBackends map[int]backendSpec
 	health         *HealthPolicy
 	healthTests    *HealthTestPolicy
+	drbg           *DRBGPolicy
 }
 
 // backendSpec names a registered backend plus its options.

@@ -3,6 +3,7 @@ package drange
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -109,6 +110,12 @@ type poolMember struct {
 	blockedEpoch  int64 // drange:guardedby mu
 	blockedInRead int   // drange:guardedby mu
 
+	// drbg is this member's DRBG instance under WithDRBG (nil otherwise, or
+	// when the member was evicted before instantiation): each member expands
+	// seeds harvested from its own device through its own monitor, so one
+	// drifting device can never contaminate another member's DRBG state.
+	drbg *drbgState // drange:guardedby mu
+
 	// cur holds up to 64 bits fetched from the engine but not yet handed
 	// out, packed with the next undelivered bit at the most significant
 	// position (locked path only).
@@ -164,6 +171,18 @@ type Pool struct {
 	blockCause      *HealthError // drange:guardedby mu
 	blockCauseEpoch int64        // drange:guardedby mu
 
+	// drbgOn/drbgPolicy carry the resolved WithDRBG policy (both fixed at
+	// open time; per-member DRBG state lives on the members).
+	drbgOn     bool
+	drbgPolicy DRBGPolicy
+
+	// Per-tier serving accounting (atomic: the raw tier's lock-free fast
+	// path updates them without mu).
+	tierRawReads  atomic.Int64
+	tierRawBytes  atomic.Int64
+	tierDRBGReads atomic.Int64
+	tierDRBGBytes atomic.Int64
+
 	delivered atomic.Int64
 	closed    atomic.Bool
 }
@@ -205,6 +224,12 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 		if i < 0 || i >= len(profiles) {
 			return nil, fmt.Errorf("drange: WithDeviceBackend index %d outside the %d profiles", i, len(profiles))
 		}
+	}
+	// Resolve the DRBG tier first: it implies the health tests, so the
+	// member monitor construction below must already see the implied policy.
+	drbgPolicy, drbgOn, err := o.resolveDRBG()
+	if err != nil {
+		return nil, err
 	}
 	shardsPerDevice := 1
 	if o.shards != nil {
@@ -318,7 +343,120 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 	if err := p.runStartupTests(); err != nil {
 		return fail(err)
 	}
+	if drbgOn {
+		p.drbgOn, p.drbgPolicy = true, drbgPolicy
+		if err := p.instantiateDRBGs(); err != nil {
+			return fail(err)
+		}
+	}
 	return p, nil
+}
+
+// instantiateDRBGs seeds one DRBG per healthy member from the member's own
+// engine through the member's own monitor. First reseed points are staggered
+// across [interval, 2·interval): member k of n gets interval + k·⌈interval/n⌉
+// extra first-seed budget, so the members never fall due in the same read and
+// the staged reseeds of drbgReadLocked can always run on a member that is not
+// serving. A member whose seed harvest trips the health tests follows the
+// open-time semantics of runStartupTests: the evict policy drops it (reads
+// reroute), any other policy fails the open.
+//
+//drange:holds mu construction: runs from OpenPool before the pool is published
+func (p *Pool) instantiateDRBGs() error {
+	n := int64(p.healthyLocked())
+	if n == 0 {
+		return fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
+	}
+	interval := p.drbgPolicy.ReseedInterval
+	step := (interval + n - 1) / n
+	k := int64(0)
+	seeded := 0
+	for _, m := range p.members {
+		if m.evicted.Load() {
+			continue
+		}
+		s := newDRBGState(p.drbgPolicy, interval+k*step)
+		k++
+		if m.monitor != nil {
+			m.monitor.SetCreditSink(s.ledger)
+		}
+		if err := p.harvestSeedLocked(m, s.seedBuf); err != nil {
+			if errors.Is(err, errDRBGMemberEvicted) {
+				continue
+			}
+			return err
+		}
+		if err := s.instantiate(); err != nil {
+			return err
+		}
+		m.drbg = s
+		seeded++
+	}
+	if seeded == 0 {
+		return fmt.Errorf("drange: no pool device produced a clean DRBG seed (%s)", p.evictionSummaryLocked())
+	}
+	return nil
+}
+
+// harvestSeedLocked fills seed with packed bytes from m's engine, streaming
+// them through m's monitor with the same trip policies, load accounting and
+// bias-window bookkeeping as nextMemberWithBitsLocked. It returns
+// errDRBGMemberEvicted when the harvest cost m its pool membership (engine
+// failure or evict policy), so callers re-pick instead of failing the read.
+// Callers hold p.mu.
+func (p *Pool) harvestSeedLocked(m *poolMember, seed []byte) error {
+	blocked := 0
+	for {
+		if err := m.eng.ReadPacked(seed); err != nil {
+			if p.healthyLocked() <= 1 {
+				return fmt.Errorf("drange: pool device %d (last healthy device): %w", m.idx, err)
+			}
+			p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
+			return errDRBGMemberEvicted
+		}
+		m.fetched.Add(int64(len(seed)) * 8)
+		if !p.policy.Disabled {
+			ones := 0
+			for _, b := range seed {
+				ones += bits.OnesCount8(b)
+			}
+			if w := m.addWindow(ones, len(seed)*8); w >= int64(p.policy.WindowBits) {
+				p.completeWindowLocked(m)
+				if m.evicted.Load() {
+					return errDRBGMemberEvicted
+				}
+			}
+		}
+		if m.monitor == nil {
+			return nil
+		}
+		v := m.monitor.IngestPacked(seed, len(seed)*8)
+		if v == nil {
+			return nil
+		}
+		switch p.testsPolicy.OnFailure {
+		case HealthActionError:
+			return &HealthError{Test: string(v.Test), Device: m.idx, Detail: v.Detail}
+		case HealthActionBlock:
+			m.monitor.Reset()
+			m.blockedWindows++
+			blocked++
+			if blocked >= p.testsPolicy.MaxBlockedWindows {
+				return &HealthError{Test: "blocked", Device: m.idx, Detail: fmt.Sprintf(
+					"no clean seed after discarding %d (last violation: %s: %s)", blocked, v.Test, v.Detail)}
+			}
+		default: // HealthActionEvict
+			p.evictLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
+			if m.evicted.Load() {
+				return errDRBGMemberEvicted
+			}
+			// The last healthy member is retained (degraded output beats no
+			// output): use the seed with the violation recorded in Reason and
+			// the trip counters.
+			m.monitor.Reset()
+			return nil
+		}
+	}
 }
 
 // runStartupTests runs the startup self-test over every member's first
@@ -656,6 +794,18 @@ func (p *Pool) ReadBits(n int) ([]byte, error) {
 		return nil, fmt.Errorf("drange: pool is closed")
 	}
 	p.readEpoch++
+	if p.drbgOn {
+		packed := make([]byte, (n+7)/8)
+		if err := p.drbgReadLocked(packed); err != nil {
+			return nil, err
+		}
+		out := make([]byte, n)
+		unpackBits(out, packed)
+		p.delivered.Add(int64(n))
+		p.tierDRBGReads.Add(1)
+		p.tierDRBGBytes.Add(int64(len(packed)))
+		return out, nil
+	}
 	var bits []byte
 	var err error
 	if p.post != nil {
@@ -687,18 +837,158 @@ func (p *Pool) updateRemainderLocked() {
 // Read fills buf with random bytes, implementing io.Reader. It never returns
 // a short read except on error.
 //
+// Without WithDRBG this is the raw packed fast path (see ReadRaw). With
+// WithDRBG attached, Read serves the DRBG tier: each request is expanded by
+// the least-loaded ready member's DRBG, and reseeds are staged across the
+// other members so the serving member is (almost) never the one harvesting a
+// seed.
+func (p *Pool) Read(buf []byte) (int, error) {
+	if !p.drbgOn {
+		return p.ReadRaw(buf)
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return 0, fmt.Errorf("drange: pool is closed")
+	}
+	p.readEpoch++
+	if err := p.drbgReadLocked(buf); err != nil {
+		return 0, err
+	}
+	p.delivered.Add(int64(len(buf)) * 8)
+	p.tierDRBGReads.Add(1)
+	p.tierDRBGBytes.Add(int64(len(buf)))
+	return len(buf), nil
+}
+
+// drbgReadLocked serves one DRBG-tier read: each chunk (capped at the
+// policy's per-request limit) is generated by the least-loaded ready member,
+// and after every chunk at most one other due member is reseeded — staging
+// reseed work onto members that are not serving, so reseeds never stall the
+// read. Callers hold p.mu.
+//
+//drange:noalloc
+func (p *Pool) drbgReadLocked(dst []byte) error {
+	for off := 0; off < len(dst); {
+		chunk := dst[off:]
+		if len(chunk) > p.drbgPolicy.MaxRequestBytes {
+			chunk = chunk[:p.drbgPolicy.MaxRequestBytes]
+		}
+		m, err := p.drbgServeMemberLocked()
+		if err != nil {
+			return err
+		}
+		if err := m.drbg.d.Generate(chunk, nil); err != nil {
+			return err
+		}
+		m.delivered.Add(int64(len(chunk)) * 8)
+		off += len(chunk)
+		p.stageDRBGReseedLocked(m)
+	}
+	return nil
+}
+
+// drbgServeMemberLocked picks the member to generate the next DRBG request:
+// the least-loaded healthy member whose DRBG is ready (within its request
+// budget). When no member is ready — every DRBG fell due at once, or
+// prediction resistance forces a reseed before every request — the
+// least-loaded due member is reseeded inline and serves. A member evicted
+// during that reseed is skipped and the pick re-runs. Callers hold p.mu.
+func (p *Pool) drbgServeMemberLocked() (*poolMember, error) {
+	for {
+		var ready, due *poolMember
+		var readyF, dueF int64
+		for _, m := range p.members {
+			if m.evicted.Load() || m.drbg == nil {
+				continue
+			}
+			f := m.fetched.Load()
+			if !p.drbgPolicy.PredictionResistance && !m.drbg.d.NeedsReseed() {
+				if ready == nil || f < readyF {
+					ready, readyF = m, f
+				}
+			} else if due == nil || f < dueF {
+				due, dueF = m, f
+			}
+		}
+		if ready != nil {
+			return ready, nil
+		}
+		if due == nil {
+			return nil, fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
+		}
+		if err := p.reseedMemberLocked(due); err != nil {
+			if errors.Is(err, errDRBGMemberEvicted) {
+				continue
+			}
+			return nil, err
+		}
+		return due, nil
+	}
+}
+
+// reseedMemberLocked harvests a fresh health-screened seed from m's own
+// engine and folds it into m's DRBG, debiting the credit ledger. Callers hold
+// p.mu.
+func (p *Pool) reseedMemberLocked(m *poolMember) error {
+	if err := p.harvestSeedLocked(m, m.drbg.seedBuf); err != nil {
+		return err
+	}
+	return m.drbg.reseedFromBuf()
+}
+
+// stageDRBGReseedLocked opportunistically reseeds at most one due member
+// other than the one that just served, spreading seed harvests across reads
+// so members are reseeded while idle rather than when picked. Best-effort: a
+// failure neither fails the read nor loses the member — an engine failure or
+// evict-policy trip is already recorded by harvestSeedLocked, and any other
+// error surfaces when the member is next picked to serve. Callers hold p.mu.
+func (p *Pool) stageDRBGReseedLocked(served *poolMember) {
+	if p.drbgPolicy.PredictionResistance {
+		// Every request reseeds its serving member anyway; staging extra
+		// harvests would only burn raw throughput.
+		return
+	}
+	var due *poolMember
+	var dueF int64
+	for _, m := range p.members {
+		if m == served || m.evicted.Load() || m.drbg == nil || !m.drbg.d.NeedsReseed() {
+			continue
+		}
+		if f := m.fetched.Load(); due == nil || f < dueF {
+			due, dueF = m, f
+		}
+	}
+	if due == nil {
+		return
+	}
+	_ = p.reseedMemberLocked(due)
+}
+
+// ReadRaw fills buf with raw harvested bytes — the physical tier. Health
+// tests, device-health tracking and any post-processing chain still apply;
+// only the WithDRBG expansion is bypassed. Without WithDRBG, Read is this
+// same path.
+//
 // This is the packed fast path: member engines hand the pool packed 64-bit
 // words that land in the caller's buffer without any bit-per-byte expansion.
-// With no post-processing chain and no online health tests attached, Read
+// With no post-processing chain and no online health tests attached, ReadRaw
 // additionally runs lock-free — concurrent readers schedule themselves onto
 // the least-loaded members through atomic load counters and only touch the
 // pool mutex at bias-window boundaries and evictions, so throughput scales
 // with readers instead of serializing behind the pool lock. (Device health
 // tracking per HealthPolicy stays fully enforced on this path.)
-func (p *Pool) Read(buf []byte) (int, error) {
+func (p *Pool) ReadRaw(buf []byte) (int, error) {
 	if len(buf) == 0 {
 		return 0, nil
 	}
+	defer func() {
+		p.tierRawReads.Add(1)
+		p.tierRawBytes.Add(int64(len(buf)))
+	}()
 	// Buffered sub-word bits from an earlier ReadBits must be served first
 	// and in order, so they force the locked path for this read.
 	if p.post == nil && !p.testsEnabled && !p.remainder.Load() {
@@ -867,6 +1157,14 @@ func (p *Pool) Stats() Stats {
 	if p.testsEnabled {
 		out.Health = &HealthStats{SymbolBits: p.testsPolicy.SymbolBits, StartupPassed: true}
 	}
+	out.TierRaw = TierStats{Reads: p.tierRawReads.Load(), Bytes: p.tierRawBytes.Load()}
+	out.TierDRBG = TierStats{Reads: p.tierDRBGReads.Load(), Bytes: p.tierDRBGBytes.Load()}
+	if p.drbgOn {
+		out.DRBG = &DRBGStats{
+			Algorithm:            string(p.drbgPolicy.Algorithm),
+			PredictionResistance: p.drbgPolicy.PredictionResistance,
+		}
+	}
 	bitsPerNS := 0.0
 	shardIdx := 0
 	for _, m := range p.members {
@@ -905,6 +1203,16 @@ func (p *Pool) Stats() Stats {
 			}
 			if ds.Health.LastViolation != "" {
 				agg.LastViolation = ds.Health.LastViolation
+			}
+		}
+		if m.drbg != nil {
+			ds.DRBG = m.drbg.stats()
+			if out.DRBG != nil {
+				out.DRBG.Reseeds += ds.DRBG.Reseeds
+				out.DRBG.Generates += ds.DRBG.Generates
+				out.DRBG.Credit.CreditedBits += ds.DRBG.Credit.CreditedBits
+				out.DRBG.Credit.DebitedBits += ds.DRBG.Credit.DebitedBits
+				out.DRBG.Credit.BalanceBits += ds.DRBG.Credit.BalanceBits
 			}
 		}
 		out.Devices = append(out.Devices, ds)

@@ -28,10 +28,18 @@ import (
 // stream bit-granularly — one value-0/1 byte per bit — as an unpacking
 // adapter; mixing the two drains a single well-defined bit sequence, no bit
 // is dropped or duplicated at the boundary.
+// With WithDRBG attached, Read (and ReadBits and Uint64) serve the DRBG
+// tier — deterministic output expanded from health-screened raw entropy —
+// and ReadRaw keeps serving the raw physical tier. Without WithDRBG the two
+// are the same stream.
 type Source interface {
 	io.ReadCloser
 	// ReadBits returns n random bits, one bit per returned byte (0 or 1).
 	ReadBits(n int) ([]byte, error)
+	// ReadRaw fills p with raw harvested bytes — the physical tier,
+	// bypassing any WithDRBG expansion (health tests and post-processing
+	// still apply). Without WithDRBG it is identical to Read.
+	ReadRaw(p []byte) (int, error)
 	// Uint64 returns a 64-bit random value.
 	Uint64() (uint64, error)
 	// Stats returns the per-shard and aggregate throughput/latency

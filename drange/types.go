@@ -227,6 +227,56 @@ type Stats struct {
 	// WithHealthTests is attached). For a Pool it aggregates the member
 	// monitors; the per-device breakdown sits in each PoolDeviceStats.
 	Health *HealthStats `json:"health,omitempty"`
+	// TierRaw and TierDRBG count the serving requests and bytes per tier of
+	// the two-tier read path: ReadRaw (and Read without WithDRBG) serves the
+	// raw tier, Read with WithDRBG the DRBG tier. Both are zero until the
+	// corresponding tier serves.
+	TierRaw  TierStats `json:"tier_raw"`
+	TierDRBG TierStats `json:"tier_drbg"`
+	// DRBG is the DRBG-tier accounting (nil unless WithDRBG is attached).
+	// For a Pool it aggregates the member instances; the per-device
+	// breakdown sits in each PoolDeviceStats.
+	DRBG *DRBGStats `json:"drbg,omitempty"`
+}
+
+// TierStats counts the serving traffic of one tier of the two-tier read
+// path.
+type TierStats struct {
+	// Reads counts serving calls (Read/ReadRaw/ReadBits/Uint64) answered by
+	// this tier.
+	Reads int64 `json:"reads"`
+	// Bytes counts bytes this tier delivered (bit-granular reads round up
+	// to whole bytes).
+	Bytes int64 `json:"bytes"`
+}
+
+// CreditStats is the entropy credit ledger of one DRBG-backed producer:
+// CreditedBits counts raw bits that passed a full online health-test window,
+// DebitedBits counts screened bits consumed as DRBG seed material, and
+// BalanceBits is their difference — screened entropy harvested but not yet
+// folded into DRBG state. A negative balance means a seed was consumed
+// before its screening window completed (credit lands in whole-window
+// quanta).
+type CreditStats struct {
+	CreditedBits int64 `json:"credited_bits"`
+	DebitedBits  int64 `json:"debited_bits"`
+	BalanceBits  int64 `json:"balance_bits"`
+}
+
+// DRBGStats is the accounting of one DRBG tier (or, aggregated, of a pool's
+// member DRBGs).
+type DRBGStats struct {
+	// Algorithm names the construction ("chacha20" or "ctr-aes256").
+	Algorithm string `json:"algorithm"`
+	// Reseeds counts seedings, the open-time instantiation included;
+	// Generates counts served DRBG requests (one Read may span several when
+	// it exceeds MaxRequestBytes).
+	Reseeds   int64 `json:"reseeds"`
+	Generates int64 `json:"generates"`
+	// PredictionResistance reports whether every request reseeds first.
+	PredictionResistance bool `json:"prediction_resistance"`
+	// Credit is the entropy credit ledger.
+	Credit CreditStats `json:"credit"`
 }
 
 // PoolDeviceStats is the accounting and health state of one device of a
@@ -263,6 +313,9 @@ type PoolDeviceStats struct {
 	// Health is this device's online health-test accounting (nil unless
 	// WithHealthTests is attached to the pool).
 	Health *HealthStats `json:"health,omitempty"`
+	// DRBG is this device's DRBG instance and entropy credit accounting
+	// (nil unless WithDRBG is attached to the pool).
+	DRBG *DRBGStats `json:"drbg,omitempty"`
 }
 
 // EngineStats is the former name of Stats.

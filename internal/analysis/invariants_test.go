@@ -57,8 +57,10 @@ var requiredFieldGuards = []struct {
 	{"drange/pool.go", "curBits", "mu"},
 	{"drange/pool.go", "readEpoch", "mu"},
 	{"drange/pool.go", "blockCause", "mu"},
+	{"drange/pool.go", "drbg", "mu"},
 	{"drange/drange.go", "monitor", "mu"},
 	{"drange/drange.go", "closed", "mu"},
+	{"drange/drange.go", "drbg", "mu"},
 	{"drange/replay.go", "err", "mu"},
 	{"drange/replay.go", "cursor", "mu"},
 	{"internal/core/engine.go", "shardErr", "errMu"},
@@ -77,6 +79,11 @@ var requiredNoalloc = []struct {
 	{"drange/pool.go", "readFast"},
 	{"drange/pool.go", "pickMember"},
 	{"drange/pool.go", "writeBits"},
+	{"drange/pool.go", "drbgReadLocked"},
+	{"drange/drange.go", "drbgReadLocked"},
+	{"drange/drange.go", "drbgReseedLocked"},
+	{"internal/drbg/chacha.go", "Generate"},
+	{"internal/drbg/chacha.go", "chachaBlock"},
 	{"internal/core/engine.go", "ReadPacked"},
 	{"internal/core/trng.go", "ReadPacked"},
 	{"internal/core/bitbuf.go", "PopPacked"},

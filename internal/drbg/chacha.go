@@ -1,0 +1,186 @@
+package drbg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// chachaSeedLen is the ChaCha20 key length: the construction is seeded by a
+// fresh 256-bit key, so seedlen is 32 bytes.
+const chachaSeedLen = 32
+
+// Nonce word 15 domain-separates the two ways the DRBG derives bytes from a
+// key, so Generate keystream can never alias Reseed key-derivation keystream
+// even under an (impossible) seq collision.
+const (
+	chachaDomainGenerate = 0
+	chachaDomainReseed   = 1
+)
+
+// errChaChaAdditional is returned (not formatted — Generate is on the
+// allocation-free serving path) when additional input exceeds the key size.
+var errChaChaAdditional = errors.New("drbg: chacha20 additional input exceeds 32 bytes")
+
+// ChaCha is a fast-key-erasure DRBG over the ChaCha20 block function
+// (RFC 8439 core): every Generate derives the request's output and a
+// replacement key from the current key, then discards the old key, so the
+// state never allows reconstructing past output (backtracking resistance by
+// construction). A 64-bit sequence number feeds the nonce and increments on
+// every key change, so (key, nonce, counter) triples never repeat. This is
+// the allocation-free tier: Generate touches only fixed-size state arrays.
+// Not safe for concurrent use.
+type ChaCha struct {
+	lim limiter
+	// key is the current 256-bit ChaCha20 key, replaced on every Generate
+	// (fast key erasure) and folded with fresh entropy on Reseed.
+	key [chachaSeedLen]byte
+	// seq is the nonce sequence number, incremented on every key change.
+	seq uint64
+	// blk is the per-call keystream scratch block.
+	blk [64]byte
+}
+
+// NewChaCha instantiates the ChaCha20 DRBG from exactly 32 bytes of
+// full-entropy input and an optional personalization string of at most 32
+// bytes, XOR-folded into the initial key.
+func NewChaCha(entropy, personalization []byte, opts Options) (*ChaCha, error) {
+	c := &ChaCha{lim: newLimiter(opts)}
+	if err := checkSeed(entropy, chachaSeedLen, c.Algorithm()); err != nil {
+		return nil, err
+	}
+	if len(personalization) > chachaSeedLen {
+		return nil, fmt.Errorf("drbg: %s personalization string exceeds key size (%d > %d bytes)", c.Algorithm(), len(personalization), chachaSeedLen)
+	}
+	copy(c.key[:], entropy)
+	for i, b := range personalization {
+		c.key[i] ^= b
+	}
+	return c, nil
+}
+
+// Algorithm implements DRBG.
+func (c *ChaCha) Algorithm() string { return "chacha20" }
+
+// SeedLen implements DRBG: one 256-bit key, 32 bytes.
+func (c *ChaCha) SeedLen() int { return chachaSeedLen }
+
+// NeedsReseed implements DRBG.
+func (c *ChaCha) NeedsReseed() bool { return c.lim.NeedsReseed() }
+
+// Generates implements DRBG.
+func (c *ChaCha) Generates() int64 { return c.lim.Generates() }
+
+// Reseeds implements DRBG.
+func (c *ChaCha) Reseeds() int64 { return c.lim.Reseeds() }
+
+// Generate implements DRBG. The keystream for one request starts at counter
+// 0 under a nonce no prior request used; its first 64-byte block is split
+// into the replacement key (first 32 bytes) and the first output bytes, so
+// the request's own output and the next key come from one pass.
+//
+//drange:noalloc
+func (c *ChaCha) Generate(out, additional []byte) error {
+	if err := c.lim.checkGenerate(len(out)); err != nil {
+		return err
+	}
+	if len(additional) > chachaSeedLen {
+		return errChaChaAdditional
+	}
+	for i, b := range additional {
+		c.key[i] ^= b
+	}
+	var nextKey [chachaSeedLen]byte
+	counter := uint32(0)
+	chachaBlock(&c.key, counter, uint32(c.seq), uint32(c.seq>>32), chachaDomainGenerate, &c.blk)
+	copy(nextKey[:], c.blk[:chachaSeedLen])
+	n := copy(out, c.blk[chachaSeedLen:])
+	out = out[n:]
+	for len(out) > 0 {
+		counter++
+		chachaBlock(&c.key, counter, uint32(c.seq), uint32(c.seq>>32), chachaDomainGenerate, &c.blk)
+		n = copy(out, c.blk[:])
+		out = out[n:]
+	}
+	c.key = nextKey
+	c.seq++
+	c.lim.didGenerate()
+	return nil
+}
+
+// Reseed implements DRBG: the new key is one domain-separated keystream
+// block of the old key XORed with the fresh entropy, so the result depends
+// on both the accumulated state and the new seed (matching the CTR_DRBG
+// reseed's state-folding property). Additional input folds into the old key
+// first.
+func (c *ChaCha) Reseed(entropy, additional []byte) error {
+	if err := checkSeed(entropy, chachaSeedLen, c.Algorithm()); err != nil {
+		return err
+	}
+	if len(additional) > chachaSeedLen {
+		return errChaChaAdditional
+	}
+	for i, b := range additional {
+		c.key[i] ^= b
+	}
+	chachaBlock(&c.key, 0, uint32(c.seq), uint32(c.seq>>32), chachaDomainReseed, &c.blk)
+	for i := range c.key {
+		c.key[i] = c.blk[i] ^ entropy[i]
+	}
+	c.seq++
+	c.lim.didReseed()
+	return nil
+}
+
+// chachaBlock computes one 64-byte ChaCha20 keystream block (RFC 8439 §2.3)
+// for the given key, 32-bit block counter and 96-bit nonce (three
+// little-endian words; the DRBG passes its sequence number as n0‖n1 and the
+// domain tag as n2).
+//
+//drange:noalloc
+func chachaBlock(key *[chachaSeedLen]byte, counter, n0, n1, n2 uint32, out *[64]byte) {
+	var x [16]uint32
+	x[0] = 0x61707865
+	x[1] = 0x3320646e
+	x[2] = 0x79622d32
+	x[3] = 0x6b206574
+	for i := 0; i < 8; i++ {
+		x[4+i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	x[12] = counter
+	x[13] = n0
+	x[14] = n1
+	x[15] = n2
+	init := x
+	for round := 0; round < 10; round++ {
+		// Column rounds.
+		x[0], x[4], x[8], x[12] = chachaQuarter(x[0], x[4], x[8], x[12])
+		x[1], x[5], x[9], x[13] = chachaQuarter(x[1], x[5], x[9], x[13])
+		x[2], x[6], x[10], x[14] = chachaQuarter(x[2], x[6], x[10], x[14])
+		x[3], x[7], x[11], x[15] = chachaQuarter(x[3], x[7], x[11], x[15])
+		// Diagonal rounds.
+		x[0], x[5], x[10], x[15] = chachaQuarter(x[0], x[5], x[10], x[15])
+		x[1], x[6], x[11], x[12] = chachaQuarter(x[1], x[6], x[11], x[12])
+		x[2], x[7], x[8], x[13] = chachaQuarter(x[2], x[7], x[8], x[13])
+		x[3], x[4], x[9], x[14] = chachaQuarter(x[3], x[4], x[9], x[14])
+	}
+	for i := range x {
+		binary.LittleEndian.PutUint32(out[4*i:], x[i]+init[i])
+	}
+}
+
+// chachaQuarter is the RFC 8439 §2.1 quarter round.
+func chachaQuarter(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d = bits.RotateLeft32(d^a, 16)
+	c += d
+	b = bits.RotateLeft32(b^c, 12)
+	a += b
+	d = bits.RotateLeft32(d^a, 8)
+	c += d
+	b = bits.RotateLeft32(b^c, 7)
+	return a, b, c, d
+}
+
+var _ DRBG = (*ChaCha)(nil)

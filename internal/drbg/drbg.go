@@ -1,0 +1,189 @@
+// Package drbg implements the deterministic random bit generators behind
+// the drange two-tier serving pipeline: an SP 800-90A CTR-DRBG (AES-256,
+// no derivation function) and a ChaCha20-based fast-key-erasure DRBG, both
+// behind one DRBG interface (instantiate via the constructors, then
+// Reseed/Generate), plus the entropy credit Ledger that keeps the raw-entropy
+// accounting auditable when a DRBG expands it.
+//
+// The physical D-RaNGe harvest rate tops out well below line rate — every
+// raw bit is a real activation-failure sample — so production serving uses
+// the standard construction: the TRNG seeds and periodically reseeds a fast
+// deterministic generator, and callers who need raw physics keep the raw
+// tier. A DRBG instance is deliberately not safe for concurrent use, exactly
+// like health.Monitor: the drange facade drives one instance per source (or
+// per pool member) under the source's lock, which is also what gives the
+// reseed scheduler one well-defined request order to stage reseeds against.
+//
+// Both constructions are pinned by known-answer tests: the CTR-DRBG against
+// NIST CAVP vectors and the ChaCha20 core against the RFC 8439 test vectors,
+// with the ChaCha20 DRBG construction frozen by golden vectors under
+// testdata/.
+package drbg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DRBG is one deterministic random bit generator instance. Constructors
+// correspond to SP 800-90A Instantiate: they consume a full seed of fresh
+// entropy and an optional personalization string. Instances are not safe for
+// concurrent use; the caller serializes (and the drange facade does so under
+// its source lock).
+type DRBG interface {
+	// Generate fills out with pseudorandom bytes derived from the current
+	// seed, mixing additional into the state first when non-nil. It fails
+	// with ErrReseedRequired once the instance's reseed interval has elapsed
+	// and with ErrRequestTooLarge when len(out) exceeds the per-request
+	// limit — callers reseed or chunk, the instance never silently degrades.
+	Generate(out, additional []byte) error
+	// Reseed folds a fresh full seed of entropy (SeedLen bytes) and optional
+	// additional input into the state and restarts the reseed interval.
+	Reseed(entropy, additional []byte) error
+	// SeedLen is the entropy input length in bytes required by the
+	// constructor and by Reseed.
+	SeedLen() int
+	// NeedsReseed reports whether the reseed interval has elapsed, i.e.
+	// whether the next Generate would fail with ErrReseedRequired.
+	NeedsReseed() bool
+	// Algorithm names the construction ("ctr-aes256" or "chacha20").
+	Algorithm() string
+	// Generates and Reseeds count successful Generate and Reseed/instantiate
+	// operations over the instance's lifetime (instantiation counts as the
+	// first reseed).
+	Generates() int64
+	Reseeds() int64
+}
+
+// Errors returned by Generate; package-level values so the serving fast path
+// can return them without formatting (and so callers can errors.Is them).
+var (
+	// ErrReseedRequired means the reseed interval elapsed: Reseed with fresh
+	// entropy before generating again.
+	ErrReseedRequired = errors.New("drbg: reseed required: reseed interval elapsed")
+	// ErrRequestTooLarge means a single Generate asked for more bytes than
+	// the per-request limit; chunk the request.
+	ErrRequestTooLarge = errors.New("drbg: generate request exceeds the per-request limit")
+)
+
+// Limits below mirror SP 800-90A Table 3 for the supported constructions.
+const (
+	// MaxRequestBytes is the hard SP 800-90A per-request ceiling
+	// (2^19 bits = 64 KiB); Options.MaxRequestBytes may only lower it.
+	MaxRequestBytes = 1 << 16
+	// MaxReseedInterval is the hard ceiling on requests between reseeds.
+	// SP 800-90A allows up to 2^48; the default below is far more
+	// conservative because reseeding from D-RaNGe is cheap.
+	MaxReseedInterval = 1 << 48
+	// DefaultReseedInterval is the default number of Generate requests
+	// served per seed.
+	DefaultReseedInterval = 1 << 20
+	// DefaultMaxRequestBytes is the default per-request limit.
+	DefaultMaxRequestBytes = MaxRequestBytes
+)
+
+// Seed lengths per construction in bytes, exported so callers can size
+// harvest buffers before instantiating.
+const (
+	// CTRSeedLen is the CTR_DRBG AES-256 no-df seed length (keylen +
+	// blocklen).
+	CTRSeedLen = ctrSeedLen
+	// ChaChaSeedLen is the ChaCha20 DRBG seed length (one 256-bit key).
+	ChaChaSeedLen = chachaSeedLen
+)
+
+// Options bound one instance: how many Generate requests a seed may serve
+// and how large one request may be. The zero value selects the defaults.
+type Options struct {
+	// ReseedInterval is the number of Generate requests served before
+	// NeedsReseed trips (0 selects DefaultReseedInterval; capped at
+	// MaxReseedInterval).
+	ReseedInterval int64
+	// FirstInterval optionally shortens only the first interval (0 selects
+	// ReseedInterval). The drange pool staggers member DRBGs with it so the
+	// members' reseed points spread out instead of bunching at open+interval.
+	FirstInterval int64
+	// MaxRequestBytes is the per-Generate byte limit (0 selects
+	// DefaultMaxRequestBytes; capped at MaxRequestBytes).
+	MaxRequestBytes int
+}
+
+// withDefaults resolves zero fields and clamps to the SP 800-90A ceilings.
+func (o Options) withDefaults() Options {
+	if o.ReseedInterval <= 0 {
+		o.ReseedInterval = DefaultReseedInterval
+	}
+	if o.ReseedInterval > MaxReseedInterval {
+		o.ReseedInterval = MaxReseedInterval
+	}
+	if o.FirstInterval <= 0 || o.FirstInterval > o.ReseedInterval {
+		o.FirstInterval = o.ReseedInterval
+	}
+	if o.MaxRequestBytes <= 0 || o.MaxRequestBytes > MaxRequestBytes {
+		o.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	return o
+}
+
+// limiter is the shared interval/request bookkeeping embedded by both
+// constructions: requests served since the last seed, lifetime counters, and
+// the resolved bounds.
+type limiter struct {
+	opts Options
+	// sinceSeed counts Generate requests since the last (re)seed; interval
+	// is the budget for the current seed (FirstInterval for the first one).
+	sinceSeed int64
+	interval  int64
+
+	generates int64
+	reseeds   int64
+}
+
+// newLimiter records the instantiation itself as the first seeding (so
+// Reseeds starts at 1) while keeping FirstInterval as the first budget —
+// didReseed would promote it to the full interval.
+func newLimiter(opts Options) limiter {
+	o := opts.withDefaults()
+	return limiter{opts: o, interval: o.FirstInterval, reseeds: 1}
+}
+
+// checkGenerate gates one Generate request of n bytes.
+func (l *limiter) checkGenerate(n int) error {
+	if n > l.opts.MaxRequestBytes {
+		return ErrRequestTooLarge
+	}
+	if l.sinceSeed >= l.interval {
+		return ErrReseedRequired
+	}
+	return nil
+}
+
+// didGenerate records one served request.
+func (l *limiter) didGenerate() {
+	l.sinceSeed++
+	l.generates++
+}
+
+// didReseed restarts the interval (later intervals use the full budget).
+func (l *limiter) didReseed() {
+	l.sinceSeed = 0
+	l.interval = l.opts.ReseedInterval
+	l.reseeds++
+}
+
+func (l *limiter) NeedsReseed() bool { return l.sinceSeed >= l.interval }
+
+// Generates returns the lifetime count of served Generate requests.
+func (l *limiter) Generates() int64 { return l.generates }
+
+// Reseeds returns the lifetime seeding count (instantiation included).
+func (l *limiter) Reseeds() int64 { return l.reseeds }
+
+// checkSeed validates an entropy input length against the construction's
+// seed length.
+func checkSeed(entropy []byte, seedLen int, algorithm string) error {
+	if len(entropy) != seedLen {
+		return fmt.Errorf("drbg: %s needs exactly %d bytes of entropy input, got %d", algorithm, seedLen, len(entropy))
+	}
+	return nil
+}

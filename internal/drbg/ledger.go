@@ -1,0 +1,38 @@
+package drbg
+
+import "sync/atomic"
+
+// Ledger is the entropy credit account for one raw-entropy producer (one
+// Generator, or one pool member). The health monitor credits bits as whole
+// bias windows pass the continuous 90B tests — screened bits are the only
+// bits that count — and the serving layer debits the full seed length every
+// time those bits are consumed to instantiate or reseed a DRBG. The balance
+// is therefore the screened raw entropy harvested but not yet folded into
+// DRBG state; it is an audit trail, not a gate — the DRBG reseed schedule,
+// not the balance, decides when to harvest.
+//
+// All methods are safe for concurrent use (the stats path reads while the
+// serving path writes).
+type Ledger struct {
+	credited atomic.Int64
+	debited  atomic.Int64
+}
+
+// CreditBits records n raw bits that passed the continuous health tests.
+// It implements the health package's credit-sink hook.
+func (l *Ledger) CreditBits(n int64) { l.credited.Add(n) }
+
+// DebitBits records n raw bits consumed as DRBG seed material.
+func (l *Ledger) DebitBits(n int64) { l.debited.Add(n) }
+
+// Credited returns the lifetime total of health-screened bits credited.
+func (l *Ledger) Credited() int64 { return l.credited.Load() }
+
+// Debited returns the lifetime total of bits consumed as seed material.
+func (l *Ledger) Debited() int64 { return l.debited.Load() }
+
+// Balance returns Credited minus Debited. A negative balance is possible
+// and meaningful: seed harvests screen bits through the health monitor in
+// window-sized quanta, so a seed consumed before its window completes is
+// debited before it is credited.
+func (l *Ledger) Balance() int64 { return l.credited.Load() - l.debited.Load() }

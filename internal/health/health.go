@@ -201,6 +201,16 @@ type Counters struct {
 // Trips returns the total trip count across all tests.
 func (c Counters) Trips() int64 { return c.RCTTrips + c.APTTrips + c.BiasTrips }
 
+// CreditSink receives entropy credit: CreditBits(n) is called with the size
+// of every bias window that completes without a violation, i.e. n raw bits
+// that passed the continuous tests end to end. Implementations must be safe
+// for concurrent use with their own readers (the monitor itself calls from
+// its single ingest thread). The drbg package's Ledger is the canonical
+// implementation.
+type CreditSink interface {
+	CreditBits(n int64)
+}
+
 // Monitor runs the continuous health tests over a bitstream fed to Ingest in
 // arbitrary batch sizes. State carries across batches, so the tests behave
 // identically however the stream is chunked.
@@ -226,6 +236,9 @@ type Monitor struct {
 	winOnes int64
 	winBits int64
 
+	// sink, when set, is credited with every clean bias window.
+	sink CreditSink
+
 	counters Counters
 }
 
@@ -243,6 +256,12 @@ func (m *Monitor) Config() Config { return m.cfg }
 
 // Counters returns a snapshot of the monitor's accounting.
 func (m *Monitor) Counters() Counters { return m.counters }
+
+// SetCreditSink registers s to be credited with the bits of every bias
+// window that completes cleanly from now on (nil unregisters). Credit is
+// granted in whole-window quanta: bits in a window that trips, or discarded
+// partially accumulated by Reset, earn nothing.
+func (m *Monitor) SetCreditSink(s CreditSink) { m.sink = s }
 
 // Reset clears every window, run and partially packed symbol — the "discard
 // the dirty window and start clean" step of a blocking policy. Counters are
@@ -502,23 +521,28 @@ func (m *Monitor) ingestSymbol(sym uint64) *Violation {
 	return nil
 }
 
-// biasWindowDone evaluates and clears a completed bias window.
+// biasWindowDone evaluates and clears a completed bias window, crediting the
+// sink when the window is clean. A window reaching here passed RCT and APT
+// continuously (a trip resets the stream before the window completes), so a
+// clean return certifies the whole window.
 func (m *Monitor) biasWindowDone() *Violation {
 	ones, bits := m.winOnes, m.winBits
 	m.winOnes, m.winBits = 0, 0
-	if m.cfg.MaxBiasDelta < 0 {
-		return nil
+	if m.cfg.MaxBiasDelta >= 0 {
+		delta := float64(ones)/float64(bits) - 0.5
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > m.cfg.MaxBiasDelta {
+			return &Violation{Test: TestBias, Detail: fmt.Sprintf(
+				"|ones-fraction - 0.5| = %.3f over %d bits exceeds %.3f",
+				delta, bits, m.cfg.MaxBiasDelta)}
+		}
 	}
-	delta := float64(ones)/float64(bits) - 0.5
-	if delta < 0 {
-		delta = -delta
+	if m.sink != nil {
+		m.sink.CreditBits(bits)
 	}
-	if delta <= m.cfg.MaxBiasDelta {
-		return nil
-	}
-	return &Violation{Test: TestBias, Detail: fmt.Sprintf(
-		"|ones-fraction - 0.5| = %.3f over %d bits exceeds %.3f",
-		delta, bits, m.cfg.MaxBiasDelta)}
+	return nil
 }
 
 // recordTrip updates the per-test trip counters.

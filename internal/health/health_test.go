@@ -243,3 +243,83 @@ func TestStartupSelfTest(t *testing.T) {
 		t.Fatal("64 identical bits passed the startup RCT")
 	}
 }
+
+// countingSink records credit calls for the CreditSink tests.
+type countingSink struct {
+	bits  int64
+	calls int
+}
+
+func (s *countingSink) CreditBits(n int64) {
+	s.bits += n
+	s.calls++
+}
+
+// TestCreditSinkCleanWindows: every bias window completing without a
+// violation credits the sink with exactly the window size, and partial
+// windows earn nothing.
+func TestCreditSinkCleanWindows(t *testing.T) {
+	m := mustMonitor(t, Config{BiasWindowBits: 512, MaxBiasDelta: 0.2, RCTCutoff: 1 << 20, APTCutoff: 1 << 19, APTWindow: 1 << 20})
+	var sink countingSink
+	m.SetCreditSink(&sink)
+	// Three full windows plus a partial one.
+	if v := m.Ingest(prngBits(3*512+100, 42)); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	if sink.calls != 3 || sink.bits != 3*512 {
+		t.Errorf("credited %d bits over %d calls, want %d over 3", sink.bits, sink.calls, 3*512)
+	}
+	// The partial window is discarded by Reset and must never be credited.
+	m.Reset()
+	if v := m.Ingest(prngBits(512, 43)); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	if sink.bits != 4*512 {
+		t.Errorf("credited %d bits after reset+window, want %d", sink.bits, 4*512)
+	}
+}
+
+// TestCreditSinkTrippedWindowEarnsNothing: a window failing the bias check
+// credits nothing.
+func TestCreditSinkTrippedWindowEarnsNothing(t *testing.T) {
+	m := mustMonitor(t, Config{BiasWindowBits: 512, MaxBiasDelta: 0.05, RCTCutoff: 1 << 20, APTCutoff: 1 << 19, APTWindow: 1 << 20})
+	var sink countingSink
+	m.SetCreditSink(&sink)
+	bits := make([]byte, 512) // all zeros: maximal bias
+	if v := m.Ingest(bits); v == nil {
+		t.Fatal("all-zero window did not trip the bias monitor")
+	}
+	if sink.bits != 0 {
+		t.Errorf("tripped window credited %d bits, want 0", sink.bits)
+	}
+}
+
+// TestCreditSinkPackedMatchesUnpacked: IngestPacked credits identically to
+// Ingest for the same stream.
+func TestCreditSinkPackedMatchesUnpacked(t *testing.T) {
+	cfg := Config{BiasWindowBits: 512, MaxBiasDelta: 0.2, RCTCutoff: 1 << 20, APTCutoff: 1 << 19, APTWindow: 1 << 20}
+	bits := prngBits(4096, 7)
+	packed := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		packed[i/8] |= b << (7 - i%8)
+	}
+
+	mu := mustMonitor(t, cfg)
+	var su countingSink
+	mu.SetCreditSink(&su)
+	if v := mu.Ingest(bits); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	mp := mustMonitor(t, cfg)
+	var sp countingSink
+	mp.SetCreditSink(&sp)
+	if v := mp.IngestPacked(packed, len(bits)); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	if su.bits != sp.bits || su.calls != sp.calls {
+		t.Errorf("packed credited %d/%d, unpacked %d/%d", sp.bits, sp.calls, su.bits, su.calls)
+	}
+	if su.bits != 4096 {
+		t.Errorf("credited %d bits, want 4096", su.bits)
+	}
+}
