@@ -32,9 +32,10 @@ vet:
 	$(GO) vet ./...
 
 # drange-vet is this repo's own analyzer suite (cmd/drange-vet): lockcheck,
-# noalloc, entropyflow, packedpath and deprecations. It runs under the
-# standard vet driver so findings carry package/position info and results are
-# cached per package like any other vet analysis.
+# noalloc, entropyflow, packedpath, deprecations, seedtaint and atomiccheck.
+# It runs under the standard vet driver so findings carry package/position
+# info and results (including the interprocedural facts seedtaint and
+# atomiccheck exchange) are cached per package like any other vet analysis.
 drange-vet:
 	$(GO) build -o bin/drange-vet ./cmd/drange-vet
 	$(GO) vet -vettool=$(CURDIR)/bin/drange-vet ./...

@@ -1,9 +1,11 @@
 // Command drange-vet runs the repo's custom analyzers (lockcheck, noalloc,
-// entropyflow, packedpath, deprecations) over Go packages.
+// entropyflow, packedpath, deprecations, seedtaint, atomiccheck) over Go
+// packages.
 //
 // Standalone mode loads packages itself via the go command:
 //
 //	drange-vet ./...
+//	drange-vet -fix ./...   # additionally apply suggested fixes
 //
 // It also speaks the go vet vettool protocol, so the same binary works as
 //
@@ -13,6 +15,16 @@
 // In vettool mode the go command hands the tool a JSON .cfg file per
 // package, with file lists and export-data locations; diagnostics go to
 // stderr and a non-zero exit marks the package as failing vet.
+//
+// The interprocedural analyzers (seedtaint, atomiccheck) exchange facts
+// between packages. Under the vet driver the serialized facts ride in the
+// .vetx file the protocol already caches per package: a VetxOnly invocation
+// type-checks the dependency and computes facts without reporting, a full
+// invocation reads the dependencies' facts from PackageVetx and writes its
+// own to VetxOutput. Fact computation is best-effort — a package that fails
+// to type-check in VetxOnly mode yields empty facts (analyses degrade to
+// unknown-callee conservatism) rather than failing the build. Standalone
+// mode threads the same facts in memory, in dependency order.
 //
 // Exit status: 0 clean, 1 tool error, 2 diagnostics reported.
 package main
@@ -27,14 +39,17 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomiccheck"
 	"repro/internal/analysis/deprecations"
 	"repro/internal/analysis/entropyflow"
 	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/noalloc"
 	"repro/internal/analysis/packedpath"
+	"repro/internal/analysis/seedtaint"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -43,6 +58,8 @@ var analyzers = []*analysis.Analyzer{
 	entropyflow.Analyzer,
 	packedpath.Analyzer,
 	deprecations.Analyzer,
+	seedtaint.Analyzer,
+	atomiccheck.Analyzer,
 }
 
 func main() {
@@ -64,11 +81,21 @@ func main() {
 		os.Exit(unitcheck(args[0]))
 	}
 
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: drange-vet <packages>")
+	applyFixes := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-fix", "--fix":
+			applyFixes = true
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: drange-vet [-fix] <packages>")
 		os.Exit(1)
 	}
-	findings, err := analysis.Run("", args, analyzers)
+	findings, err := analysis.Run("", patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "drange-vet:", err)
 		os.Exit(1)
@@ -76,9 +103,57 @@ func main() {
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
+	if applyFixes {
+		n, err := fixAll(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drange-vet:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "drange-vet: applied %d suggested fix(es)\n", n)
+	}
 	if len(findings) > 0 {
 		os.Exit(2)
 	}
+}
+
+// fixAll applies the first suggested fix of every finding that has one.
+// Edits are grouped per file and applied back to front so earlier offsets
+// stay valid; overlapping edits within a file are dropped with a warning.
+func fixAll(findings []analysis.Finding) (int, error) {
+	type edit = analysis.ResolvedEdit
+	byFile := map[string][]edit{}
+	applied := 0
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		fix := f.Fixes[0]
+		for _, e := range fix.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+		applied++
+	}
+	for _, name := range analysis.SortedKeys(byFile) {
+		edits := byFile[name]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return applied, err
+		}
+		lastStart := len(data) + 1
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(data) || e.End > lastStart {
+				fmt.Fprintf(os.Stderr, "drange-vet: skipping overlapping fix in %s\n", name)
+				continue
+			}
+			data = append(data[:e.Start], append(append([]byte{}, e.NewText...), data[e.End:]...)...)
+			lastStart = e.Start
+		}
+		if err := os.WriteFile(name, data, 0o666); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
 }
 
 // selfID hashes the executable so the go command's vet result cache is
@@ -109,6 +184,7 @@ type vetConfig struct {
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -126,17 +202,20 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "drange-vet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The go command expects the facts file regardless; the analyzers are
-	// factless, so it is always empty.
-	writeVetx := func() {
+	// The go command expects a facts file regardless of whether the package
+	// contributed facts.
+	writeVetx := func(payload []byte) {
 		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
 				fmt.Fprintln(os.Stderr, "drange-vet:", err)
 			}
 		}
 	}
-	if cfg.VetxOnly {
-		writeVetx()
+	if cfg.VetxOnly && (cfg.Standard[cfg.ImportPath] || len(cfg.GoFiles) == 0) {
+		// Stdlib dependency: the policy packages all live in this module, so
+		// no facts are lost by skipping it, and stdlib (cgo, asm) does not
+		// reliably type-check under the trimmed importer below.
+		writeVetx(nil)
 		return 0
 	}
 
@@ -145,6 +224,10 @@ func unitcheck(cfgPath string) int {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
+			if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+				writeVetx(nil)
+				return 0
+			}
 			fmt.Fprintln(os.Stderr, "drange-vet:", err)
 			return 1
 		}
@@ -162,19 +245,35 @@ func unitcheck(cfgPath string) int {
 	})
 	pkg, err := analysis.CheckFiles(fset, cfg.ImportPath, files, imp)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			writeVetx(nil)
 			return 0
 		}
 		fmt.Fprintln(os.Stderr, "drange-vet:", err)
 		return 1
 	}
-	findings, err := analysis.RunPackage(pkg, analyzers)
+
+	// Thread dependency facts out of the .vetx files the go command already
+	// computed for this package's deps, and collect our own for VetxOutput.
+	facts := loadDepFacts(cfg)
+	findings, err := analysis.RunPackageFacts(pkg, analyzers, facts, cfg.VetxOnly)
+	if err != nil {
+		if cfg.VetxOnly {
+			writeVetx(nil)
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "drange-vet:", err)
+		return 1
+	}
+	payload, err := analysis.EncodeFacts(facts[cfg.ImportPath])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "drange-vet:", err)
 		return 1
 	}
-	writeVetx()
+	writeVetx(payload)
+	if cfg.VetxOnly {
+		return 0
+	}
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
@@ -182,4 +281,25 @@ func unitcheck(cfgPath string) int {
 		return 2
 	}
 	return 0
+}
+
+// loadDepFacts reads every dependency .vetx named by the config into a
+// FactBase. Empty and malformed files are skipped: facts are an accuracy
+// optimization, never a hard requirement.
+func loadDepFacts(cfg vetConfig) analysis.FactBase {
+	facts := make(analysis.FactBase)
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		m, err := analysis.DecodeFacts(data)
+		if err != nil {
+			continue
+		}
+		for name, payload := range m {
+			facts.Set(path, name, payload)
+		}
+	}
+	return facts
 }

@@ -80,9 +80,14 @@
 // "//drange:noalloc" on a function bans allocating constructs from the
 // serving fast path ("//drange:noalloc amortized" permits amortized buffer
 // growth), and "//drange:entropyflow-exempt <reason>" waives the
-// pseudo-randomness ban for a file whose entropy only flows outward. The
-// full grammar is documented in repro/internal/analysis. Run the suite
-// locally with "make lint" or:
+// pseudo-randomness ban for a file whose entropy only flows outward.
+// "// drange:atomic" on a struct field restricts it to sync/atomic access
+// (atomiccheck), and the interprocedural seedtaint analyzer proves that raw
+// device entropy passes health.Monitor before reaching DRBG seed material or
+// an exported reader — the documented ReadRaw tier carries the only
+// sanctioned "//drange:seedtaint-exempt" waiver. The full grammar is
+// documented in repro/internal/analysis. Run the suite locally with
+// "make lint" or:
 //
 //	go build -o bin/drange-vet ./cmd/drange-vet
 //	go vet -vettool=$PWD/bin/drange-vet ./...
@@ -504,15 +509,15 @@ type Generator struct {
 	// bits returned to callers. They differ only when a post-processing
 	// chain discards bits in between. Atomic: the sharded no-postprocess
 	// read path updates them without holding mu.
-	rawDelivered atomic.Int64
-	delivered    atomic.Int64
+	rawDelivered atomic.Int64 // drange:atomic
+	delivered    atomic.Int64 // drange:atomic
 
 	// Per-tier serving accounting (atomic: the raw tier's lock-free sharded
 	// fast path updates them without mu).
-	tierRawReads  atomic.Int64
-	tierRawBytes  atomic.Int64
-	tierDRBGReads atomic.Int64
-	tierDRBGBytes atomic.Int64
+	tierRawReads  atomic.Int64 // drange:atomic
+	tierRawBytes  atomic.Int64 // drange:atomic
+	tierDRBGReads atomic.Int64 // drange:atomic
+	tierDRBGBytes atomic.Int64 // drange:atomic
 
 	closed bool // drange:guardedby mu
 }
@@ -796,6 +801,8 @@ func (g *Generator) drbgReseedLocked() error {
 // skips the facade mutex: the engine's own consumer lock (held per Read
 // call) is the only serialisation, so a Close or Stats never waits behind a
 // reader and readers never wait behind the facade.
+//
+//drange:seedtaint-exempt documented raw tier: delivers unconditioned entropy by contract
 func (g *Generator) ReadRaw(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil

@@ -82,7 +82,7 @@ type faultyDevice struct {
 	stuckValue uint64
 	driftPerK  float64
 	salt       uint64
-	reads      atomic.Int64
+	reads      atomic.Int64 // drange:atomic
 }
 
 // columnStuck decides, deterministically, whether the column is stuck.

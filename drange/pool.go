@@ -75,8 +75,8 @@ type poolMember struct {
 
 	// evicted is lock-free so the concurrent read fast path skips dead
 	// members without the pool mutex; reason is guarded by p.mu.
-	evicted atomic.Bool
-	reason  string // drange:guardedby mu
+	evicted atomic.Bool // drange:atomic
+	reason  string      // drange:guardedby mu
 
 	// fetched counts bits pulled from this member's engine — the load metric
 	// of the least-loaded scheduler. Batches discarded under
@@ -84,16 +84,16 @@ type poolMember struct {
 	// scheduler while healthy members idle. delivered counts bits that
 	// reached callers. Both are atomics: the concurrent read fast path
 	// updates them without the pool mutex.
-	fetched   atomic.Int64
-	delivered atomic.Int64
+	fetched   atomic.Int64 // drange:atomic
+	delivered atomic.Int64 // drange:atomic
 
 	// win accumulates the current bias window with the ones count in the
 	// high 32 bits and the bit count in the low 32 (one atomic, so a
 	// concurrent snapshot can never pair one window's ones with another's
 	// bits); biasDelta holds |ones-fraction − 0.5| of the last completed
 	// window (guarded by p.mu).
-	win       atomic.Int64
-	biasDelta float64 // drange:guardedby mu
+	win       atomic.Int64 // drange:atomic
+	biasDelta float64      // drange:guardedby mu
 
 	// monitor streams this member's harvested bits through the online
 	// health tests (nil unless WithHealthTests is attached);
@@ -161,7 +161,7 @@ type Pool struct {
 	// from a bit-granular read; while set, Read takes the locked path so
 	// those bits are served in order before fresh engine words (mixing
 	// ReadBits and Read must drain one well-defined stream).
-	remainder atomic.Bool
+	remainder atomic.Bool // drange:atomic
 
 	// readEpoch numbers locked reads for the per-member blocked budget;
 	// blockCause remembers why a member was benched in the current read, so
@@ -178,13 +178,13 @@ type Pool struct {
 
 	// Per-tier serving accounting (atomic: the raw tier's lock-free fast
 	// path updates them without mu).
-	tierRawReads  atomic.Int64
-	tierRawBytes  atomic.Int64
-	tierDRBGReads atomic.Int64
-	tierDRBGBytes atomic.Int64
+	tierRawReads  atomic.Int64 // drange:atomic
+	tierRawBytes  atomic.Int64 // drange:atomic
+	tierDRBGReads atomic.Int64 // drange:atomic
+	tierDRBGBytes atomic.Int64 // drange:atomic
 
-	delivered atomic.Int64
-	closed    atomic.Bool
+	delivered atomic.Int64 // drange:atomic
+	closed    atomic.Bool  // drange:atomic
 }
 
 // OpenPool opens one device per profile and multiplexes them behind a single
@@ -981,6 +981,8 @@ func (p *Pool) stageDRBGReseedLocked(served *poolMember) {
 // pool mutex at bias-window boundaries and evictions, so throughput scales
 // with readers instead of serializing behind the pool lock. (Device health
 // tracking per HealthPolicy stays fully enforced on this path.)
+//
+//drange:seedtaint-exempt documented raw tier: delivers unconditioned entropy by contract
 func (p *Pool) ReadRaw(buf []byte) (int, error) {
 	if len(buf) == 0 {
 		return 0, nil

@@ -31,6 +31,24 @@
 //	                             anywhere in a file: waives the entropyflow
 //	                             analyzer for that file. The reason is
 //	                             mandatory.
+//	//drange:atomic              on a struct field: the field may be touched
+//	                             only through sync/atomic operations (or is a
+//	                             sync/atomic typed wrapper used by methods);
+//	                             plain loads, stores and address escapes are
+//	                             diagnostics (see the atomiccheck analyzer).
+//	//drange:seedtaint-exempt <reason>
+//	                             on a function: waives the seedtaint analyzer
+//	                             for that function, which may then hand raw
+//	                             (pre-health-test) device entropy to callers.
+//	                             Reserved for the documented-raw ReadRaw tier;
+//	                             the reason is mandatory.
+//
+// # Facts
+//
+// Analyzers that compose across package boundaries (seedtaint, atomiccheck)
+// exchange per-package facts through the Pass's ImportFacts/ExportFacts
+// hooks. See facts.go for the store and cmd/drange-vet for how the payloads
+// piggyback on the vet driver's .vetx cache.
 package analysis
 
 import (
@@ -59,6 +77,21 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// ImportFacts returns the serialized facts this analyzer exported when
+	// it analyzed the dependency package with the given import path, or nil
+	// if none were recorded. Nil when the driver does not thread facts
+	// (plain RunPackage); analyzers must then degrade to per-package
+	// conservative results.
+	ImportFacts func(importPath string) []byte
+	// ExportFacts records this package's serialized facts for dependent
+	// packages. Nil when the driver does not thread facts.
+	ExportFacts func(payload []byte)
+	// FactsOnly is true when the driver needs only the exported facts for
+	// this package (it is a dependency of the packages under analysis, not
+	// itself under analysis). Analyzers should still call ExportFacts but
+	// may skip diagnostic reporting.
+	FactsOnly bool
 
 	diagnostics []Diagnostic
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"regexp"
 	"strconv"
 	"strings"
@@ -47,13 +48,48 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+		// Thread facts exactly as the real drivers do: every source-root
+		// dependency is analyzed facts-only, in dependency order, before the
+		// target — cross-package expectations (taint propagated through an
+		// imported helper, an annotated field of an imported struct) need the
+		// dependency's facts in place.
+		facts := make(analysis.FactBase)
+		for _, dep := range sourceDeps(loader, pkg) {
+			if _, err := analysis.RunPackageFacts(dep, []*analysis.Analyzer{a}, facts, true); err != nil {
+				t.Errorf("computing %s facts for %s: %v", a.Name, dep.Types.Path(), err)
+			}
+		}
+		findings, err := analysis.RunPackageFacts(pkg, []*analysis.Analyzer{a}, facts, false)
 		if err != nil {
 			t.Errorf("running %s on %s: %v", a.Name, path, err)
 			continue
 		}
 		checkExpectations(t, pkg, findings)
 	}
+}
+
+// sourceDeps returns the target's transitive source-checked dependencies in
+// dependency order (imports before importers), target excluded.
+func sourceDeps(loader *analysis.Loader, pkg *analysis.Package) []*analysis.Package {
+	var out []*analysis.Package
+	seen := map[string]bool{pkg.Types.Path(): true}
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if seen[p.Path()] {
+			return
+		}
+		seen[p.Path()] = true
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+		if sp, ok := loader.SourcePackage(p.Path()); ok {
+			out = append(out, sp)
+		}
+	}
+	for _, imp := range pkg.Types.Imports() {
+		visit(imp)
+	}
+	return out
 }
 
 func checkExpectations(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {

@@ -1,0 +1,303 @@
+// Package atomiccheck implements the drange-vet analyzer that enforces the
+// //drange:atomic field annotation: an annotated field may be touched only
+// through sync/atomic.
+//
+// Two field shapes are supported:
+//
+//   - Typed wrappers (atomic.Int64, atomic.Uint64, atomic.Bool, ...): the
+//     field may only be used as the receiver of its own methods
+//     (x.f.Load(), x.f.Add(1)) or have its address taken (&x.f, to pass the
+//     counter somewhere that calls its methods). Copying the wrapper by
+//     value is a diagnostic — a copy silently forks the counter.
+//   - Plain integer fields: every access must be an &x.f argument directly
+//     inside a sync/atomic call (atomic.AddInt64(&x.f, 1)). A plain load, a
+//     plain store, or an address escaping into non-atomic code is a
+//     diagnostic.
+//
+// Mixing disciplines is also a diagnostic: a field annotated both
+// //drange:atomic and //drange:guardedby has no coherent access story — the
+// mutex readers would race the atomic writers.
+//
+// The annotated-field inventory is exported as facts keyed "Type.Field", so
+// a dependent package touching an exported annotated field is held to the
+// same rules.
+package atomiccheck
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomiccheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc:  "check that //drange:atomic fields are only touched through sync/atomic",
+	Run:  run,
+}
+
+// fieldKind distinguishes the two supported field shapes.
+type fieldKind int
+
+const (
+	kindWrapper fieldKind = iota // atomic.Int64-style typed wrapper
+	kindPlain                    // plain integer manipulated via atomic free functions
+)
+
+type fieldInfo struct {
+	Kind fieldKind `json:"k"`
+}
+
+func isAtomicWrapper(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// fieldKey names a field position-independently: "Type.Field". Used for the
+// fact encoding and for resolving imported annotations.
+func fieldKey(typeName, field string) string { return typeName + "." + field }
+
+func run(pass *analysis.Pass) error {
+	// Collect annotated fields declared in this package: object → kind, and
+	// the fact inventory keyed by "Type.Field" for dependents.
+	local := map[*types.Var]fieldKind{}
+	keys := map[string]fieldInfo{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				collectStruct(pass, ts.Name.Name, st, local, keys)
+			}
+		}
+	}
+
+	// Imported annotations, lazily decoded per dependency package.
+	imported := map[string]map[string]fieldInfo{}
+	annotationOf := func(sel *types.Selection) (fieldKind, bool) {
+		fld, ok := sel.Obj().(*types.Var)
+		if !ok || !fld.IsField() {
+			return 0, false
+		}
+		if k, ok := local[fld]; ok {
+			return k, true
+		}
+		pkg := fld.Pkg()
+		if pkg == nil || pkg == pass.Pkg || pass.ImportFacts == nil {
+			return 0, false
+		}
+		m, seen := imported[pkg.Path()]
+		if !seen {
+			if payload := pass.ImportFacts(pkg.Path()); len(payload) > 0 {
+				_ = json.Unmarshal(payload, &m) // malformed facts degrade to unannotated
+			}
+			imported[pkg.Path()] = m
+		}
+		if m == nil {
+			return 0, false
+		}
+		t := sel.Recv()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		n, ok := types.Unalias(t).(*types.Named)
+		if !ok {
+			return 0, false
+		}
+		fi, ok := m[fieldKey(n.Obj().Name(), fld.Name())]
+		if !ok {
+			return 0, false
+		}
+		return fi.Kind, true
+	}
+
+	if !pass.FactsOnly {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+					continue
+				}
+				checkBody(pass, fd.Body, annotationOf)
+			}
+		}
+	}
+
+	if pass.ExportFacts != nil && len(keys) > 0 {
+		payload, err := json.Marshal(keys)
+		if err != nil {
+			return err
+		}
+		pass.ExportFacts(payload)
+	}
+	return nil
+}
+
+func collectStruct(pass *analysis.Pass, typeName string, st *ast.StructType, local map[*types.Var]fieldKind, keys map[string]fieldInfo) {
+	for _, fld := range st.Fields.List {
+		var hasAtomic, hasGuarded bool
+		for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+			for _, d := range analysis.Directives(cg) {
+				switch d.Name {
+				case "atomic":
+					hasAtomic = true
+				case "guardedby":
+					hasGuarded = true
+				}
+			}
+		}
+		if !hasAtomic {
+			continue
+		}
+		if hasGuarded {
+			pass.Reportf(fld, "field cannot be both //drange:atomic and //drange:guardedby: pick one discipline")
+		}
+		for _, name := range fld.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			kind := kindPlain
+			if isAtomicWrapper(v.Type()) {
+				kind = kindWrapper
+			} else if b, ok := v.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+				pass.Reportf(name, "//drange:atomic field %s must be a sync/atomic wrapper or an integer", name.Name)
+				continue
+			}
+			local[v] = kind
+			keys[fieldKey(typeName, name.Name)] = fieldInfo{Kind: kind}
+		}
+	}
+}
+
+// checkBody walks one function body with parent context and classifies every
+// use of an annotated field.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, annotationOf func(*types.Selection) (fieldKind, bool)) {
+	info := pass.TypesInfo
+
+	var walk func(n ast.Node, parents []ast.Node)
+	walk = func(n ast.Node, parents []ast.Node) {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if s, isSel := info.Selections[sel]; isSel && s.Kind() == types.FieldVal {
+				if kind, annotated := annotationOf(s); annotated {
+					classifyUse(pass, sel, kind, parents)
+				}
+			}
+		}
+		parents = append(parents, n)
+		for _, child := range children(n) {
+			walk(child, parents)
+		}
+	}
+	walk(body, nil)
+}
+
+// classifyUse applies the discipline rules to one annotated-field selector.
+func classifyUse(pass *analysis.Pass, sel *ast.SelectorExpr, kind fieldKind, parents []ast.Node) {
+	info := pass.TypesInfo
+	name := sel.Sel.Name
+	parent := func(i int) ast.Node {
+		if len(parents) < i {
+			return nil
+		}
+		return parents[len(parents)-i]
+	}
+
+	isAddrOf := func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		return ok && u.Op == token.AND && ast.Unparen(u.X) == sel
+	}
+
+	if kind == kindWrapper {
+		// Legal: receiver of a sync/atomic method (x.f.Load()).
+		if msel, ok := parent(1).(*ast.SelectorExpr); ok {
+			if ms, isSel := info.Selections[msel]; isSel {
+				if fn, ok := ms.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+					return
+				}
+			}
+		}
+		// Legal: &x.f, handing the counter around by reference.
+		if isAddrOf(parent(1)) {
+			return
+		}
+		pass.Reportf(sel, "atomic wrapper field %s copied by value; use its methods or take its address", name)
+		return
+	}
+
+	// Plain-mode field: the only legal use is &x.f directly inside a
+	// sync/atomic free-function call.
+	if isAddrOf(parent(1)) {
+		if call, ok := parent(2).(*ast.CallExpr); ok && isAtomicFreeCall(info, call) {
+			return
+		}
+		pass.Reportf(sel, "address of atomic field %s escapes outside sync/atomic", name)
+		return
+	}
+	switch p := parent(1).(type) {
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if ast.Unparen(l) == sel {
+				pass.Reportf(sel, "plain store to atomic field %s; use sync/atomic", name)
+				return
+			}
+		}
+	case *ast.IncDecStmt:
+		if ast.Unparen(p.X) == sel {
+			pass.Reportf(sel, "plain %s of atomic field %s; use sync/atomic", p.Tok, name)
+			return
+		}
+	}
+	pass.Reportf(sel, "plain read of atomic field %s; use sync/atomic", name)
+}
+
+// isAtomicFreeCall reports whether call invokes a sync/atomic package-level
+// function (atomic.AddInt64 and friends).
+func isAtomicFreeCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Signature().Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// children returns n's immediate AST children in source order.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

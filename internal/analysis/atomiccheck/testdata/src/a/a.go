@@ -1,0 +1,53 @@
+// Package a exercises atomiccheck's in-package rules: wrapper and plain
+// integer disciplines, the legal access forms, and the annotation grammar.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counter struct {
+	mu   sync.Mutex
+	hits atomic.Int64 //drange:atomic
+	raw  int64        //drange:atomic
+
+	//drange:atomic
+	//drange:guardedby mu
+	both int64 // want "field cannot be both //drange:atomic and //drange:guardedby: pick one discipline"
+
+	//drange:atomic
+	bad string // want "//drange:atomic field bad must be a sync/atomic wrapper or an integer"
+
+	plain int64
+}
+
+// Legal accesses: wrapper methods, wrapper address, atomic free calls on the
+// plain integer, and unannotated fields are unconstrained.
+func (c *Counter) Inc() {
+	c.hits.Add(1)
+	p := &c.hits
+	p.Store(0)
+	atomic.AddInt64(&c.raw, 1)
+	_ = atomic.LoadInt64(&c.raw)
+	c.plain++
+}
+
+func (c *Counter) Bad() int64 {
+	c.raw = 1   // want "plain store to atomic field raw; use sync/atomic"
+	c.raw++     // want "plain \\+\\+ of atomic field raw; use sync/atomic"
+	h := c.hits // want "atomic wrapper field hits copied by value; use its methods or take its address"
+	_ = h
+	q := &c.raw // want "address of atomic field raw escapes outside sync/atomic"
+	_ = q
+	return c.raw // want "plain read of atomic field raw; use sync/atomic"
+}
+
+// Pub is exported so package b can exercise the fact-driven cross-package
+// checks.
+type Pub struct {
+	N atomic.Int64 //drange:atomic
+	M int64        //drange:atomic
+}
+
+var Shared Pub

@@ -1,0 +1,18 @@
+// Package b exercises atomiccheck's cross-package rules: the annotations on
+// a.Pub arrive as exported facts, not source.
+package b
+
+import (
+	"sync/atomic"
+
+	"a"
+)
+
+func Touch() int64 {
+	a.Shared.N.Add(1)
+	atomic.AddInt64(&a.Shared.M, 1)
+	a.Shared.M = 7  // want "plain store to atomic field M; use sync/atomic"
+	n := a.Shared.N // want "atomic wrapper field N copied by value; use its methods or take its address"
+	_ = n
+	return a.Shared.M // want "plain read of atomic field M; use sync/atomic"
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// A CallGraph is the static, package-local call graph of one package: nodes
+// are the functions and methods declared in the package, edges are direct
+// call expressions whose callee resolves statically to another node.
+// Dynamic calls (func values, closures, interface dispatch) are not edges —
+// interprocedural analyses treat them through policy intrinsics or as
+// unknown callees.
+type CallGraph struct {
+	// Decls maps each declared function to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// SCCs holds the strongly connected components in callee-first order:
+	// by the time an SCC is visited, every function it calls outside the
+	// SCC has already been visited. Within an SCC the order is by source
+	// position. This is the iteration order that makes per-function summary
+	// computation converge fastest.
+	SCCs [][]*types.Func
+
+	calls map[*types.Func][]*types.Func
+}
+
+// StaticCallee resolves a call expression to the *types.Func it statically
+// invokes: a package function, a method on a concrete receiver, or an
+// interface method (useful for intrinsic matching). Returns nil for dynamic
+// calls, conversions and builtins.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		} else if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // pkg-qualified call: otherpkg.Func(...)
+		}
+	}
+	return nil
+}
+
+// BuildCallGraph constructs the package-local call graph for the pass.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*types.Func][]*types.Func),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = fd
+		}
+	}
+	for fn, fd := range g.Decls {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures are analyzed as dynamic calls
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(pass.TypesInfo, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, local := g.Decls[callee]; local {
+				seen[callee] = true
+				g.calls[fn] = append(g.calls[fn], callee)
+			}
+			return true
+		})
+	}
+	g.buildSCCs(pass)
+	return g
+}
+
+// Callees returns fn's statically resolved package-local callees.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.calls[fn] }
+
+// buildSCCs runs Tarjan's algorithm (iteratively, to be safe on deep call
+// chains) and records the components. Tarjan emits SCCs in reverse
+// topological order of the condensation — exactly the callee-first order the
+// summaries need — so the emission order is kept as-is.
+func (g *CallGraph) buildSCCs(pass *Pass) {
+	// Deterministic node order: by source position.
+	nodes := make([]*types.Func, 0, len(g.Decls))
+	for fn := range g.Decls {
+		nodes = append(nodes, fn)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+
+	index := make(map[*types.Func]int, len(nodes))
+	low := make(map[*types.Func]int, len(nodes))
+	onStack := make(map[*types.Func]bool, len(nodes))
+	var stack []*types.Func
+	next := 0
+
+	type frame struct {
+		fn *types.Func
+		ci int // next callee index to visit
+	}
+	var visit func(root *types.Func)
+	visit = func(root *types.Func) {
+		frames := []frame{{fn: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			callees := g.calls[f.fn]
+			if f.ci < len(callees) {
+				c := callees[f.ci]
+				f.ci++
+				if _, seen := index[c]; !seen {
+					index[c] = next
+					low[c] = next
+					next++
+					stack = append(stack, c)
+					onStack[c] = true
+					frames = append(frames, frame{fn: c})
+				} else if onStack[c] {
+					if index[c] < low[f.fn] {
+						low[f.fn] = index[c]
+					}
+				}
+				continue
+			}
+			// All callees done: pop frame, maybe emit SCC.
+			fn := f.fn
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].fn
+				if low[fn] < low[parent] {
+					low[parent] = low[fn]
+				}
+			}
+			if low[fn] == index[fn] {
+				var scc []*types.Func
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == fn {
+						break
+					}
+				}
+				sort.Slice(scc, func(i, j int) bool { return scc[i].Pos() < scc[j].Pos() })
+				g.SCCs = append(g.SCCs, scc)
+			}
+		}
+	}
+	for _, fn := range nodes {
+		if _, seen := index[fn]; !seen {
+			visit(fn)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Facts are per-package payloads an analyzer exports while analyzing one
+// package and imports while analyzing the package's dependents. They are how
+// analyses compose interprocedurally across package boundaries: seedtaint
+// serializes function taint summaries, atomiccheck the set of annotated
+// fields. The framework treats payloads as opaque bytes; each analyzer
+// defines its own (deterministic) encoding.
+//
+// Under the vet driver the payloads ride in the .vetx "facts" file the
+// unitchecker protocol already caches per package (see cmd/drange-vet); in
+// standalone and analysistest modes a FactBase held in memory plays the same
+// role.
+
+// A FactBase accumulates serialized facts by import path and analyzer name.
+// It is the in-memory fact store used by standalone Run and analysistest.
+type FactBase map[string]map[string][]byte
+
+// Get returns the payload analyzer exported for the package at path, or nil.
+func (fb FactBase) Get(path, analyzer string) []byte {
+	return fb[path][analyzer]
+}
+
+// Set records the payload analyzer exported for the package at path.
+func (fb FactBase) Set(path, analyzer string, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	m := fb[path]
+	if m == nil {
+		m = make(map[string][]byte)
+		fb[path] = m
+	}
+	m[analyzer] = payload
+}
+
+// EncodeFacts serializes one package's analyzer→payload map into the bytes
+// stored in a .vetx facts file. The encoding is JSON with sorted keys, so
+// identical analysis results always produce byte-identical facts files —
+// CI's cold-cache vs warm-cache determinism check depends on this.
+func EncodeFacts(m map[string][]byte) ([]byte, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	return json.Marshal(m)
+}
+
+// DecodeFacts is the inverse of EncodeFacts. Empty input yields a nil map.
+func DecodeFacts(data []byte) (map[string][]byte, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var m map[string][]byte
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("decoding facts: %v", err)
+	}
+	return m, nil
+}
+
+// SortedKeys returns the map's keys in sorted order; analyzers use it to keep
+// their own fact encodings deterministic.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -4,15 +4,19 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomiccheck"
 	"repro/internal/analysis/deprecations"
 	"repro/internal/analysis/entropyflow"
 	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/noalloc"
 	"repro/internal/analysis/packedpath"
+	"repro/internal/analysis/seedtaint"
 )
 
 var repoAnalyzers = []*analysis.Analyzer{
@@ -21,6 +25,8 @@ var repoAnalyzers = []*analysis.Analyzer{
 	entropyflow.Analyzer,
 	packedpath.Analyzer,
 	deprecations.Analyzer,
+	seedtaint.Analyzer,
+	atomiccheck.Analyzer,
 }
 
 // repoRoot is the module root relative to this package's directory.
@@ -169,5 +175,160 @@ func TestRequiredAnnotationsPresent(t *testing.T) {
 	}
 	if len(waivers) != 1 || waivers[0] != "drange/source.go" {
 		t.Errorf("entropyflow-exempt waivers = %v, want exactly [drange/source.go]", waivers)
+	}
+}
+
+// requiredAtomicFields is the exact module-wide //drange:atomic inventory:
+// every lock-free counter and flag the concurrency design depends on.
+// TestAtomicInventoryPinned compares as a set, so both a dropped annotation
+// and a new one added without updating this table go red — the latter forces
+// the author to decide deliberately that the field belongs to the atomic
+// discipline.
+var requiredAtomicFields = []string{
+	"drange/drange.go:Generator.rawDelivered",
+	"drange/drange.go:Generator.delivered",
+	"drange/drange.go:Generator.tierRawReads",
+	"drange/drange.go:Generator.tierRawBytes",
+	"drange/drange.go:Generator.tierDRBGReads",
+	"drange/drange.go:Generator.tierDRBGBytes",
+	"drange/faulty.go:faultyDevice.reads",
+	"drange/pool.go:poolMember.evicted",
+	"drange/pool.go:poolMember.fetched",
+	"drange/pool.go:poolMember.delivered",
+	"drange/pool.go:poolMember.win",
+	"drange/pool.go:Pool.remainder",
+	"drange/pool.go:Pool.tierRawReads",
+	"drange/pool.go:Pool.tierRawBytes",
+	"drange/pool.go:Pool.tierDRBGReads",
+	"drange/pool.go:Pool.tierDRBGBytes",
+	"drange/pool.go:Pool.delivered",
+	"drange/pool.go:Pool.closed",
+	"internal/core/engine.go:engineShard.bitsHarvested",
+	"internal/core/engine.go:engineShard.simCycles",
+	"internal/drbg/ledger.go:Ledger.credited",
+	"internal/drbg/ledger.go:Ledger.debited",
+}
+
+// requiredSeedtaintWaivers is the exact //drange:seedtaint-exempt inventory:
+// only the two documented raw tiers may bypass the health monitor. Any third
+// waiver means someone silenced seedtaint instead of routing entropy through
+// health.Monitor.
+var requiredSeedtaintWaivers = []string{
+	"drange/drange.go:ReadRaw",
+	"drange/pool.go:ReadRaw",
+}
+
+// walkModuleFiles parses every non-test, non-testdata .go file in the module
+// and hands it to visit with its repo-relative path.
+func walkModuleFiles(t *testing.T, visit func(rel string, f *ast.File)) {
+	t.Helper()
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(repoRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(repoRoot, path)
+		if err != nil {
+			return err
+		}
+		visit(filepath.ToSlash(rel), f)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+}
+
+// TestAtomicInventoryPinned asserts the module-wide set of //drange:atomic
+// fields is exactly requiredAtomicFields.
+func TestAtomicInventoryPinned(t *testing.T) {
+	got := map[string]bool{}
+	walkModuleFiles(t, func(rel string, f *ast.File) {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					annotated := false
+					for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+						for _, d := range analysis.Directives(cg) {
+							if d.Name == "atomic" {
+								annotated = true
+							}
+						}
+					}
+					if !annotated {
+						continue
+					}
+					for _, name := range fld.Names {
+						got[rel+":"+ts.Name.Name+"."+name.Name] = true
+					}
+				}
+			}
+		}
+	})
+	want := map[string]bool{}
+	for _, k := range requiredAtomicFields {
+		want[k] = true
+		if !got[k] {
+			t.Errorf("%s lost its // drange:atomic annotation", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected // drange:atomic on %s: add it to requiredAtomicFields if intentional", k)
+		}
+	}
+}
+
+// TestSeedtaintWaiverInventoryPinned asserts the module-wide set of
+// //drange:seedtaint-exempt holders is exactly the two documented raw tiers.
+func TestSeedtaintWaiverInventoryPinned(t *testing.T) {
+	got := map[string]bool{}
+	walkModuleFiles(t, func(rel string, f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if analysis.FuncDirective(fd, "seedtaint-exempt") != nil {
+				got[rel+":"+fd.Name.Name] = true
+			}
+		}
+	})
+	want := map[string]bool{}
+	for _, k := range requiredSeedtaintWaivers {
+		want[k] = true
+		if !got[k] {
+			t.Errorf("%s lost its //drange:seedtaint-exempt waiver", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected //drange:seedtaint-exempt on %s: the documented raw tiers are the only sanctioned holders", k)
+		}
 	}
 }

@@ -71,6 +71,8 @@ type listPkg struct {
 	GoFiles    []string
 	CgoFiles   []string
 	DepOnly    bool
+	Standard   bool
+	Deps       []string
 	Error      *struct{ Err string }
 }
 
@@ -97,31 +99,67 @@ func (l *Loader) goList(args ...string) ([]*listPkg, error) {
 	return pkgs, nil
 }
 
+// A LoadedPackage is one type-checked package plus its role in the load:
+// Root packages matched the patterns; the others are non-stdlib dependencies
+// loaded from source so interprocedural analyses can compute facts for them.
+type LoadedPackage struct {
+	*Package
+	Root bool
+}
+
 // Load type-checks the packages matching the go list patterns, in a stable
 // order. Test files are not part of the loaded syntax (GoFiles excludes
 // them); the analyzers additionally skip _test.go files so the same analyzer
 // code behaves identically under the unitchecker, where test variants do
 // include them.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	all, err := l.LoadAll(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range all {
+		if p.Root {
+			out = append(out, p.Package)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Types.Path() < out[j].Types.Path() })
+	return out, nil
+}
+
+// LoadAll type-checks the root packages matching the patterns AND their
+// non-stdlib dependencies from source, returned in dependency order: every
+// package appears after the packages it imports. Fact-threading drivers
+// (Run) analyze the list front to back, computing facts for dependencies
+// before the dependents that consume them.
+func (l *Loader) LoadAll(patterns ...string) ([]*LoadedPackage, error) {
 	listed, err := l.goList(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var roots []*listPkg
+	var selected []*listPkg
 	l.mu.Lock()
 	for _, p := range listed {
 		if p.Export != "" {
 			l.exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
-			roots = append(roots, p)
+		if !p.DepOnly || !p.Standard {
+			selected = append(selected, p)
 		}
 	}
 	l.mu.Unlock()
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	// Deps is the transitive closure, so |Deps| strictly grows along import
+	// edges: sorting by it yields a valid dependency order. Import path
+	// breaks ties deterministically.
+	sort.Slice(selected, func(i, j int) bool {
+		if len(selected[i].Deps) != len(selected[j].Deps) {
+			return len(selected[i].Deps) < len(selected[j].Deps)
+		}
+		return selected[i].ImportPath < selected[j].ImportPath
+	})
 
-	var out []*Package
-	for _, p := range roots {
+	var out []*LoadedPackage
+	for _, p := range selected {
 		if p.Error != nil {
 			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
 		}
@@ -139,9 +177,19 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
+		out = append(out, &LoadedPackage{Package: pkg, Root: !p.DepOnly})
 	}
 	return out, nil
+}
+
+// SourcePackage returns the already source-checked package for an import
+// path, if this loader has one (a pattern target or a source-root import).
+// Fact-threading test drivers use it to walk a target's dependency packages.
+func (l *Loader) SourcePackage(path string) (*Package, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pkg, ok := l.srcPkgs[path]
+	return pkg, ok
 }
 
 // LoadFromSource type-checks the package at the import path relative to the

@@ -12,16 +12,72 @@ type Finding struct {
 	Analyzer string
 	Message  string
 	Diag     Diagnostic
+	// Fixes are the diagnostic's suggested fixes resolved to file/offset
+	// edits, ready for drange-vet's -fix flag to apply.
+	Fixes []ResolvedFix
+}
+
+// A ResolvedFix is a SuggestedFix with its edits resolved against the file
+// set that produced the diagnostic, so it survives past the loader.
+type ResolvedFix struct {
+	Message string
+	Edits   []ResolvedEdit
+}
+
+// A ResolvedEdit replaces bytes [Start, End) of Filename with NewText.
+type ResolvedEdit struct {
+	Filename   string
+	Start, End int
+	NewText    []byte
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
 }
 
+func resolveFixes(fset *token.FileSet, d Diagnostic) []ResolvedFix {
+	var out []ResolvedFix
+	for _, fix := range d.SuggestedFixes {
+		rf := ResolvedFix{Message: fix.Message}
+		ok := true
+		for _, e := range fix.TextEdits {
+			start := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			if !start.IsValid() || !end.IsValid() || start.Filename != end.Filename {
+				ok = false
+				break
+			}
+			rf.Edits = append(rf.Edits, ResolvedEdit{
+				Filename: start.Filename,
+				Start:    start.Offset,
+				End:      end.Offset,
+				NewText:  e.NewText,
+			})
+		}
+		if ok && len(rf.Edits) > 0 {
+			out = append(out, rf)
+		}
+	}
+	return out
+}
+
 // RunPackage applies the analyzers to one loaded package and returns the
-// findings, sorted by position.
+// findings, sorted by position. No facts are threaded: interprocedural
+// analyzers degrade to per-package results. Use Run (or RunPackageFacts) for
+// cross-package precision.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunPackageFacts(pkg, analyzers, nil, false)
+}
+
+// RunPackageFacts applies the analyzers to one loaded package with facts
+// threaded through the given FactBase: each analyzer reads the facts its
+// earlier runs recorded for the package's dependencies and records this
+// package's facts for dependents. With factsOnly set, diagnostics are not
+// wanted (the package is a dependency, not under analysis); facts are still
+// recorded.
+func RunPackageFacts(pkg *Package, analyzers []*Analyzer, facts FactBase, factsOnly bool) ([]Finding, error) {
 	var out []Finding
+	path := pkg.Types.Path()
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -29,9 +85,18 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Syntax,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			FactsOnly: factsOnly,
+		}
+		if facts != nil {
+			name := a.Name
+			pass.ImportFacts = func(importPath string) []byte { return facts.Get(importPath, name) }
+			pass.ExportFacts = func(payload []byte) { facts.Set(path, name, payload) }
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Types.Path(), err)
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, path, err)
+		}
+		if factsOnly {
+			continue
 		}
 		for _, d := range pass.Diagnostics() {
 			out = append(out, Finding{
@@ -39,6 +104,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 				Analyzer: a.Name,
 				Message:  d.Message,
 				Diag:     d,
+				Fixes:    resolveFixes(pkg.Fset, d),
 			})
 		}
 	}
@@ -47,16 +113,20 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 }
 
 // Run loads the packages matching the patterns (relative to dir) and applies
-// every analyzer to each, returning all findings sorted by position.
+// every analyzer to each, returning all findings sorted by position. The
+// packages' non-stdlib dependencies are analyzed first in dependency order,
+// facts only, so interprocedural analyzers see cross-package summaries just
+// as they do under the vet driver.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
 	l := NewLoader(dir)
-	pkgs, err := l.Load(patterns...)
+	pkgs, err := l.LoadAll(patterns...)
 	if err != nil {
 		return nil, err
 	}
+	facts := make(FactBase)
 	var out []Finding
 	for _, pkg := range pkgs {
-		fs, err := RunPackage(pkg, analyzers)
+		fs, err := RunPackageFacts(pkg.Package, analyzers, facts, !pkg.Root)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,12 @@
+package seedtaint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seedtaint"
+)
+
+func TestSeedtaint(t *testing.T) {
+	analysistest.Run(t, "testdata", seedtaint.Analyzer, "repro/drange")
+}

@@ -1,0 +1,19 @@
+// Package drbg is the testdata stand-in for repro/internal/drbg: its
+// constructors, Reseed and Generate are seedtaint sinks.
+package drbg
+
+type Options struct{}
+
+type DRBG struct{ key []byte }
+
+func NewChaCha(seed, personalization []byte, opts Options) (*DRBG, error) {
+	return &DRBG{key: append([]byte(nil), seed...)}, nil
+}
+
+func NewCTR(seed, personalization []byte, opts Options) (*DRBG, error) {
+	return &DRBG{key: append([]byte(nil), seed...)}, nil
+}
+
+func (d *DRBG) Reseed(entropy, additional []byte) error { return nil }
+
+func (d *DRBG) Generate(out, additional []byte) error { return nil }

@@ -1,0 +1,17 @@
+// Package health is the testdata stand-in for repro/internal/health:
+// Monitor ingestion is the seedtaint cleanser.
+package health
+
+type Violation struct{ Detail string }
+
+type Monitor struct{ bits int }
+
+func (m *Monitor) Ingest(bits []byte, n int) *Violation {
+	m.bits += n
+	return nil
+}
+
+func (m *Monitor) IngestPacked(p []byte, n int) *Violation {
+	m.bits += n
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package sampler is the middle tier of the cross-package propagation test:
+// it is not a source package itself, but its Harvest helper fills the
+// caller's buffer from device reads. Its exported facts are what let the
+// drange testdata package see the taint.
+package sampler
+
+import "repro/internal/device"
+
+// Harvest fills dst with raw device entropy.
+func Harvest(d *device.Device, dst []byte) error {
+	words := make([]uint64, (len(dst)+7)/8)
+	if _, err := d.ReadWordInto(0, 0, words); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = byte(words[i/8] >> uint(8*(i%8)))
+	}
+	return nil
+}

@@ -1,0 +1,1342 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file implements a forward, flow-sensitive dataflow/taint engine with
+// per-function summaries. The engine is generic: a TaintConfig supplies the
+// policy (what introduces taint, what cleanses it, what is a sink); the
+// seedtaint analyzer instantiates it for the paper's raw-entropy invariant.
+//
+// # Model
+//
+// Each value is abstracted to a Mask, a small bitset. SourceBit means "may
+// carry raw device entropy that has not passed health.Monitor". ArgBit(i)
+// means "may carry whatever the function's i-th argument carried at entry" —
+// the relational bits that make summaries compose: when a summary computed
+// for f is applied at a call site, each ArgBit is substituted with the
+// caller's mask for that argument (translate), so taint introduced three
+// packages away still reaches the sink check here.
+//
+// A FuncSummary records, joined over all success exits: the exit mask of
+// each argument's pointee (Args — a strong update at call sites, which is
+// what lets health.Monitor.Ingest* cleanse a caller's buffer), the mask of
+// each result (Results), and latent sink hits whose mask still depends on
+// arguments (Flows — they fire at whatever call site finally supplies a
+// SourceBit). Return statements whose final error-typed operand is not the
+// literal nil are failure exits: they are excluded from the summary joins
+// and from exit-sink checks, because error paths legitimately abandon
+// half-filled buffers. Call sinks are still checked on every path.
+//
+// # Raw-tier guards
+//
+// The two-tier serving design routes around the health monitor only when no
+// monitor is configured. The engine models this: when an if condition
+// nil-tests an expression the policy recognizes as the monitor
+// (TaintConfig.RawGuard), the branch on the monitor==nil side is the
+// documented raw tier — SourceBit is stripped from the environment at branch
+// entry and from every value produced inside it. Only bare `x == nil`
+// conditions (or `&&` chains containing one) strip the then-branch, and only
+// bare `x != nil` conditions (or `||` chains of `x == nil`) strip the
+// else/fallthrough side; anything more complex strips nothing.
+//
+// # Fields and channels
+//
+// Struct fields, package-level variables and channel-typed fields share a
+// package-global, monotone taint map: a store (or channel send) of a tainted
+// value marks the object, every read (or receive) then yields its mask. The
+// map only grows across the package fixpoint, which keeps iteration
+// convergent; it is also why taint that escapes into long-lived state (a
+// DRBG seed buffer, a shard ring) is not forgotten between methods.
+
+// A Mask is the taint abstraction of one value.
+type Mask uint64
+
+// SourceBit marks raw, un-health-tested device entropy.
+const SourceBit Mask = 1
+
+// ArgBit returns the relational bit standing for "whatever argument i
+// carried at function entry" (canonical numbering: receiver first, then
+// parameters).
+func ArgBit(i int) Mask {
+	if i > 61 {
+		return 0 // beyond 62 args we drop precision rather than wrap
+	}
+	return 1 << (uint(i) + 1)
+}
+
+// A TaintFlow is a latent sink hit inside a function: the sink fires at any
+// call site whose translated mask contains SourceBit.
+type TaintFlow struct {
+	Mask Mask   `json:"m"`
+	Sink string `json:"s"`
+}
+
+// A FuncSummary is the transfer function of one function, joined over its
+// success exits.
+type FuncSummary struct {
+	Args    []Mask      `json:"a,omitempty"` // exit masks of argument pointees (strong at call sites)
+	Results []Mask      `json:"r,omitempty"`
+	Flows   []TaintFlow `json:"f,omitempty"`
+}
+
+func summaryEqual(a, b *FuncSummary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Args) != len(b.Args) || len(a.Results) != len(b.Results) || len(a.Flows) != len(b.Flows) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			return false
+		}
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// A CallEffect is the policy's intrinsic model for one callee. Intrinsics
+// take precedence over computed summaries: they are the model boundary
+// (device reads are sources no matter what their bodies look like, Monitor
+// ingestion cleanses by definition).
+type CallEffect struct {
+	// IsSource: the call's non-error results and its pointer/slice argument
+	// pointees carry SourceBit after the call.
+	IsSource bool
+	// CleanseArgs lists canonical argument indices whose pointees are
+	// strongly cleansed by the call.
+	CleanseArgs []int
+	// CleanResults forces all results clean (cleansers, DRBG constructors).
+	CleanResults bool
+	// SinkArgs lists canonical argument indices that must not carry
+	// SourceBit; SinkDesc names the sink in diagnostics.
+	SinkArgs []int
+	SinkDesc string
+}
+
+// A TaintConfig is the policy for one taint analysis.
+type TaintConfig struct {
+	// Effect returns the intrinsic model for fn, if the policy has one.
+	// Called for every statically resolved callee, including interface
+	// methods.
+	Effect func(fn *types.Func) (CallEffect, bool)
+	// ExitSink returns a description if fn's success exits must be free of
+	// SourceBit (in results and in pointer/slice argument pointees), or
+	// "" if fn is not an exit sink.
+	ExitSink func(fn *types.Func, decl *ast.FuncDecl) string
+	// RawGuard reports whether e is an expression whose nil-ness selects
+	// the documented raw tier (e.g. a *health.Monitor field).
+	RawGuard func(info *types.Info, e ast.Expr) bool
+	// Waived reports whether fn carries the policy's waiver: the function
+	// is skipped entirely and summarized as the identity.
+	Waived func(fn *types.Func, decl *ast.FuncDecl) bool
+	// MaxFixpoint caps the package-level summary iterations (default 10).
+	MaxFixpoint int
+}
+
+// A TaintAnalysis runs the engine over one pass.
+type TaintAnalysis struct {
+	pass  *Pass
+	cfg   *TaintConfig
+	graph *CallGraph
+
+	summaries map[*types.Func]*FuncSummary
+	fields    map[*types.Var]Mask // package-global: fields, globals, channels
+	// observed joins, per locally-declared callee, the concrete SourceBit
+	// seen flowing into each canonical argument at any call site in the
+	// package. computeSummary seeds parameter environments with it, which is
+	// what carries raw taint through writes to struct internals (a sampler
+	// pushing a raw word into its bit buffer) without tainting every value
+	// reachable from the receiver handle.
+	observed map[*types.Func][]Mask
+	imported map[string]map[string]*FuncSummary
+	changed  bool
+
+	reports map[string]Diagnostic
+}
+
+// RunTaint computes summaries for every function in the pass's package to a
+// fixpoint, reports policy violations as diagnostics on the pass, and
+// returns the analysis (for fact export).
+func RunTaint(pass *Pass, cfg *TaintConfig) *TaintAnalysis {
+	a := &TaintAnalysis{
+		pass:      pass,
+		cfg:       cfg,
+		graph:     BuildCallGraph(pass),
+		summaries: make(map[*types.Func]*FuncSummary),
+		fields:    make(map[*types.Var]Mask),
+		observed:  make(map[*types.Func][]Mask),
+		imported:  make(map[string]map[string]*FuncSummary),
+		reports:   make(map[string]Diagnostic),
+	}
+	max := cfg.MaxFixpoint
+	if max <= 0 {
+		max = 10
+	}
+	for iter := 0; iter < max; iter++ {
+		a.changed = false
+		for _, scc := range a.graph.SCCs {
+			// Within a cycle, iterate until the component stabilizes.
+			for r := 0; r < 4; r++ {
+				stable := true
+				for _, fn := range scc {
+					ns := a.computeSummary(fn, false)
+					if !summaryEqual(a.summaries[fn], ns) {
+						a.summaries[fn] = ns
+						stable = false
+						a.changed = true
+					}
+				}
+				if stable {
+					break
+				}
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+	// Reporting pass: summaries are stable; walk once more and emit.
+	for _, scc := range a.graph.SCCs {
+		for _, fn := range scc {
+			a.computeSummary(fn, true)
+		}
+	}
+	keys := SortedKeys(a.reports)
+	for _, k := range keys {
+		pass.Report(a.reports[k])
+	}
+	return a
+}
+
+// EncodeSummaries serializes the package's exported view of the summaries
+// (all of them — dependents resolve callees by name and ignore the rest).
+// The encoding is JSON keyed by types.Func.FullName, which is stable across
+// the source-checked and export-data views of a package.
+func (a *TaintAnalysis) EncodeSummaries() ([]byte, error) {
+	m := make(map[string]*FuncSummary, len(a.summaries))
+	for fn, s := range a.summaries {
+		m[fn.FullName()] = s
+	}
+	if len(m) == 0 {
+		return nil, nil
+	}
+	return json.Marshal(m)
+}
+
+// Summary returns the computed summary for a function declared in this
+// package (tests use this).
+func (a *TaintAnalysis) Summary(fn *types.Func) *FuncSummary { return a.summaries[fn] }
+
+func (a *TaintAnalysis) report(pos, end token.Pos, format string, args ...any) {
+	d := Diagnostic{Pos: pos, End: end, Message: fmt.Sprintf(format, args...)}
+	p := a.pass.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, d.Message)
+	a.reports[key] = d
+}
+
+// summaryFor resolves a callee's summary: locally computed first, then
+// imported facts from the callee's package. Nil means unknown.
+func (a *TaintAnalysis) summaryFor(fn *types.Func) *FuncSummary {
+	if s, ok := a.summaries[fn]; ok {
+		return s
+	}
+	pkg := fn.Pkg()
+	if pkg == nil || pkg == a.pass.Pkg || a.pass.ImportFacts == nil {
+		return nil
+	}
+	path := pkg.Path()
+	m, ok := a.imported[path]
+	if !ok {
+		if payload := a.pass.ImportFacts(path); len(payload) > 0 {
+			_ = json.Unmarshal(payload, &m) // malformed facts degrade to unknown
+		}
+		a.imported[path] = m
+	}
+	if m == nil {
+		return nil
+	}
+	return m[fn.FullName()]
+}
+
+// observeArgs joins the concrete SourceBit of a call's arguments into the
+// locally-declared callee's observed-argument masks. Only SourceBit crosses
+// the call boundary this way — ArgBits are caller-relative.
+func (a *TaintAnalysis) observeArgs(fn *types.Func, argMasks []Mask) {
+	if a.graph.Decls[fn] == nil {
+		return
+	}
+	obs := a.observed[fn]
+	if obs == nil {
+		obs = make([]Mask, len(argMasks))
+		a.observed[fn] = obs
+	}
+	for i, m := range argMasks {
+		if i >= len(obs) {
+			break
+		}
+		m &= SourceBit
+		if obs[i]|m != obs[i] {
+			obs[i] |= m
+			a.changed = true
+		}
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// canonicalArgs returns the canonical argument objects for a declaration:
+// receiver (if any), then parameters.
+func canonicalArgs(fn *types.Func, decl *ast.FuncDecl, info *types.Info) []*types.Var {
+	var out []*types.Var
+	sig := fn.Signature()
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+		// The declared receiver object differs from sig.Recv(); prefer the
+		// declared one so env lookups by identifier work.
+		if decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+			if v, ok := info.Defs[decl.Recv.List[0].Names[0]].(*types.Var); ok {
+				out[0] = v
+			}
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+func pointerish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func strongUpdatable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// computeSummary derives fn's summary and, with report=true, records
+// diagnostics (summaries must already be at fixpoint).
+//
+// The body is walked twice. The concrete walk seeds the parameters with the
+// SourceBit observed at the package's call sites; it exists to push taint
+// into the global field map (a raw word entering a buffer method really does
+// land in the buffer's field) and to report with call-site reality in view.
+// The pure walk seeds parameters with ArgBits alone and produces the summary
+// call sites translate: baking observed SourceBit into the summary instead
+// would make every external caller of a pure helper (a byte decoder that
+// core happens to feed raw words) see SOURCE regardless of what it passed.
+func (a *TaintAnalysis) computeSummary(fn *types.Func, report bool) *FuncSummary {
+	decl := a.graph.Decls[fn]
+	args := canonicalArgs(fn, decl, a.pass.TypesInfo)
+	if a.cfg.Waived != nil && a.cfg.Waived(fn, decl) {
+		// Waived: identity summary, nothing reported. The waiver sanctions
+		// the raw tier — its output is, by decree, not SourceBit.
+		sum := &FuncSummary{
+			Args:    make([]Mask, len(args)),
+			Results: make([]Mask, fn.Signature().Results().Len()),
+		}
+		for i := range sum.Args {
+			sum.Args[i] = ArgBit(i)
+		}
+		return sum
+	}
+	a.walkOnce(fn, decl, args, true, report)
+	return a.walkOnce(fn, decl, args, false, false)
+}
+
+// walkOnce performs one walk of fn's body; see computeSummary for the two
+// roles the seedObs flag selects between.
+func (a *TaintAnalysis) walkOnce(fn *types.Func, decl *ast.FuncDecl, args []*types.Var, seedObs, report bool) *FuncSummary {
+	sum := &FuncSummary{
+		Args:    make([]Mask, len(args)),
+		Results: make([]Mask, fn.Signature().Results().Len()),
+	}
+	w := &taintWalker{
+		a:      a,
+		fn:     fn,
+		decl:   decl,
+		args:   args,
+		env:    make(map[types.Object]Mask),
+		sum:    sum,
+		report: report,
+		flows:  make(map[TaintFlow]bool),
+	}
+	obs := a.observed[fn]
+	for i, v := range args {
+		w.env[v] = ArgBit(i)
+		if seedObs && i < len(obs) {
+			w.env[v] |= obs[i]
+		}
+	}
+	// Named results start clean.
+	res := fn.Signature().Results()
+	for i := 0; i < res.Len(); i++ {
+		if v := res.At(i); v.Name() != "" && v.Name() != "_" {
+			w.env[v] = 0
+		}
+	}
+	if a.cfg.ExitSink != nil && report {
+		w.exitDesc = a.cfg.ExitSink(fn, decl)
+	}
+	w.walkStmt(decl.Body)
+	if res.Len() == 0 {
+		// Functions without results may fall off the end: implicit success
+		// exit for the argument-pointee join.
+		w.joinExit(nil, nil)
+	}
+	sort.Slice(sum.Flows, func(i, j int) bool {
+		if sum.Flows[i].Sink != sum.Flows[j].Sink {
+			return sum.Flows[i].Sink < sum.Flows[j].Sink
+		}
+		return sum.Flows[i].Mask < sum.Flows[j].Mask
+	})
+	return sum
+}
+
+type taintWalker struct {
+	a        *TaintAnalysis
+	fn       *types.Func
+	decl     *ast.FuncDecl
+	args     []*types.Var
+	env      map[types.Object]Mask
+	rawDepth int
+	// pc is the implicit-flow ("program counter") taint: the SourceBit of
+	// every enclosing branch condition. A store guarded by an entropy-derived
+	// condition (if bit != 0 { words[i] |= mask }) is as entropy-laden as an
+	// explicit data flow, and the repo's bit buffer moves its payload exactly
+	// that way. Only SourceBit participates — ArgBits through conditions
+	// would drown summaries in spurious dependences.
+	pc       Mask
+	report   bool
+	exitDesc string
+	sum      *FuncSummary
+	flows    map[TaintFlow]bool
+}
+
+func copyEnv(env map[types.Object]Mask) map[types.Object]Mask {
+	out := make(map[types.Object]Mask, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func joinEnv(a, b map[types.Object]Mask) map[types.Object]Mask {
+	out := copyEnv(a)
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+func envEqual(a, b map[types.Object]Mask) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *taintWalker) stripSourceEnv() {
+	for k, v := range w.env {
+		w.env[k] = v &^ SourceBit
+	}
+}
+
+func (w *taintWalker) info() *types.Info { return w.a.pass.TypesInfo }
+
+// ---- statement walking ----
+
+func (w *taintWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.walkStmt(st)
+		}
+	case *ast.ExprStmt:
+		w.eval(s.X)
+	case *ast.AssignStmt:
+		w.walkAssign(s)
+	case *ast.DeclStmt:
+		w.walkDecl(s)
+	case *ast.ReturnStmt:
+		w.walkReturn(s)
+	case *ast.IfStmt:
+		w.walkIf(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.loop(func() {
+			savedPC := w.pc
+			if s.Cond != nil {
+				w.pc |= w.eval(s.Cond) & SourceBit
+			}
+			w.walkStmt(s.Body)
+			if s.Post != nil {
+				w.walkStmt(s.Post)
+			}
+			w.pc = savedPC
+		})
+	case *ast.RangeStmt:
+		m := w.eval(s.X)
+		w.loop(func() {
+			if s.Key != nil {
+				w.assignTo(s.Key, 0, true) // keys are indices: clean
+			}
+			if s.Value != nil {
+				w.assignTo(s.Value, m, true)
+			}
+			w.walkStmt(s.Body)
+		})
+	case *ast.SwitchStmt:
+		w.walkSwitch(s)
+	case *ast.TypeSwitchStmt:
+		w.walkTypeSwitch(s)
+	case *ast.SelectStmt:
+		w.walkSelect(s)
+	case *ast.SendStmt:
+		m := w.eval(s.Value)
+		w.assignTo(s.Chan, m, false)
+	case *ast.IncDecStmt:
+		w.eval(s.X)
+	case *ast.GoStmt:
+		w.eval(s.Call)
+	case *ast.DeferStmt:
+		w.eval(s.Call)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (w *taintWalker) loop(body func()) {
+	prev := copyEnv(w.env)
+	for i := 0; i < 4; i++ {
+		body()
+		w.env = joinEnv(prev, w.env)
+		if envEqual(prev, w.env) {
+			break
+		}
+		prev = copyEnv(w.env)
+	}
+}
+
+func (w *taintWalker) walkAssign(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment: x op= y keeps x's mask and merges y's.
+		m := w.eval(s.Lhs[0]) | w.eval(s.Rhs[0])
+		w.assignTo(s.Lhs[0], m, true)
+		return
+	}
+	var masks []Mask
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		masks = w.evalTuple(s.Rhs[0], len(s.Lhs))
+	} else {
+		for _, r := range s.Rhs {
+			masks = append(masks, w.eval(r))
+		}
+	}
+	for i, l := range s.Lhs {
+		var m Mask
+		if i < len(masks) {
+			m = masks[i]
+		}
+		w.assignTo(l, m, true)
+	}
+}
+
+func (w *taintWalker) walkDecl(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		var masks []Mask
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			masks = w.evalTuple(vs.Values[0], len(vs.Names))
+		} else {
+			for _, v := range vs.Values {
+				masks = append(masks, w.eval(v))
+			}
+		}
+		for i, name := range vs.Names {
+			var m Mask
+			if i < len(masks) {
+				m = masks[i]
+			}
+			if obj := w.info().Defs[name]; obj != nil {
+				w.env[obj] = m
+			}
+		}
+	}
+}
+
+func (w *taintWalker) walkReturn(r *ast.ReturnStmt) {
+	var masks []Mask
+	nres := w.fn.Signature().Results().Len()
+	switch {
+	case len(r.Results) == 1 && nres > 1:
+		masks = w.evalTuple(r.Results[0], nres)
+	case len(r.Results) == 0 && nres > 0:
+		// Naked return: masks of the named results.
+		res := w.fn.Signature().Results()
+		for i := 0; i < res.Len(); i++ {
+			masks = append(masks, w.env[res.At(i)])
+		}
+	default:
+		for _, e := range r.Results {
+			masks = append(masks, w.eval(e))
+		}
+	}
+	if w.isFailureExit(r) {
+		return
+	}
+	w.joinExit(masks, r)
+}
+
+// isFailureExit reports whether this return is an error path: the function's
+// final result is error-typed and the returned operand is not the literal
+// nil. Single-operand tuple pass-throughs (`return f(x)`) count as success.
+func (w *taintWalker) isFailureExit(r *ast.ReturnStmt) bool {
+	res := w.fn.Signature().Results()
+	if res.Len() == 0 {
+		return false
+	}
+	if !types.Identical(res.At(res.Len()-1).Type(), errorType) {
+		return false
+	}
+	if len(r.Results) != res.Len() {
+		return false // naked return or tuple pass-through: assume success
+	}
+	last := ast.Unparen(r.Results[len(r.Results)-1])
+	if id, ok := last.(*ast.Ident); ok {
+		if _, isNil := w.info().Uses[id].(*types.Nil); isNil {
+			return false
+		}
+	}
+	return true
+}
+
+// joinExit merges one success exit into the summary and, in the reporting
+// pass, checks the exit sink. rs is nil for the implicit end-of-body exit.
+func (w *taintWalker) joinExit(masks []Mask, rs *ast.ReturnStmt) {
+	for i, v := range w.args {
+		w.sum.Args[i] |= w.env[v]
+	}
+	for i, m := range masks {
+		if i < len(w.sum.Results) {
+			w.sum.Results[i] |= m
+		}
+	}
+	if w.exitDesc == "" || !w.report {
+		return
+	}
+	pos, end := w.decl.Name.Pos(), w.decl.Name.End()
+	if rs != nil {
+		pos, end = rs.Pos(), rs.End()
+	}
+	if IsTestFile(w.a.pass.Fset, pos) {
+		return
+	}
+	for _, m := range masks {
+		if m&SourceBit != 0 {
+			w.a.report(pos, end, "%s returns raw device entropy that has not passed health.Monitor", w.exitDesc)
+			return
+		}
+	}
+	for i, v := range w.args {
+		if strongUpdatable(v.Type()) && w.env[v]&SourceBit != 0 {
+			w.a.report(pos, end, "%s writes raw device entropy that has not passed health.Monitor into %s", w.exitDesc, w.args[i].Name())
+			return
+		}
+	}
+}
+
+func (w *taintWalker) walkIf(s *ast.IfStmt) {
+	if s.Init != nil {
+		w.walkStmt(s.Init)
+	}
+	cond := w.eval(s.Cond)
+	stripThen, stripElse := w.rawGuardStrips(s.Cond)
+	base := copyEnv(w.env)
+	savedPC := w.pc
+	w.pc |= cond & SourceBit
+	defer func() { w.pc = savedPC }()
+
+	if stripThen {
+		w.stripSourceEnv()
+		w.rawDepth++
+	}
+	w.walkStmt(s.Body)
+	if stripThen {
+		w.rawDepth--
+	}
+	thenEnv := w.env
+	thenTerm := terminates(s.Body)
+
+	w.env = copyEnv(base)
+	elseTerm := false
+	if s.Else != nil {
+		if stripElse {
+			w.stripSourceEnv()
+			w.rawDepth++
+		}
+		w.walkStmt(s.Else)
+		if stripElse {
+			w.rawDepth--
+		}
+		elseTerm = terminates(s.Else)
+	} else if stripElse {
+		// Fallthrough on the monitor==nil side: the code after the if is
+		// reached raw-legally on this path.
+		w.stripSourceEnv()
+	}
+	elseEnv := w.env
+
+	switch {
+	case thenTerm && !elseTerm:
+		w.env = elseEnv
+	case elseTerm && !thenTerm:
+		w.env = thenEnv
+	default:
+		w.env = joinEnv(thenEnv, elseEnv)
+	}
+}
+
+// rawGuardStrips classifies an if condition against the raw-tier guard
+// doctrine. It returns whether the then-branch and the else/fallthrough side
+// are the documented raw tier.
+func (w *taintWalker) rawGuardStrips(cond ast.Expr) (then, els bool) {
+	if w.a.cfg.RawGuard == nil {
+		return false, false
+	}
+	c := ast.Unparen(cond)
+	bin, ok := c.(*ast.BinaryExpr)
+	if !ok {
+		return false, false
+	}
+	isNilTest := func(x, y ast.Expr) ast.Expr {
+		if id, ok := ast.Unparen(y).(*ast.Ident); ok {
+			if _, isNil := w.info().Uses[id].(*types.Nil); isNil {
+				return x
+			}
+		}
+		return nil
+	}
+	switch bin.Op {
+	case token.EQL:
+		for _, pair := range [][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+			if e := isNilTest(pair[0], pair[1]); e != nil && w.a.cfg.RawGuard(w.info(), e) {
+				return true, false
+			}
+		}
+	case token.NEQ:
+		for _, pair := range [][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+			if e := isNilTest(pair[0], pair[1]); e != nil && w.a.cfg.RawGuard(w.info(), e) {
+				return false, true
+			}
+		}
+	case token.LAND:
+		// then-branch implies every conjunct: a monitor==nil conjunct makes
+		// the then-branch raw. The else side is ambiguous.
+		t1, _ := w.rawGuardStrips(bin.X)
+		t2, _ := w.rawGuardStrips(bin.Y)
+		return t1 || t2, false
+	case token.LOR:
+		// else-branch negates every disjunct: a monitor!=nil... no — a
+		// monitor==nil disjunct means the else side implies monitor!=nil,
+		// so nothing is raw there; but a monitor!=nil disjunct makes the
+		// else side imply monitor==nil: raw.
+		_, e1 := w.rawGuardStrips(bin.X)
+		_, e2 := w.rawGuardStrips(bin.Y)
+		return false, e1 || e2
+	}
+	return false, false
+}
+
+func (w *taintWalker) walkSwitch(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		w.walkStmt(s.Init)
+	}
+	savedPC := w.pc
+	if s.Tag != nil {
+		w.pc |= w.eval(s.Tag) & SourceBit
+	}
+	defer func() { w.pc = savedPC }()
+	w.walkClauses(s.Body, func(cc *ast.CaseClause) {
+		for _, e := range cc.List {
+			w.eval(e)
+		}
+	}, nil)
+}
+
+func (w *taintWalker) walkTypeSwitch(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		w.walkStmt(s.Init)
+	}
+	var operand Mask
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+			operand = w.eval(ta.X)
+		}
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+			operand = w.eval(ta.X)
+		}
+	}
+	w.walkClauses(s.Body, nil, func(cc *ast.CaseClause) {
+		if obj := w.info().Implicits[cc]; obj != nil {
+			w.env[obj] = operand
+		}
+	})
+}
+
+func (w *taintWalker) walkClauses(body *ast.BlockStmt, evalCase func(*ast.CaseClause), enter func(*ast.CaseClause)) {
+	base := copyEnv(w.env)
+	joined := copyEnv(base) // no-default switches fall through with base env
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		w.env = copyEnv(base)
+		if evalCase != nil {
+			evalCase(cc)
+		}
+		if enter != nil {
+			enter(cc)
+		}
+		for _, st := range cc.Body {
+			w.walkStmt(st)
+		}
+		if !terminatesList(cc.Body) {
+			joined = joinEnv(joined, w.env)
+		}
+	}
+	w.env = joined
+}
+
+func (w *taintWalker) walkSelect(s *ast.SelectStmt) {
+	base := copyEnv(w.env)
+	joined := copyEnv(base)
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		w.env = copyEnv(base)
+		if cc.Comm != nil {
+			w.walkStmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			w.walkStmt(st)
+		}
+		if !terminatesList(cc.Body) {
+			joined = joinEnv(joined, w.env)
+		}
+	}
+	w.env = joined
+}
+
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return terminatesList(s.List)
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	}
+	return false
+}
+
+func terminatesList(list []ast.Stmt) bool {
+	return len(list) > 0 && terminates(list[len(list)-1])
+}
+
+// ---- assignment targets ----
+
+// assignTo propagates mask m into the storage named by e. strong replaces a
+// local's mask; everything reached through fields, globals, derefs, indexes
+// or channels merges monotonically.
+func (w *taintWalker) assignTo(e ast.Expr, m Mask, strong bool) {
+	// Implicit flow: a store guarded by an entropy-derived condition carries
+	// the condition's taint — but only into scalar targets. Bit-banging
+	// reconstructs entropy into integers (words[i] |= 1<<k under "if bit !=
+	// 0"); a struct pointer updated under an entropy-dependent health check
+	// is bookkeeping, not a copy of the bits.
+	if w.pc != 0 {
+		if et := w.info().TypeOf(e); et != nil {
+			if t, ok := et.Underlying().(*types.Basic); ok && t.Kind() != types.Invalid {
+				m |= w.pc
+			}
+		}
+	}
+	if w.rawDepth > 0 {
+		m &^= SourceBit
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		obj := w.info().Defs[e]
+		if obj == nil {
+			obj = w.info().Uses[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		if w.isPackageLevel(v) {
+			w.mergeField(v, m)
+			return
+		}
+		if strong {
+			w.env[v] = m
+		} else {
+			w.env[v] |= m
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := w.info().Selections[e]; ok && sel.Kind() == types.FieldVal {
+			// Field state is tracked per field object in the package-global
+			// map, not through the base value: merging into the base would
+			// let a provider's internally-raw state (an engine's shard
+			// rings) taint everything reachable from a handle to it.
+			if fld, ok := sel.Obj().(*types.Var); ok {
+				w.mergeField(fld, m)
+			}
+			return
+		}
+		// Qualified package-level var in another package: untracked.
+	case *ast.StarExpr:
+		w.assignTo(e.X, m, false)
+	case *ast.IndexExpr:
+		w.assignTo(e.X, m, false)
+	case *ast.SliceExpr:
+		// x[:] denotes the whole of x, so a strong update through it (a
+		// cleanser called as monitor.IngestPacked(buf[:], n)) stays strong.
+		// A bounded slice covers only part of x: weak.
+		if e.Low == nil && e.High == nil && !e.Slice3 {
+			w.assignTo(e.X, m, strong)
+		} else {
+			w.assignTo(e.X, m, false)
+		}
+	}
+}
+
+func (w *taintWalker) isPackageLevel(v *types.Var) bool {
+	return v.Parent() == w.a.pass.Pkg.Scope()
+}
+
+func (w *taintWalker) mergeField(v *types.Var, m Mask) {
+	// The field map is shared by every function in the package, so only the
+	// context-independent SourceBit may live in it: a caller-relative ArgBit
+	// merged by one function would read as a different function's argument
+	// everywhere else.
+	m &= SourceBit
+	old := w.a.fields[v]
+	if old|m != old {
+		w.a.fields[v] = old | m
+		w.a.changed = true
+	}
+}
+
+// ---- expression evaluation ----
+
+func (w *taintWalker) eval(e ast.Expr) Mask {
+	m := w.eval0(e)
+	if w.rawDepth > 0 {
+		m &^= SourceBit
+	}
+	return m
+}
+
+func (w *taintWalker) eval0(e ast.Expr) Mask {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ast.ParenExpr:
+		return w.eval(e.X)
+	case *ast.Ident:
+		if v, ok := w.info().Uses[e].(*types.Var); ok {
+			if w.isPackageLevel(v) {
+				return w.a.fields[v]
+			}
+			return w.env[v]
+		}
+		return 0
+	case *ast.SelectorExpr:
+		if sel, ok := w.info().Selections[e]; ok {
+			if sel.Kind() == types.FieldVal {
+				m := w.eval(e.X)
+				if fld, ok := sel.Obj().(*types.Var); ok {
+					m |= w.a.fields[fld]
+				}
+				return m
+			}
+			return 0 // method value
+		}
+		if v, ok := w.info().Uses[e.Sel].(*types.Var); ok {
+			return w.a.fields[v] // other package's global: usually untracked
+		}
+		return 0
+	case *ast.StarExpr:
+		return w.eval(e.X)
+	case *ast.UnaryExpr:
+		return w.eval(e.X) // includes & (aliasing) and <- (channel receive)
+	case *ast.BinaryExpr:
+		return w.eval(e.X) | w.eval(e.Y)
+	case *ast.IndexExpr:
+		w.eval(e.Index)
+		return w.eval(e.X)
+	case *ast.IndexListExpr:
+		return w.eval(e.X)
+	case *ast.SliceExpr:
+		w.eval(e.Low)
+		w.eval(e.High)
+		w.eval(e.Max)
+		return w.eval(e.X)
+	case *ast.CompositeLit:
+		var m Mask
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= w.eval(kv.Value)
+			} else {
+				m |= w.eval(el)
+			}
+		}
+		return m
+	case *ast.TypeAssertExpr:
+		return w.eval(e.X)
+	case *ast.CallExpr:
+		res := w.evalCall(e, 1)
+		var m Mask
+		for _, r := range res {
+			m |= r
+		}
+		return m
+	case *ast.FuncLit:
+		return 0 // closure bodies are not summarized; their calls are unknown
+	}
+	return 0
+}
+
+// evalTuple evaluates a multi-value expression to n masks.
+func (w *taintWalker) evalTuple(e ast.Expr, n int) []Mask {
+	out := make([]Mask, n)
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		res := w.evalCall(e, n)
+		copy(out, res)
+	case *ast.TypeAssertExpr:
+		out[0] = w.eval(e.X) // ok bool stays clean
+	case *ast.IndexExpr:
+		w.eval(e.Index)
+		out[0] = w.eval(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			out[0] = w.eval(e.X)
+		}
+	}
+	if w.rawDepth > 0 {
+		for i := range out {
+			out[i] &^= SourceBit
+		}
+	}
+	return out
+}
+
+// evalCall models one call expression and returns its result masks.
+func (w *taintWalker) evalCall(call *ast.CallExpr, nhint int) []Mask {
+	info := w.info()
+	// Conversion?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []Mask{w.eval(call.Args[0])}
+		}
+		return []Mask{0}
+	}
+	// Builtin?
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return w.evalBuiltin(b.Name(), call)
+		}
+	}
+
+	fn := StaticCallee(info, call)
+	argExprs, argMasks := w.canonicalCallArgs(fn, call)
+	nres := w.resultCount(call, fn)
+	if fn != nil {
+		w.a.observeArgs(fn, argMasks)
+	}
+
+	if fn != nil && w.a.cfg.Effect != nil {
+		if eff, ok := w.a.cfg.Effect(fn); ok {
+			return w.applyEffect(call, fn, eff, argExprs, argMasks, nres)
+		}
+	}
+	if fn != nil {
+		if sum := w.a.summaryFor(fn); sum != nil {
+			return w.applySummary(call, fn, sum, argExprs, argMasks, nres)
+		}
+	}
+	// Unknown callee: results carry the OR of all argument masks, and every
+	// pointer-ish argument may have had that mask written through it.
+	var all Mask
+	for _, m := range argMasks {
+		all |= m
+	}
+	if all != 0 {
+		for _, ae := range argExprs {
+			if pointerish(info.TypeOf(ae)) {
+				w.assignTo(ae, all, false)
+			}
+		}
+	}
+	out := make([]Mask, nres)
+	for i := range out {
+		out[i] = all
+	}
+	return out
+}
+
+func (w *taintWalker) evalBuiltin(name string, call *ast.CallExpr) []Mask {
+	switch name {
+	case "copy":
+		if len(call.Args) == 2 {
+			m := w.eval(call.Args[1])
+			w.eval(call.Args[0])
+			w.assignTo(call.Args[0], m, false)
+		}
+		return []Mask{0}
+	case "append", "min", "max":
+		var m Mask
+		for _, a := range call.Args {
+			m |= w.eval(a)
+		}
+		return []Mask{m}
+	default:
+		for _, a := range call.Args {
+			w.eval(a)
+		}
+		return []Mask{0}
+	}
+}
+
+// canonicalCallArgs returns the canonical argument expressions and masks for
+// a call: receiver first for method calls, then the arguments, with extra
+// variadic operands folded into the final parameter slot so indices line up
+// with the callee summary.
+func (w *taintWalker) canonicalCallArgs(fn *types.Func, call *ast.CallExpr) ([]ast.Expr, []Mask) {
+	var exprs []ast.Expr
+	if fn != nil && fn.Signature().Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isMethodCall := w.info().Selections[sel]; isMethodCall {
+				exprs = append(exprs, sel.X)
+			}
+		}
+		if len(exprs) == 0 {
+			// Method expression (T.M)(recv, ...): the receiver is args[0],
+			// which the generic path below already handles.
+			exprs = append(exprs, call.Args...)
+			masks := make([]Mask, len(exprs))
+			for i, e := range exprs {
+				masks[i] = w.eval(e)
+			}
+			return exprs, masks
+		}
+	}
+	exprs = append(exprs, call.Args...)
+	masks := make([]Mask, len(exprs))
+	for i, e := range exprs {
+		masks[i] = w.eval(e)
+	}
+	if fn != nil && fn.Signature().Variadic() && call.Ellipsis == token.NoPos {
+		want := fn.Signature().Params().Len()
+		if fn.Signature().Recv() != nil {
+			want++
+		}
+		if len(masks) > want && want > 0 {
+			var folded Mask
+			for _, m := range masks[want-1:] {
+				folded |= m
+			}
+			masks = append(masks[:want-1], folded)
+			exprs = exprs[:want]
+		}
+	}
+	return exprs, masks
+}
+
+func (w *taintWalker) resultCount(call *ast.CallExpr, fn *types.Func) int {
+	if fn != nil {
+		return fn.Signature().Results().Len()
+	}
+	if tv, ok := w.info().Types[call]; ok && tv.Type != nil {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			return tup.Len()
+		}
+		if tv.Type == types.Typ[types.Invalid] || tv.IsVoid() {
+			return 0
+		}
+		return 1
+	}
+	return 1
+}
+
+func (w *taintWalker) applyEffect(call *ast.CallExpr, fn *types.Func, eff CallEffect, argExprs []ast.Expr, argMasks []Mask, nres int) []Mask {
+	// Sinks first: Ingest-style cleansers must not hide a tainted argument
+	// from a sink check attached to the same callee.
+	for _, i := range eff.SinkArgs {
+		if i < len(argMasks) {
+			w.recordFlow(call, argMasks[i], eff.SinkDesc)
+		}
+	}
+	for _, i := range eff.CleanseArgs {
+		if i < len(argExprs) {
+			w.assignTo(argExprs[i], 0, true)
+			if i < len(argMasks) {
+				argMasks[i] = 0
+			}
+		}
+	}
+	out := make([]Mask, nres)
+	if eff.IsSource {
+		results := fn.Signature().Results()
+		for j := 0; j < nres && j < results.Len(); j++ {
+			if !types.Identical(results.At(j).Type(), errorType) {
+				out[j] = SourceBit
+			}
+		}
+		start := 0
+		if fn.Signature().Recv() != nil {
+			start = 1 // the device/controller itself is not tainted
+		}
+		for i := start; i < len(argExprs); i++ {
+			if strongUpdatable(w.info().TypeOf(argExprs[i])) {
+				w.assignTo(argExprs[i], SourceBit, true)
+			}
+		}
+		if w.rawDepth > 0 {
+			for j := range out {
+				out[j] &^= SourceBit
+			}
+		}
+	}
+	return out
+}
+
+func (w *taintWalker) applySummary(call *ast.CallExpr, fn *types.Func, sum *FuncSummary, argExprs []ast.Expr, argMasks []Mask, nres int) []Mask {
+	translate := func(m Mask) Mask {
+		out := m & SourceBit
+		for i, am := range argMasks {
+			if m&ArgBit(i) != 0 {
+				out |= am
+			}
+		}
+		return out
+	}
+	start := 0
+	if fn.Signature().Recv() != nil {
+		// Receiver pointee state is tracked by the callee's own package
+		// field map; re-applying it here would taint the whole handle.
+		start = 1
+	}
+	for i := start; i < len(argExprs); i++ {
+		if i >= len(sum.Args) {
+			break
+		}
+		ae := argExprs[i]
+		t := w.info().TypeOf(ae)
+		if strongUpdatable(t) {
+			w.assignTo(ae, translate(sum.Args[i]), true)
+		} else if pointerish(t) {
+			w.assignTo(ae, translate(sum.Args[i])&^argMasks[i], false)
+		}
+	}
+	for _, fl := range sum.Flows {
+		w.recordFlow(call, translate(fl.Mask), fl.Sink)
+	}
+	out := make([]Mask, nres)
+	for j := 0; j < nres && j < len(sum.Results); j++ {
+		out[j] = translate(sum.Results[j])
+	}
+	if w.rawDepth > 0 {
+		for j := range out {
+			out[j] &^= SourceBit
+		}
+	}
+	return out
+}
+
+// recordFlow handles a sink observation with mask m at a call site: a
+// SourceBit is reported here; ArgBits become a latent flow the callers
+// re-check with their own argument masks.
+func (w *taintWalker) recordFlow(call *ast.CallExpr, m Mask, desc string) {
+	if w.rawDepth > 0 {
+		m &^= SourceBit
+	}
+	if m == 0 {
+		return
+	}
+	if lat := m &^ SourceBit; lat != 0 {
+		fl := TaintFlow{Mask: lat, Sink: desc}
+		if !w.flows[fl] {
+			w.flows[fl] = true
+			w.sum.Flows = append(w.sum.Flows, fl)
+		}
+	}
+	if m&SourceBit != 0 && w.report && !IsTestFile(w.a.pass.Fset, call.Pos()) {
+		w.a.report(call.Pos(), call.End(), "raw device entropy reaches %s without passing health.Monitor", desc)
+	}
+}

@@ -70,8 +70,8 @@ type engineShard struct {
 
 	// bitsHarvested and simCycles are published by the shard goroutine after
 	// every batch and read by Stats without stopping the harvest.
-	bitsHarvested atomic.Int64
-	simCycles     atomic.Int64
+	bitsHarvested atomic.Int64 // drange:atomic
+	simCycles     atomic.Int64 // drange:atomic
 }
 
 // Engine is the concurrent sharded harvesting engine: it partitions the bank

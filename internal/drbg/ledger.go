@@ -14,8 +14,8 @@ import "sync/atomic"
 // All methods are safe for concurrent use (the stats path reads while the
 // serving path writes).
 type Ledger struct {
-	credited atomic.Int64
-	debited  atomic.Int64
+	credited atomic.Int64 // drange:atomic
+	debited  atomic.Int64 // drange:atomic
 }
 
 // CreditBits records n raw bits that passed the continuous health tests.
