@@ -115,6 +115,15 @@ type scenarioReport struct {
 	// percentiles over the scenario's successful requests, in milliseconds.
 	LatencyP50MS float64 `json:"latency_p50_ms"`
 	LatencyP99MS float64 `json:"latency_p99_ms"`
+	// DeliveredBits and the tier counters snapshot the source's final
+	// Stats(): serving-core accounting is success-only, so after a clean
+	// scenario (tier_raw_bytes + tier_drbg_bytes) * 8 == delivered_bits —
+	// CI asserts exactly that on the healthy soak.
+	DeliveredBits int64 `json:"delivered_bits"`
+	TierRawReads  int64 `json:"tier_raw_reads"`
+	TierRawBytes  int64 `json:"tier_raw_bytes"`
+	TierDRBGReads int64 `json:"tier_drbg_reads"`
+	TierDRBGBytes int64 `json:"tier_drbg_bytes"`
 	// DevicesEvicted counts pool members evicted during the scenario.
 	DevicesEvicted int                 `json:"devices_evicted"`
 	Trips          tripReport          `json:"trips"`
@@ -407,6 +416,16 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 		sc.Trips = tripReport{}
 		sc.Trips.add(sc.Health)
 	}
+
+	// The delivery/tier snapshot comes last so it covers the NIST sample read
+	// too; every read the scenario issued is byte-aligned, so the tier byte
+	// counters must account for exactly the delivered bits.
+	final := src.Stats()
+	sc.DeliveredBits = final.BitsDelivered
+	sc.TierRawReads = final.TierRaw.Reads
+	sc.TierRawBytes = final.TierRaw.Bytes
+	sc.TierDRBGReads = final.TierDRBG.Reads
+	sc.TierDRBGBytes = final.TierDRBG.Bytes
 	return sc
 }
 

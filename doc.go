@@ -59,6 +59,20 @@
 // failing readers while a healthy member remains. Stats gains a per-device
 // breakdown (Stats.Devices) on top of the per-shard accounting.
 //
+// # Serving core
+//
+// Both Source facades sit on one serving core: a Generator is served as a
+// one-member pool. One scheduler, one lock-free fast path, one locked path,
+// one DRBG tier and one tier-accounting site implement Read, ReadBits,
+// ReadRaw and Uint64 for Generator and Pool alike, so the two facades cannot
+// drift apart — a single-member pool and a Generator over the same profile
+// produce byte-for-byte identical streams under deterministic noise
+// (regression-tested). The shared accounting is success-only: a read that
+// fails with (0, err) never advances the tier counters or delivered totals,
+// and a multi-chunk DRBG read commits its per-member deliveries only when
+// the whole request succeeds, so per-device deliveries always sum to the
+// pool aggregate.
+//
 // # Online health tests
 //
 // The paper validates output quality offline with the NIST battery and

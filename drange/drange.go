@@ -96,8 +96,6 @@ package drange
 import (
 	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -376,6 +374,21 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 		trcdNS:  trcd,
 		sels:    sels,
 	}
+	// The generator serves as a 1-member pool on the shared serving core:
+	// idx -1 is the Device value its HealthErrors report, and the pool
+	// device-health policy (bias/temperature windows) stays disabled — it is
+	// an OpenPool feature.
+	m := &servingMember{
+		idx:     -1,
+		profile: profile,
+		backend: backend,
+		pub:     pub,
+		ownsDev: ownsDev,
+	}
+	g.single = true
+	g.members = []*servingMember{m}
+	g.policy = HealthPolicy{Disabled: true}
+	g.closeHook = g.closeLegacyLocked
 	if len(o.post) > 0 {
 		chain, err := newPostChain(o.post)
 		if err != nil {
@@ -397,6 +410,7 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 			return fail(fmt.Errorf("drange: %w", err))
 		}
 		g.ctrl, g.trng = ctrl, trng
+		m.src = trng
 	} else {
 		eng, err := core.NewEngine(ctx, dev, sels, core.EngineConfig{
 			Shards: shards,
@@ -406,6 +420,10 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 			return fail(fmt.Errorf("drange: %w", err))
 		}
 		g.eng = eng
+		m.src, m.eng = eng, eng
+		// The engine is thread-safe, so the core's lock-free fast path is
+		// available (the sequential TRNG sampler is not).
+		g.concurrent = true
 	}
 	if o.healthTests != nil && !o.healthTests.Disabled {
 		// The sampler is live from here on, so failures release it through
@@ -422,35 +440,20 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 		if err != nil {
 			return failStarted(fmt.Errorf("drange: %w", err))
 		}
-		g.hpolicy, g.monitor, g.startupOK = hp, mon, true
-		if hp.StartupBits > 0 {
-			sample, err := g.rawBitsLocked(hp.StartupBits)
-			if err != nil {
-				return failStarted(err)
-			}
-			// The sample is discarded, not delivered: keep rawDelivered equal
-			// to what callers can actually account for.
-			g.rawDelivered.Add(-int64(len(sample)))
-			if err := runStartup(sample, hp, -1); err != nil {
-				return failStarted(err)
-			}
+		g.testsEnabled, g.testsPolicy = true, hp
+		m.monitor, m.startupOK = mon, true
+		if err := g.runStartupTests(); err != nil {
+			return failStarted(err)
 		}
 		if drbgOn {
-			// Instantiate the DRBG tier from a health-screened seed. The
-			// ledger registers as the monitor's credit sink first, so even
-			// the first seed's harvest accrues toward the credit windows.
-			s := newDRBGState(drbgPolicy, drbgPolicy.ReseedInterval)
-			g.monitor.SetCreditSink(s.ledger)
-			blocked := 0
-			if err := g.samplePackedLocked(s.seedBuf, &blocked); err != nil {
-				g.Close()
-				return nil, err
+			// Instantiate the DRBG tier from a health-screened seed: the
+			// ledger registers as the monitor's credit sink before the seed
+			// harvest, so even the first seed accrues toward the credit
+			// windows.
+			g.drbgOn, g.drbgPolicy = true, drbgPolicy
+			if err := g.instantiateDRBGs(); err != nil {
+				return failStarted(err)
 			}
-			if err := s.instantiate(); err != nil {
-				g.Close()
-				return nil, err
-			}
-			g.drbgOn, g.drbg = true, s
 		}
 	}
 	return g, nil
@@ -459,8 +462,13 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 // Generator is the concrete Source returned by Open (and by the deprecated
 // New). Beyond the Source interface it exposes the profile it runs under and
 // the evaluation estimators of Section 7.3. It is safe for concurrent use.
+//
+// A Generator is served as a 1-member pool: the embedded servingCore carries
+// the single member (health monitor, DRBG state, tier accounting) and
+// implements Read, ReadBits, ReadRaw, Uint64 and Close — the same
+// implementations a Pool serves through.
 type Generator struct {
-	mu sync.Mutex
+	servingCore
 
 	profile *Profile
 	dev     device.Device
@@ -474,7 +482,8 @@ type Generator struct {
 	trcdNS  float64
 	sels    []core.BankSelection
 
-	// Exactly one of trng (sequential) and eng (sharded) is non-nil.
+	// Exactly one of trng (sequential) and eng (sharded) is non-nil; the
+	// serving member's sampler is the same object.
 	ctrl *memctrl.Controller
 	trng *core.TRNG
 	eng  *core.Engine
@@ -483,43 +492,15 @@ type Generator struct {
 	// while set, estimates refuse to run (their fresh controllers would
 	// desynchronise the running shards' bank state).
 	legacy *Engine // drange:guardedby mu
+}
 
-	// monitor streams every raw bit through the online health tests (nil
-	// when WithHealthTests is not attached); hpolicy is the resolved policy,
-	// blockedWindows counts batches discarded under HealthActionBlock, and
-	// startupOK records the startup self-test outcome. All are guarded by mu
-	// (the lock-free sharded fast path is disabled while a monitor is
-	// attached, so the stream ordering the windowed tests rely on is
-	// well-defined).
-	monitor        *health.Monitor  // drange:guardedby mu
-	hpolicy        HealthTestPolicy // drange:guardedby mu
-	blockedWindows int64            // drange:guardedby mu
-	startupOK      bool             // drange:guardedby mu
-
-	// drbgOn mirrors drbg != nil for the pre-lock tier dispatch in Read;
-	// both are set once at open time, but only drbg guards mutable state.
-	// The DRBG instance, its ledger registration and its seed buffer are
-	// driven strictly under mu, exactly like the monitor that screens its
-	// seeds.
-	drbgOn bool
-	drbg   *drbgState // drange:guardedby mu
-
-	post *postChain
-	// rawDelivered counts bits drawn from the sampler; delivered counts
-	// bits returned to callers. They differ only when a post-processing
-	// chain discards bits in between. Atomic: the sharded no-postprocess
-	// read path updates them without holding mu.
-	rawDelivered atomic.Int64 // drange:atomic
-	delivered    atomic.Int64 // drange:atomic
-
-	// Per-tier serving accounting (atomic: the raw tier's lock-free sharded
-	// fast path updates them without mu).
-	tierRawReads  atomic.Int64 // drange:atomic
-	tierRawBytes  atomic.Int64 // drange:atomic
-	tierDRBGReads atomic.Int64 // drange:atomic
-	tierDRBGBytes atomic.Int64 // drange:atomic
-
-	closed bool // drange:guardedby mu
+// closeLegacyLocked stops an engine attached through the deprecated Engine
+// method. It runs as the serving core's closeHook, under mu.
+func (g *Generator) closeLegacyLocked() {
+	if g.legacy != nil {
+		g.legacy.eng.Close()
+		g.legacy = nil
+	}
 }
 
 // Profile returns the device profile this generator runs under.
@@ -555,337 +536,6 @@ func (g *Generator) Selections() []Selection { return g.profile.Selections }
 // DRAM words containing x RNG cells, per bank.
 func (g *Generator) DensityHistograms() []Density { return g.profile.DensityHistograms() }
 
-// rawBitsLocked reads n bits from the underlying sampler.
-func (g *Generator) rawBitsLocked(n int) ([]byte, error) {
-	var bits []byte
-	var err error
-	if g.eng != nil {
-		bits, err = g.eng.ReadBits(n)
-	} else {
-		bits, err = g.trng.ReadBits(n)
-	}
-	if err != nil {
-		return nil, err
-	}
-	g.rawDelivered.Add(int64(len(bits)))
-	return bits, nil
-}
-
-// rawPackedLocked fills dst with packed raw bytes from the underlying sampler.
-// Callers hold g.mu.
-func (g *Generator) rawPackedLocked(dst []byte) error {
-	var err error
-	if g.eng != nil {
-		err = g.eng.ReadPacked(dst)
-	} else {
-		err = g.trng.ReadPacked(dst)
-	}
-	if err != nil {
-		return err
-	}
-	g.rawDelivered.Add(int64(len(dst)) * 8)
-	return nil
-}
-
-// samplePackedLocked fills dst with packed raw bytes, streaming them through the
-// online health monitor when one is attached — the packed counterpart of
-// sampleBitsLocked, with the same trip policies. blocked carries the
-// HealthActionBlock discard budget across the batches of one Read call, so
-// MaxBlockedWindows bounds the whole read, not each chunk. Callers hold
-// g.mu.
-func (g *Generator) samplePackedLocked(dst []byte, blocked *int) error {
-	if g.monitor == nil {
-		return g.rawPackedLocked(dst)
-	}
-	for {
-		if err := g.rawPackedLocked(dst); err != nil {
-			return err
-		}
-		v := g.monitor.IngestPacked(dst, len(dst)*8)
-		if v == nil {
-			return nil
-		}
-		if g.hpolicy.OnFailure != HealthActionBlock {
-			return &HealthError{Test: string(v.Test), Device: -1, Detail: v.Detail}
-		}
-		g.monitor.Reset()
-		g.blockedWindows++
-		*blocked++
-		if *blocked >= g.hpolicy.MaxBlockedWindows {
-			return &HealthError{Test: "blocked", Device: -1, Detail: fmt.Sprintf(
-				"no clean batch after discarding %d (last violation: %s: %s)", *blocked, v.Test, v.Detail)}
-		}
-	}
-}
-
-// samplePackedFnLocked binds samplePackedLocked to a per-read discard budget;
-// the returned closure runs under g.mu like its caller.
-func (g *Generator) samplePackedFnLocked() func([]byte) error {
-	blocked := 0
-	return func(dst []byte) error { return g.samplePackedLocked(dst, &blocked) }
-}
-
-// sampleBitsLocked reads n raw bits, streaming them through the online health
-// monitor when one is attached. On a trip the HealthError policy fails the
-// read; HealthActionBlock discards the dirty batch, resets the test windows and
-// harvests a fresh batch until one passes cleanly (bounded by
-// MaxBlockedWindows, so a dead device fails loudly instead of stalling
-// forever). Callers hold g.mu.
-func (g *Generator) sampleBitsLocked(n int) ([]byte, error) {
-	if g.monitor == nil {
-		return g.rawBitsLocked(n)
-	}
-	blocked := 0
-	for {
-		bits, err := g.rawBitsLocked(n)
-		if err != nil {
-			return nil, err
-		}
-		v := g.monitor.Ingest(bits)
-		if v == nil {
-			return bits, nil
-		}
-		if g.hpolicy.OnFailure != HealthActionBlock {
-			return nil, &HealthError{Test: string(v.Test), Device: -1, Detail: v.Detail}
-		}
-		g.monitor.Reset()
-		g.blockedWindows++
-		blocked++
-		if blocked >= g.hpolicy.MaxBlockedWindows {
-			return nil, &HealthError{Test: "blocked", Device: -1, Detail: fmt.Sprintf(
-				"no clean batch after discarding %d (last violation: %s: %s)", blocked, v.Test, v.Detail)}
-		}
-	}
-}
-
-// ReadBits returns n random bits, one bit per returned byte (values 0 or 1),
-// after any configured post-processing chain. It is a thin unpacking adapter
-// over the packed serving path: Read is the fast representation, and
-// ReadBits exists for callers that want individual bits.
-func (g *Generator) ReadBits(n int) ([]byte, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("drange: bit count must be positive, got %d", n)
-	}
-	g.mu.Lock()
-	if g.closed {
-		g.mu.Unlock()
-		return nil, fmt.Errorf("drange: source is closed")
-	}
-	if g.drbgOn {
-		defer g.mu.Unlock()
-		packed := make([]byte, (n+7)/8)
-		if err := g.drbgReadLocked(packed); err != nil {
-			return nil, err
-		}
-		out := make([]byte, n)
-		unpackBits(out, packed)
-		g.delivered.Add(int64(n))
-		g.tierDRBGReads.Add(1)
-		g.tierDRBGBytes.Add(int64(len(packed)))
-		return out, nil
-	}
-	if g.eng != nil && g.post == nil && g.monitor == nil {
-		// Sharded without post-processing or health tests: delegate to the
-		// thread-safe engine without holding the mutex, so concurrent
-		// consumers drain the shard rings in parallel (a Close during the
-		// read surfaces as the engine's sticky error). A health monitor
-		// forces the locked path: its windowed tests need one well-defined
-		// stream order.
-		g.mu.Unlock()
-		bits, err := g.eng.ReadBits(n)
-		if err != nil {
-			return nil, err
-		}
-		g.rawDelivered.Add(int64(len(bits)))
-		g.delivered.Add(int64(len(bits)))
-		return bits, nil
-	}
-	defer g.mu.Unlock()
-	var bits []byte
-	var err error
-	if g.post != nil {
-		bits, err = g.post.readBits(n, g.samplePackedFnLocked())
-	} else {
-		bits, err = g.sampleBitsLocked(n)
-	}
-	if err != nil {
-		return nil, err
-	}
-	g.delivered.Add(int64(len(bits)))
-	return bits, nil
-}
-
-// maxReadChunkBytes bounds how much of an oversized Read request the locked
-// serving path processes per round, so a huge caller buffer behind a monitor
-// or post-processing chain is streamed through bounded working memory rather
-// than materialised in one piece.
-const maxReadChunkBytes = 1 << 16
-
-// Read fills p with random bytes, implementing io.Reader. It never returns a
-// short read except on error.
-//
-// Without WithDRBG this is the raw packed fast path (see ReadRaw). With
-// WithDRBG attached, Read serves the DRBG tier: deterministic output
-// expanded from health-screened raw entropy, reseeded on the policy's
-// interval, with nothing allocated per request under the default ChaCha20
-// construction.
-func (g *Generator) Read(p []byte) (int, error) {
-	if !g.drbgOn {
-		return g.ReadRaw(p)
-	}
-	if len(p) == 0 {
-		return 0, nil
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return 0, fmt.Errorf("drange: source is closed")
-	}
-	if err := g.drbgReadLocked(p); err != nil {
-		return 0, err
-	}
-	g.delivered.Add(int64(len(p)) * 8)
-	g.tierDRBGReads.Add(1)
-	g.tierDRBGBytes.Add(int64(len(p)))
-	return len(p), nil
-}
-
-// drbgReadLocked serves one DRBG-tier read: chunks of at most the policy's
-// per-request limit, each preceded by a reseed when the interval elapsed (or
-// on every chunk under prediction resistance). Reseeds draw their seed
-// through samplePackedLocked, so the raw bits feeding the DRBG pass the
-// online health tests under the same policies as raw-tier reads. Callers
-// hold g.mu.
-//
-//drange:noalloc
-func (g *Generator) drbgReadLocked(p []byte) error {
-	s := g.drbg
-	for off := 0; off < len(p); {
-		chunk := p[off:]
-		if len(chunk) > s.policy.MaxRequestBytes {
-			chunk = chunk[:s.policy.MaxRequestBytes]
-		}
-		if s.policy.PredictionResistance || s.d.NeedsReseed() {
-			if err := g.drbgReseedLocked(); err != nil {
-				return err
-			}
-		}
-		if err := s.d.Generate(chunk, nil); err != nil {
-			return err
-		}
-		off += len(chunk)
-	}
-	return nil
-}
-
-// drbgReseedLocked harvests a fresh health-screened seed and folds it into
-// the DRBG state, debiting the credit ledger. Callers hold g.mu.
-//
-//drange:noalloc
-func (g *Generator) drbgReseedLocked() error {
-	blocked := 0
-	if err := g.samplePackedLocked(g.drbg.seedBuf, &blocked); err != nil {
-		return err
-	}
-	return g.drbg.reseedFromBuf()
-}
-
-// ReadRaw fills p with raw harvested bytes — the physical tier. Health tests
-// and any post-processing chain still apply; only the WithDRBG expansion is
-// bypassed. Without WithDRBG, Read is this same path.
-//
-// This is the packed fast path: the caller's buffer is filled directly from
-// the sampler's packed 64-bit words — no intermediate bit-per-byte slice and,
-// with no monitor or post-processing chain attached, no steady-state
-// allocation at all. A sharded source without monitor or chain additionally
-// skips the facade mutex: the engine's own consumer lock (held per Read
-// call) is the only serialisation, so a Close or Stats never waits behind a
-// reader and readers never wait behind the facade.
-//
-//drange:seedtaint-exempt documented raw tier: delivers unconditioned entropy by contract
-func (g *Generator) ReadRaw(p []byte) (int, error) {
-	if len(p) == 0 {
-		return 0, nil
-	}
-	defer func() {
-		g.tierRawReads.Add(1)
-		g.tierRawBytes.Add(int64(len(p)))
-	}()
-	g.mu.Lock()
-	if g.closed {
-		g.mu.Unlock()
-		return 0, fmt.Errorf("drange: source is closed")
-	}
-	if g.eng != nil && g.post == nil && g.monitor == nil {
-		g.mu.Unlock()
-		if err := g.eng.ReadPacked(p); err != nil {
-			return 0, err
-		}
-		g.rawDelivered.Add(int64(len(p)) * 8)
-		g.delivered.Add(int64(len(p)) * 8)
-		return len(p), nil
-	}
-	defer g.mu.Unlock()
-	sample := g.samplePackedFnLocked()
-	for off := 0; off < len(p); {
-		chunk := p[off:]
-		if len(chunk) > maxReadChunkBytes {
-			chunk = chunk[:maxReadChunkBytes]
-		}
-		var err error
-		if g.post != nil {
-			err = g.post.readPacked(chunk, sample)
-		} else {
-			err = sample(chunk)
-		}
-		if err != nil {
-			// Nothing was delivered: a failed Read returns (0, err), so the
-			// chunks already written must not count as served.
-			return 0, err
-		}
-		off += len(chunk)
-	}
-	g.delivered.Add(int64(len(p)) * 8)
-	return len(p), nil
-}
-
-// Uint64 returns a 64-bit random value.
-func (g *Generator) Uint64() (uint64, error) {
-	var buf [8]byte
-	if _, err := g.Read(buf[:]); err != nil {
-		return 0, err
-	}
-	return core.BEUint64(buf), nil
-}
-
-// Close releases the generator. For a sharded Source it stops the harvesting
-// goroutines and waits for them to exit; it also stops any engine attached
-// through the deprecated Engine method. Close is idempotent.
-func (g *Generator) Close() error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return nil
-	}
-	g.closed = true
-	if g.legacy != nil {
-		g.legacy.eng.Close()
-		g.legacy = nil
-	}
-	var err error
-	if g.eng != nil {
-		err = g.eng.Close()
-	}
-	// Release the backend device (e.g. flush a replay recorder's log) unless
-	// the caller supplied it via WithDevice and still owns it.
-	if g.ownsDev && g.pubDev != nil {
-		if cerr := closeDevice(g.pubDev); err == nil {
-			err = cerr
-		}
-	}
-	return err
-}
-
 // Stats returns the per-shard and aggregate throughput/latency accounting in
 // simulated DRAM time. A sequential generator reports itself as one shard.
 func (g *Generator) Stats() Stats {
@@ -909,7 +559,7 @@ func (g *Generator) Stats() Stats {
 		Banks:            g.trng.Banks(),
 		BitsPerIteration: g.trng.BitsPerIteration(),
 		BitsHarvested:    bits,
-		BitsDelivered:    g.rawDelivered.Load(),
+		BitsDelivered:    g.members[0].fetched.Load(),
 		SimCycles:        cycles,
 		SimNS:            ns,
 	}
@@ -929,25 +579,6 @@ func (g *Generator) Stats() Stats {
 	return st
 }
 
-// tierStatsLocked fills the per-tier serving counters and the DRBG snapshot
-// into st. Callers hold g.mu.
-func (g *Generator) tierStatsLocked(st *Stats) {
-	st.TierRaw = TierStats{Reads: g.tierRawReads.Load(), Bytes: g.tierRawBytes.Load()}
-	st.TierDRBG = TierStats{Reads: g.tierDRBGReads.Load(), Bytes: g.tierDRBGBytes.Load()}
-	if g.drbgOn {
-		st.DRBG = g.drbg.stats()
-	}
-}
-
-// healthStatsLocked snapshots the health accounting (nil without
-// WithHealthTests). Callers hold g.mu.
-func (g *Generator) healthStatsLocked() *HealthStats {
-	if g.monitor == nil {
-		return nil
-	}
-	return healthStatsFrom(g.monitor, g.blockedWindows, g.startupOK)
-}
-
 // errEngineActive is returned by the estimators while harvesting shards own
 // the device.
 func errEngineActive() error {
@@ -960,7 +591,7 @@ func errEngineActive() error {
 func (g *Generator) estimate(fn func() error) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.closed {
+	if g.closed.Load() {
 		return fmt.Errorf("drange: source is closed")
 	}
 	if g.eng != nil || g.legacy != nil {

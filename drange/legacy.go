@@ -155,7 +155,7 @@ func (g *Generator) Engine(ctx context.Context, shards int) (*Engine, error) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.closed {
+	if g.closed.Load() {
 		return nil, fmt.Errorf("drange: source is closed")
 	}
 	if g.eng != nil {
@@ -164,7 +164,7 @@ func (g *Generator) Engine(ctx context.Context, shards int) (*Engine, error) {
 	if g.legacy != nil {
 		return nil, fmt.Errorf("drange: an engine is already active on this generator; Close it first")
 	}
-	if g.monitor != nil {
+	if g.testsEnabled {
 		// The shim reads straight from core.Engine, which would bypass the
 		// online health tests and void the "every bit is tested before a
 		// caller sees it" guarantee.

@@ -2,12 +2,7 @@ package drange
 
 import (
 	"context"
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"math/bits"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/health"
@@ -60,131 +55,18 @@ func (p HealthPolicy) withDefaults() HealthPolicy {
 	return p
 }
 
-// poolMember is one device of a pool: its profile, backend device, sharded
-// engine, health accounting, and the partially consumed packed 64-bit word
-// between engine and pool scheduler.
-type poolMember struct {
-	idx     int
-	profile *Profile
-	backend string
-	pub     Device
-	eng     *core.Engine
-	ownsDev bool
-
-	baseTempC float64
-
-	// evicted is lock-free so the concurrent read fast path skips dead
-	// members without the pool mutex; reason is guarded by p.mu.
-	evicted atomic.Bool // drange:atomic
-	reason  string      // drange:guardedby mu
-
-	// fetched counts bits pulled from this member's engine — the load metric
-	// of the least-loaded scheduler. Batches discarded under
-	// HealthActionBlock count too, so a tripping member cannot pin the
-	// scheduler while healthy members idle. delivered counts bits that
-	// reached callers. Both are atomics: the concurrent read fast path
-	// updates them without the pool mutex.
-	fetched   atomic.Int64 // drange:atomic
-	delivered atomic.Int64 // drange:atomic
-
-	// win accumulates the current bias window with the ones count in the
-	// high 32 bits and the bit count in the low 32 (one atomic, so a
-	// concurrent snapshot can never pair one window's ones with another's
-	// bits); biasDelta holds |ones-fraction − 0.5| of the last completed
-	// window (guarded by p.mu).
-	win       atomic.Int64 // drange:atomic
-	biasDelta float64      // drange:guardedby mu
-
-	// monitor streams this member's harvested bits through the online
-	// health tests (nil unless WithHealthTests is attached);
-	// blockedWindows counts batches discarded under HealthActionBlock and
-	// startupOK records the startup self-test outcome.
-	monitor        *health.Monitor // drange:guardedby mu
-	blockedWindows int64           // drange:guardedby mu
-	startupOK      bool            // drange:guardedby mu
-
-	// blockedEpoch/blockedInRead implement the per-member HealthActionBlock
-	// budget: blockedInRead counts batches this member discarded within the
-	// read identified by the pool's readEpoch, so one member exhausting its
-	// budget is reported without a shared counter throttling the others.
-	blockedEpoch  int64 // drange:guardedby mu
-	blockedInRead int   // drange:guardedby mu
-
-	// drbg is this member's DRBG instance under WithDRBG (nil otherwise, or
-	// when the member was evicted before instantiation): each member expands
-	// seeds harvested from its own device through its own monitor, so one
-	// drifting device can never contaminate another member's DRBG state.
-	drbg *drbgState // drange:guardedby mu
-
-	// cur holds up to 64 bits fetched from the engine but not yet handed
-	// out, packed with the next undelivered bit at the most significant
-	// position (locked path only).
-	cur     uint64 // drange:guardedby mu
-	curBits int    // drange:guardedby mu
-}
-
-// addWindow folds ones set bits out of n into the member's packed bias
-// window and returns the window's new bit count.
-func (m *poolMember) addWindow(ones, n int) int64 {
-	return m.win.Add(int64(ones)<<32|int64(n)) & 0xffffffff
-}
-
-// takeLocked removes and returns the top k bits of the member's buffered
-// word (k <= curBits), first stream bit at the most significant position of
-// the k-bit result.
-func (m *poolMember) takeLocked(k int) uint64 {
-	v := m.cur >> uint(64-k)
-	m.cur <<= uint(k)
-	m.curBits -= k
-	m.delivered.Add(int64(k))
-	return v
-}
-
 // Pool is the multi-device Source returned by OpenPool. It multiplexes N
 // devices — each with its own profile, backend and sharded harvesting engine
 // — behind the ordinary Source interface, scheduling 64-bit word fetches to
 // the least-loaded healthy device, tracking per-device health (bias and
 // temperature drift per HealthPolicy) and evicting unhealthy devices without
 // failing readers as long as one healthy device remains.
+//
+// The embedded servingCore carries the members and implements Read,
+// ReadBits, ReadRaw, Uint64 and Close — the same implementations a Generator
+// (a 1-member core) serves through.
 type Pool struct {
-	mu      sync.Mutex
-	members []*poolMember
-	policy  HealthPolicy
-	// testsEnabled/testsPolicy carry the WithHealthTests policy (resolved
-	// with pool defaults: trips evict the offending member).
-	testsEnabled bool
-	testsPolicy  HealthTestPolicy
-	post         *postChain
-	cancel       context.CancelFunc
-
-	// remainder reports whether any member holds sub-word buffered bits
-	// from a bit-granular read; while set, Read takes the locked path so
-	// those bits are served in order before fresh engine words (mixing
-	// ReadBits and Read must drain one well-defined stream).
-	remainder atomic.Bool // drange:atomic
-
-	// readEpoch numbers locked reads for the per-member blocked budget;
-	// blockCause remembers why a member was benched in the current read, so
-	// a read that runs out of members reports the health trip rather than a
-	// bare scheduling error.
-	readEpoch       int64        // drange:guardedby mu
-	blockCause      *HealthError // drange:guardedby mu
-	blockCauseEpoch int64        // drange:guardedby mu
-
-	// drbgOn/drbgPolicy carry the resolved WithDRBG policy (both fixed at
-	// open time; per-member DRBG state lives on the members).
-	drbgOn     bool
-	drbgPolicy DRBGPolicy
-
-	// Per-tier serving accounting (atomic: the raw tier's lock-free fast
-	// path updates them without mu).
-	tierRawReads  atomic.Int64 // drange:atomic
-	tierRawBytes  atomic.Int64 // drange:atomic
-	tierDRBGReads atomic.Int64 // drange:atomic
-	tierDRBGBytes atomic.Int64 // drange:atomic
-
-	delivered atomic.Int64 // drange:atomic
-	closed    atomic.Bool  // drange:atomic
+	servingCore
 }
 
 // OpenPool opens one device per profile and multiplexes them behind a single
@@ -247,7 +129,12 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 	policy = policy.withDefaults()
 
 	pctx, cancel := context.WithCancel(ctx)
-	p := &Pool{policy: policy, cancel: cancel}
+	p := &Pool{}
+	p.policy = policy
+	p.cancel = cancel
+	// Pool members are always engine-backed, so the core's lock-free fast
+	// path is available.
+	p.concurrent = true
 	if o.healthTests != nil && !o.healthTests.Disabled {
 		p.testsEnabled = true
 		p.testsPolicy = o.healthTests.withDefaults(true)
@@ -306,7 +193,7 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 		if err != nil {
 			return fail(fmt.Errorf("drange: pool device %d: %w", i, err))
 		}
-		m := &poolMember{
+		m := &servingMember{
 			idx:       i,
 			profile:   profile,
 			backend:   backend,
@@ -331,7 +218,7 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 		if err != nil {
 			return fail(fmt.Errorf("drange: pool device %d: %w", i, err))
 		}
-		m.eng = eng
+		m.src, m.eng = eng, eng
 		if p.testsEnabled {
 			mon, err := health.New(p.testsPolicy.config())
 			if err != nil {
@@ -352,801 +239,8 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 	return p, nil
 }
 
-// instantiateDRBGs seeds one DRBG per healthy member from the member's own
-// engine through the member's own monitor. First reseed points are staggered
-// across [interval, 2·interval): member k of n gets interval + k·⌈interval/n⌉
-// extra first-seed budget, so the members never fall due in the same read and
-// the staged reseeds of drbgReadLocked can always run on a member that is not
-// serving. A member whose seed harvest trips the health tests follows the
-// open-time semantics of runStartupTests: the evict policy drops it (reads
-// reroute), any other policy fails the open.
-//
-//drange:holds mu construction: runs from OpenPool before the pool is published
-func (p *Pool) instantiateDRBGs() error {
-	n := int64(p.healthyLocked())
-	if n == 0 {
-		return fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
-	}
-	interval := p.drbgPolicy.ReseedInterval
-	step := (interval + n - 1) / n
-	k := int64(0)
-	seeded := 0
-	for _, m := range p.members {
-		if m.evicted.Load() {
-			continue
-		}
-		s := newDRBGState(p.drbgPolicy, interval+k*step)
-		k++
-		if m.monitor != nil {
-			m.monitor.SetCreditSink(s.ledger)
-		}
-		if err := p.harvestSeedLocked(m, s.seedBuf); err != nil {
-			if errors.Is(err, errDRBGMemberEvicted) {
-				continue
-			}
-			return err
-		}
-		if err := s.instantiate(); err != nil {
-			return err
-		}
-		m.drbg = s
-		seeded++
-	}
-	if seeded == 0 {
-		return fmt.Errorf("drange: no pool device produced a clean DRBG seed (%s)", p.evictionSummaryLocked())
-	}
-	return nil
-}
-
-// harvestSeedLocked fills seed with packed bytes from m's engine, streaming
-// them through m's monitor with the same trip policies, load accounting and
-// bias-window bookkeeping as nextMemberWithBitsLocked. It returns
-// errDRBGMemberEvicted when the harvest cost m its pool membership (engine
-// failure or evict policy), so callers re-pick instead of failing the read.
-// Callers hold p.mu.
-func (p *Pool) harvestSeedLocked(m *poolMember, seed []byte) error {
-	blocked := 0
-	for {
-		if err := m.eng.ReadPacked(seed); err != nil {
-			if p.healthyLocked() <= 1 {
-				return fmt.Errorf("drange: pool device %d (last healthy device): %w", m.idx, err)
-			}
-			p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
-			return errDRBGMemberEvicted
-		}
-		m.fetched.Add(int64(len(seed)) * 8)
-		if !p.policy.Disabled {
-			ones := 0
-			for _, b := range seed {
-				ones += bits.OnesCount8(b)
-			}
-			if w := m.addWindow(ones, len(seed)*8); w >= int64(p.policy.WindowBits) {
-				p.completeWindowLocked(m)
-				if m.evicted.Load() {
-					return errDRBGMemberEvicted
-				}
-			}
-		}
-		if m.monitor == nil {
-			return nil
-		}
-		v := m.monitor.IngestPacked(seed, len(seed)*8)
-		if v == nil {
-			return nil
-		}
-		switch p.testsPolicy.OnFailure {
-		case HealthActionError:
-			return &HealthError{Test: string(v.Test), Device: m.idx, Detail: v.Detail}
-		case HealthActionBlock:
-			m.monitor.Reset()
-			m.blockedWindows++
-			blocked++
-			if blocked >= p.testsPolicy.MaxBlockedWindows {
-				return &HealthError{Test: "blocked", Device: m.idx, Detail: fmt.Sprintf(
-					"no clean seed after discarding %d (last violation: %s: %s)", blocked, v.Test, v.Detail)}
-			}
-		default: // HealthActionEvict
-			p.evictLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
-			if m.evicted.Load() {
-				return errDRBGMemberEvicted
-			}
-			// The last healthy member is retained (degraded output beats no
-			// output): use the seed with the violation recorded in Reason and
-			// the trip counters.
-			m.monitor.Reset()
-			return nil
-		}
-	}
-}
-
-// runStartupTests runs the startup self-test over every member's first
-// StartupBits bits before the pool serves a byte. Under the HealthActionEvict
-// action a failing member is evicted at open (it never serves); unlike
-// runtime eviction this may empty the pool, which fails the open — a fleet
-// where every device flunks its self-test must not come up at all. Any other
-// action fails the open on the first failing member.
-//
-//drange:holds mu construction: runs from OpenPool before the pool is published
-func (p *Pool) runStartupTests() error {
-	if !p.testsEnabled || p.testsPolicy.StartupBits <= 0 {
-		return nil
-	}
-	var firstErr error
-	failed := 0
-	for _, m := range p.members {
-		sample, err := m.eng.ReadBits(p.testsPolicy.StartupBits)
-		if err != nil {
-			return fmt.Errorf("drange: pool device %d startup sample: %w", m.idx, err)
-		}
-		serr := runStartup(sample, p.testsPolicy, m.idx)
-		if serr == nil {
-			continue
-		}
-		failed++
-		if firstErr == nil {
-			firstErr = serr
-		}
-		if p.testsPolicy.OnFailure != HealthActionEvict {
-			return serr
-		}
-		m.startupOK = false
-		m.evicted.Store(true)
-		m.reason = fmt.Sprintf("startup health test failed: %v", serr)
-		m.eng.Close()
-		if m.ownsDev {
-			closeDevice(m.pub)
-		}
-	}
-	if failed == len(p.members) {
-		return fmt.Errorf("drange: every pool device failed its startup health test: %w", firstErr)
-	}
-	return nil
-}
-
 // Devices returns the number of devices the pool opened (evicted included).
 func (p *Pool) Devices() int { return len(p.members) }
-
-// Healthy returns the number of devices currently serving reads.
-func (p *Pool) Healthy() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.healthyLocked()
-}
-
-// healthyLocked counts non-evicted members. Callers hold p.mu.
-func (p *Pool) healthyLocked() int {
-	n := 0
-	for _, m := range p.members {
-		if !m.evicted.Load() {
-			n++
-		}
-	}
-	return n
-}
-
-// evictLocked removes a member from scheduling: its engine stops, its device
-// closes, and its buffered bits are discarded. The last healthy member is
-// never evicted — the reason is recorded for Stats but reads continue.
-// Callers hold p.mu.
-func (p *Pool) evictLocked(m *poolMember, reason string) {
-	if m.evicted.Load() {
-		return
-	}
-	if p.healthyLocked() <= 1 {
-		m.reason = fmt.Sprintf("unhealthy but retained (last device): %s", reason)
-		return
-	}
-	m.evicted.Store(true)
-	m.reason = reason
-	m.cur, m.curBits = 0, 0
-	m.eng.Close()
-	if m.ownsDev {
-		closeDevice(m.pub)
-	}
-}
-
-// completeWindowLocked applies the health policy to a member whose bias
-// window just filled, snapshotting and resetting the window atomics. A
-// concurrent reader may have completed the window already; the re-check under
-// the lock makes that a no-op. Callers hold p.mu.
-func (p *Pool) completeWindowLocked(m *poolMember) {
-	if m.win.Load()&0xffffffff < int64(p.policy.WindowBits) || m.evicted.Load() {
-		return
-	}
-	w := m.win.Swap(0)
-	ones, winBits := w>>32, w&0xffffffff
-	if p.policy.Disabled || winBits == 0 {
-		return
-	}
-	m.biasDelta = float64(ones)/float64(winBits) - 0.5
-	if m.biasDelta < 0 {
-		m.biasDelta = -m.biasDelta
-	}
-	if p.policy.MaxBiasDelta >= 0 && m.biasDelta > p.policy.MaxBiasDelta {
-		p.evictLocked(m, fmt.Sprintf("bias drift: |ones-fraction-0.5| = %.3f over %d bits exceeds %.3f",
-			m.biasDelta, p.policy.WindowBits, p.policy.MaxBiasDelta))
-		return
-	}
-	if p.policy.MaxTempDriftC >= 0 {
-		drift := m.pub.Temperature() - m.baseTempC
-		if drift < 0 {
-			drift = -drift
-		}
-		if drift > p.policy.MaxTempDriftC {
-			p.evictLocked(m, fmt.Sprintf("temperature drift: %.1f °C from the %.1f °C baseline exceeds %.1f °C",
-				drift, m.baseTempC, p.policy.MaxTempDriftC))
-			return
-		}
-	}
-	// A window with no violation clears a retained-device complaint, so a
-	// transient excursion does not flag the device forever.
-	if !m.evicted.Load() {
-		m.reason = ""
-	}
-}
-
-// nextMemberLocked picks the healthy member with the least load (fewest bits
-// fetched; ties break to the lowest index, keeping the schedule — and hence
-// the output stream — deterministic under deterministic noise). Callers hold
-// p.mu.
-func (p *Pool) nextMemberLocked() *poolMember {
-	var best *poolMember
-	var bestFetched int64
-	for _, m := range p.members {
-		if m.evicted.Load() || p.blockedOutLocked(m) {
-			continue
-		}
-		if f := m.fetched.Load(); best == nil || f < bestFetched {
-			best, bestFetched = m, f
-		}
-	}
-	return best
-}
-
-// blockedOutLocked reports whether m exhausted its HealthActionBlock budget
-// within the current read and sits benched until the next one. Callers hold
-// p.mu.
-func (p *Pool) blockedOutLocked(m *poolMember) bool {
-	return p.testsEnabled && m.blockedEpoch == p.readEpoch &&
-		m.blockedInRead >= p.testsPolicy.MaxBlockedWindows
-}
-
-// nextMemberWithBitsLocked returns the least-loaded healthy member with
-// buffered bits, fetching one packed 64-bit word from its engine when its
-// buffer is empty — the per-fetch granularity that keeps member interleaving
-// fine-grained for the bias monitor while amortising the engine's consumer
-// lock. A member whose engine fails is evicted and scheduling re-picks; the
-// call only fails once no healthy member remains (or a health-test policy
-// says so). Callers hold p.mu.
-func (p *Pool) nextMemberWithBitsLocked() (*poolMember, error) {
-	for {
-		m := p.nextMemberLocked()
-		if m == nil {
-			// Members benched over their blocked budget don't count as
-			// evicted; if one of them is why nobody can serve, surface the
-			// health trip (a pool of only dead-blocking devices must fail
-			// loudly, not stall).
-			if p.blockCause != nil && p.blockCauseEpoch == p.readEpoch {
-				return nil, p.blockCause
-			}
-			return nil, fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
-		}
-		if m.curBits > 0 {
-			return m, nil
-		}
-		var buf [8]byte
-		if err := m.eng.ReadPacked(buf[:]); err != nil {
-			// Engine failure (device error, cancelled context): evict and
-			// reschedule. The eviction keeps the last member, so a pool
-			// whose every engine is dead surfaces the error above.
-			if p.healthyLocked() <= 1 {
-				return nil, fmt.Errorf("drange: pool device %d (last healthy device): %w", m.idx, err)
-			}
-			p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
-			continue
-		}
-		if m.monitor != nil {
-			if v := m.monitor.IngestPacked(buf[:], 64); v != nil {
-				switch p.testsPolicy.OnFailure {
-				case HealthActionError:
-					return nil, &HealthError{Test: string(v.Test), Device: m.idx, Detail: v.Detail}
-				case HealthActionBlock:
-					// Discard the dirty batch and refetch. The discarded
-					// batch still counts as load, so the least-loaded
-					// scheduler rotates to healthy members instead of
-					// re-picking the tripping one forever; the budget is
-					// per member per read, so a member that exhausts it is
-					// benched for the rest of the read while the healthy
-					// members keep serving.
-					m.monitor.Reset()
-					m.blockedWindows++
-					m.fetched.Add(64)
-					if m.blockedEpoch != p.readEpoch {
-						m.blockedEpoch, m.blockedInRead = p.readEpoch, 0
-					}
-					m.blockedInRead++
-					if m.blockedInRead >= p.testsPolicy.MaxBlockedWindows {
-						p.blockCause = &HealthError{Test: "blocked", Device: m.idx, Detail: fmt.Sprintf(
-							"no clean batch after discarding %d (last violation: %s: %s)", m.blockedInRead, v.Test, v.Detail)}
-						p.blockCauseEpoch = p.readEpoch
-					}
-					continue
-				default: // HealthActionEvict
-					p.evictLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
-					if m.evicted.Load() {
-						continue
-					}
-					// The last healthy member is retained (degraded
-					// output beats no output, matching the device-health
-					// policy): serve the batch with the violation
-					// recorded in Reason and the trip counters.
-					m.monitor.Reset()
-				}
-			}
-		}
-		m.cur, m.curBits = binary.BigEndian.Uint64(buf[:]), 64
-		m.fetched.Add(64)
-		if !p.policy.Disabled {
-			if w := m.addWindow(bits.OnesCount64(m.cur), 64); w >= int64(p.policy.WindowBits) {
-				p.completeWindowLocked(m)
-				// The member may have just been evicted; its buffered bits
-				// are gone and the scheduler picks the next member.
-				if m.evicted.Load() {
-					continue
-				}
-			}
-		}
-		return m, nil
-	}
-}
-
-// readPackedLocked fills dst with packed bytes assembled across the healthy
-// members, least-loaded first. Each picked member is drained of everything
-// it has buffered (up to the space left) before the scheduler re-picks —
-// the same take-all granularity as readBitsLocked, so byte- and
-// bit-granular reads with the same call boundaries serve the same stream.
-// Callers hold p.mu.
-func (p *Pool) readPackedLocked(dst []byte) error {
-	total := len(dst) * 8
-	for pos := 0; pos < total; {
-		m, err := p.nextMemberWithBitsLocked()
-		if err != nil {
-			return err
-		}
-		take := m.curBits
-		if rem := total - pos; take > rem {
-			take = rem
-		}
-		writeBits(dst, pos, m.takeLocked(take), take)
-		pos += take
-	}
-	return nil
-}
-
-// writeBits stores the low n bits of v (first stream bit most significant)
-// into dst starting at bit offset pos, MSB-first.
-//
-//drange:noalloc
-func writeBits(dst []byte, pos int, v uint64, n int) {
-	for n > 0 {
-		free := 8 - pos&7
-		take := n
-		if take > free {
-			take = free
-		}
-		chunk := byte(v>>uint(n-take)) & (1<<uint(take) - 1)
-		shift := uint(free - take)
-		dst[pos>>3] = dst[pos>>3]&^(byte(1<<uint(take)-1)<<shift) | chunk<<shift
-		pos += take
-		n -= take
-	}
-}
-
-// readBitsLocked returns n bits, one bit per byte, assembled across the
-// healthy members. Callers hold p.mu.
-func (p *Pool) readBitsLocked(n int) ([]byte, error) {
-	out := make([]byte, 0, n)
-	for len(out) < n {
-		m, err := p.nextMemberWithBitsLocked()
-		if err != nil {
-			return nil, err
-		}
-		take := m.curBits
-		if rem := n - len(out); take > rem {
-			take = rem
-		}
-		v := m.takeLocked(take)
-		for j := take - 1; j >= 0; j-- {
-			out = append(out, byte(v>>uint(j))&1)
-		}
-	}
-	return out, nil
-}
-
-// evictionSummaryLocked summarises why the pool ran out of devices.
-func (p *Pool) evictionSummaryLocked() string {
-	s := ""
-	for _, m := range p.members {
-		if m.reason == "" {
-			continue
-		}
-		if s != "" {
-			s += "; "
-		}
-		s += fmt.Sprintf("device %d: %s", m.idx, m.reason)
-	}
-	if s == "" {
-		return "no devices opened"
-	}
-	return s
-}
-
-// ReadBits returns n random bits, one bit per returned byte (0 or 1), after
-// any configured post-processing chain. It is a thin unpacking adapter over
-// the packed serving path and is safe for concurrent use.
-func (p *Pool) ReadBits(n int) ([]byte, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("drange: bit count must be positive, got %d", n)
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed.Load() {
-		return nil, fmt.Errorf("drange: pool is closed")
-	}
-	p.readEpoch++
-	if p.drbgOn {
-		packed := make([]byte, (n+7)/8)
-		if err := p.drbgReadLocked(packed); err != nil {
-			return nil, err
-		}
-		out := make([]byte, n)
-		unpackBits(out, packed)
-		p.delivered.Add(int64(n))
-		p.tierDRBGReads.Add(1)
-		p.tierDRBGBytes.Add(int64(len(packed)))
-		return out, nil
-	}
-	var bits []byte
-	var err error
-	if p.post != nil {
-		bits, err = p.post.readBits(n, p.readPackedLocked)
-	} else {
-		bits, err = p.readBitsLocked(n)
-	}
-	p.updateRemainderLocked()
-	if err != nil {
-		return nil, err
-	}
-	p.delivered.Add(int64(len(bits)))
-	return bits, nil
-}
-
-// updateRemainderLocked records whether any member still buffers sub-word
-// bits, which forces subsequent Reads onto the locked path until drained.
-// Callers hold p.mu.
-func (p *Pool) updateRemainderLocked() {
-	for _, m := range p.members {
-		if m.curBits > 0 {
-			p.remainder.Store(true)
-			return
-		}
-	}
-	p.remainder.Store(false)
-}
-
-// Read fills buf with random bytes, implementing io.Reader. It never returns
-// a short read except on error.
-//
-// Without WithDRBG this is the raw packed fast path (see ReadRaw). With
-// WithDRBG attached, Read serves the DRBG tier: each request is expanded by
-// the least-loaded ready member's DRBG, and reseeds are staged across the
-// other members so the serving member is (almost) never the one harvesting a
-// seed.
-func (p *Pool) Read(buf []byte) (int, error) {
-	if !p.drbgOn {
-		return p.ReadRaw(buf)
-	}
-	if len(buf) == 0 {
-		return 0, nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed.Load() {
-		return 0, fmt.Errorf("drange: pool is closed")
-	}
-	p.readEpoch++
-	if err := p.drbgReadLocked(buf); err != nil {
-		return 0, err
-	}
-	p.delivered.Add(int64(len(buf)) * 8)
-	p.tierDRBGReads.Add(1)
-	p.tierDRBGBytes.Add(int64(len(buf)))
-	return len(buf), nil
-}
-
-// drbgReadLocked serves one DRBG-tier read: each chunk (capped at the
-// policy's per-request limit) is generated by the least-loaded ready member,
-// and after every chunk at most one other due member is reseeded — staging
-// reseed work onto members that are not serving, so reseeds never stall the
-// read. Callers hold p.mu.
-//
-//drange:noalloc
-func (p *Pool) drbgReadLocked(dst []byte) error {
-	for off := 0; off < len(dst); {
-		chunk := dst[off:]
-		if len(chunk) > p.drbgPolicy.MaxRequestBytes {
-			chunk = chunk[:p.drbgPolicy.MaxRequestBytes]
-		}
-		m, err := p.drbgServeMemberLocked()
-		if err != nil {
-			return err
-		}
-		if err := m.drbg.d.Generate(chunk, nil); err != nil {
-			return err
-		}
-		m.delivered.Add(int64(len(chunk)) * 8)
-		off += len(chunk)
-		p.stageDRBGReseedLocked(m)
-	}
-	return nil
-}
-
-// drbgServeMemberLocked picks the member to generate the next DRBG request:
-// the least-loaded healthy member whose DRBG is ready (within its request
-// budget). When no member is ready — every DRBG fell due at once, or
-// prediction resistance forces a reseed before every request — the
-// least-loaded due member is reseeded inline and serves. A member evicted
-// during that reseed is skipped and the pick re-runs. Callers hold p.mu.
-func (p *Pool) drbgServeMemberLocked() (*poolMember, error) {
-	for {
-		var ready, due *poolMember
-		var readyF, dueF int64
-		for _, m := range p.members {
-			if m.evicted.Load() || m.drbg == nil {
-				continue
-			}
-			f := m.fetched.Load()
-			if !p.drbgPolicy.PredictionResistance && !m.drbg.d.NeedsReseed() {
-				if ready == nil || f < readyF {
-					ready, readyF = m, f
-				}
-			} else if due == nil || f < dueF {
-				due, dueF = m, f
-			}
-		}
-		if ready != nil {
-			return ready, nil
-		}
-		if due == nil {
-			return nil, fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
-		}
-		if err := p.reseedMemberLocked(due); err != nil {
-			if errors.Is(err, errDRBGMemberEvicted) {
-				continue
-			}
-			return nil, err
-		}
-		return due, nil
-	}
-}
-
-// reseedMemberLocked harvests a fresh health-screened seed from m's own
-// engine and folds it into m's DRBG, debiting the credit ledger. Callers hold
-// p.mu.
-func (p *Pool) reseedMemberLocked(m *poolMember) error {
-	if err := p.harvestSeedLocked(m, m.drbg.seedBuf); err != nil {
-		return err
-	}
-	return m.drbg.reseedFromBuf()
-}
-
-// stageDRBGReseedLocked opportunistically reseeds at most one due member
-// other than the one that just served, spreading seed harvests across reads
-// so members are reseeded while idle rather than when picked. Best-effort: a
-// failure neither fails the read nor loses the member — an engine failure or
-// evict-policy trip is already recorded by harvestSeedLocked, and any other
-// error surfaces when the member is next picked to serve. Callers hold p.mu.
-func (p *Pool) stageDRBGReseedLocked(served *poolMember) {
-	if p.drbgPolicy.PredictionResistance {
-		// Every request reseeds its serving member anyway; staging extra
-		// harvests would only burn raw throughput.
-		return
-	}
-	var due *poolMember
-	var dueF int64
-	for _, m := range p.members {
-		if m == served || m.evicted.Load() || m.drbg == nil || !m.drbg.d.NeedsReseed() {
-			continue
-		}
-		if f := m.fetched.Load(); due == nil || f < dueF {
-			due, dueF = m, f
-		}
-	}
-	if due == nil {
-		return
-	}
-	_ = p.reseedMemberLocked(due)
-}
-
-// ReadRaw fills buf with raw harvested bytes — the physical tier. Health
-// tests, device-health tracking and any post-processing chain still apply;
-// only the WithDRBG expansion is bypassed. Without WithDRBG, Read is this
-// same path.
-//
-// This is the packed fast path: member engines hand the pool packed 64-bit
-// words that land in the caller's buffer without any bit-per-byte expansion.
-// With no post-processing chain and no online health tests attached, ReadRaw
-// additionally runs lock-free — concurrent readers schedule themselves onto
-// the least-loaded members through atomic load counters and only touch the
-// pool mutex at bias-window boundaries and evictions, so throughput scales
-// with readers instead of serializing behind the pool lock. (Device health
-// tracking per HealthPolicy stays fully enforced on this path.)
-//
-//drange:seedtaint-exempt documented raw tier: delivers unconditioned entropy by contract
-func (p *Pool) ReadRaw(buf []byte) (int, error) {
-	if len(buf) == 0 {
-		return 0, nil
-	}
-	defer func() {
-		p.tierRawReads.Add(1)
-		p.tierRawBytes.Add(int64(len(buf)))
-	}()
-	// Buffered sub-word bits from an earlier ReadBits must be served first
-	// and in order, so they force the locked path for this read.
-	if p.post == nil && !p.testsEnabled && !p.remainder.Load() {
-		return p.readFast(buf)
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed.Load() {
-		return 0, fmt.Errorf("drange: pool is closed")
-	}
-	p.readEpoch++
-	defer p.updateRemainderLocked()
-	for off := 0; off < len(buf); {
-		chunk := buf[off:]
-		if len(chunk) > maxReadChunkBytes {
-			chunk = chunk[:maxReadChunkBytes]
-		}
-		var err error
-		if p.post != nil {
-			err = p.post.readPacked(chunk, p.readPackedLocked)
-		} else {
-			err = p.readPackedLocked(chunk)
-		}
-		if err != nil {
-			// A failed Read returns (0, err); chunks already written must
-			// not count as served.
-			return 0, err
-		}
-		off += len(chunk)
-	}
-	p.delivered.Add(int64(len(buf)) * 8)
-	return len(buf), nil
-}
-
-// pickMember is the lock-free counterpart of nextMemberLocked: least loaded
-// healthy member by atomic counters, ties to the lowest index.
-//
-//drange:noalloc
-func (p *Pool) pickMember() *poolMember {
-	var best *poolMember
-	var bestFetched int64
-	for _, m := range p.members {
-		if m.evicted.Load() {
-			continue
-		}
-		if f := m.fetched.Load(); best == nil || f < bestFetched {
-			best, bestFetched = m, f
-		}
-	}
-	return best
-}
-
-// readFast is the concurrent Read path: packed 64-bit fetches from the
-// least-loaded member's engine straight into the caller's buffer, with the
-// pool mutex taken only for bias-window evaluation and evictions.
-//
-//drange:noalloc
-func (p *Pool) readFast(dst []byte) (int, error) {
-	for i := 0; i < len(dst); {
-		if p.closed.Load() {
-			return 0, fmt.Errorf("drange: pool is closed")
-		}
-		m := p.pickMember()
-		if m == nil {
-			p.mu.Lock()
-			err := fmt.Errorf("drange: pool has no healthy devices left (%s)", p.evictionSummaryLocked())
-			p.mu.Unlock()
-			return 0, err
-		}
-		n := len(dst) - i
-		if n > 8 {
-			n = 8
-		}
-		chunk := dst[i : i+n]
-		// Claim the load before the engine read so concurrent readers spread
-		// across members instead of piling onto one.
-		m.fetched.Add(int64(n) * 8)
-		if err := m.eng.ReadPacked(chunk); err != nil {
-			m.fetched.Add(-int64(n) * 8)
-			p.mu.Lock()
-			if p.closed.Load() {
-				p.mu.Unlock()
-				return 0, fmt.Errorf("drange: pool is closed")
-			}
-			if m.evicted.Load() {
-				// Another reader evicted this member while we were blocked
-				// in its engine (e.g. a bias-window eviction closed it);
-				// the survivors keep serving — just re-pick.
-				p.mu.Unlock()
-				continue
-			}
-			if p.healthyLocked() <= 1 {
-				p.mu.Unlock()
-				return 0, fmt.Errorf("drange: pool device %d (last healthy device): %w", m.idx, err)
-			}
-			p.evictLocked(m, fmt.Sprintf("engine failure: %v", err))
-			p.mu.Unlock()
-			continue
-		}
-		m.delivered.Add(int64(n) * 8)
-		if !p.policy.Disabled {
-			ones := 0
-			for _, b := range chunk {
-				ones += bits.OnesCount8(b)
-			}
-			if w := m.addWindow(ones, n*8); w >= int64(p.policy.WindowBits) {
-				p.mu.Lock()
-				p.completeWindowLocked(m)
-				p.mu.Unlock()
-			}
-		}
-		i += n
-	}
-	p.delivered.Add(int64(len(dst)) * 8)
-	return len(dst), nil
-}
-
-// Uint64 returns a 64-bit random value.
-func (p *Pool) Uint64() (uint64, error) {
-	var buf [8]byte
-	if _, err := p.Read(buf[:]); err != nil {
-		return 0, err
-	}
-	return core.BEUint64(buf), nil
-}
-
-// Close stops every member engine and releases every device. It is
-// idempotent.
-func (p *Pool) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed.Swap(true) {
-		return nil
-	}
-	p.cancel()
-	p.closeMembers()
-	return nil
-}
-
-// closeMembers releases every non-evicted member (evicted members closed at
-// eviction time). Members whose engine never started — an OpenPool
-// constructor failure — still release their device, so a replay recorder's
-// log is flushed even when a later member fails to open.
-func (p *Pool) closeMembers() {
-	for _, m := range p.members {
-		if m.evicted.Load() {
-			continue
-		}
-		if m.eng != nil {
-			m.eng.Close()
-		}
-		if m.ownsDev && m.pub != nil {
-			closeDevice(m.pub)
-		}
-	}
-}
 
 // Stats returns the pool's aggregate accounting plus the per-device
 // breakdown in Stats.Devices. Shard entries across all devices are
@@ -1237,7 +331,7 @@ func (p *Pool) Stats() Stats {
 
 // lastTemperature reads the member's device temperature; an evicted member
 // reports its baseline (its device may already be closed).
-func (m *poolMember) lastTemperature() float64 {
+func (m *servingMember) lastTemperature() float64 {
 	if m.evicted.Load() {
 		return m.baseTempC
 	}

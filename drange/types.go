@@ -228,9 +228,12 @@ type Stats struct {
 	// monitors; the per-device breakdown sits in each PoolDeviceStats.
 	Health *HealthStats `json:"health,omitempty"`
 	// TierRaw and TierDRBG count the serving requests and bytes per tier of
-	// the two-tier read path: ReadRaw (and Read without WithDRBG) serves the
-	// raw tier, Read with WithDRBG the DRBG tier. Both are zero until the
-	// corresponding tier serves.
+	// the two-tier read path: ReadRaw (and Read/ReadBits/Uint64 without
+	// WithDRBG) serves the raw tier, Read/ReadBits/Uint64 with WithDRBG the
+	// DRBG tier. Both are zero until the corresponding tier serves. Only
+	// successful reads count: a read that returns (0, err) leaves both
+	// untouched, so over byte-aligned requests the tier byte counters sum to
+	// exactly BitsDelivered/8.
 	TierRaw  TierStats `json:"tier_raw"`
 	TierDRBG TierStats `json:"tier_drbg"`
 	// DRBG is the DRBG-tier accounting (nil unless WithDRBG is attached).
