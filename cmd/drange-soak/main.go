@@ -124,14 +124,40 @@ type scenarioReport struct {
 	TierRawBytes  int64 `json:"tier_raw_bytes"`
 	TierDRBGReads int64 `json:"tier_drbg_reads"`
 	TierDRBGBytes int64 `json:"tier_drbg_bytes"`
-	// DevicesEvicted counts pool members evicted during the scenario.
-	DevicesEvicted int                 `json:"devices_evicted"`
-	Trips          tripReport          `json:"trips"`
-	Health         *drange.HealthStats `json:"health,omitempty"`
+	// DevicesEvicted counts pool members terminally evicted during the
+	// scenario; Readmissions and Recharacterizations sum the members'
+	// self-healing lifecycle counters, and Devices carries the per-device
+	// lifecycle breakdown (state, reason, counters) so conformance scenarios
+	// can assert on *why* a member left serving.
+	DevicesEvicted      int                 `json:"devices_evicted"`
+	Readmissions        int64               `json:"readmissions"`
+	Recharacterizations int64               `json:"recharacterizations"`
+	Devices             []deviceReport      `json:"devices,omitempty"`
+	Trips               tripReport          `json:"trips"`
+	Health              *drange.HealthStats `json:"health,omitempty"`
 	// DRBG carries the DRBG-tier counters (reseeds, generates, entropy
 	// credit) when the scenario serves through -tier drbg.
 	DRBG *drange.DRBGStats `json:"drbg,omitempty"`
 	NIST *nistSummary      `json:"nist,omitempty"`
+}
+
+// deviceReport is one pool member's lifecycle state at scenario end.
+type deviceReport struct {
+	Device  int    `json:"device"`
+	Serial  uint64 `json:"serial"`
+	Backend string `json:"backend"`
+	// State is the lifecycle state ("serving", "quarantined",
+	// "recharacterizing", "readmitting", "evicted"); Reason records why the
+	// member last left serving (empty while healthy).
+	State   string `json:"state"`
+	Reason  string `json:"reason,omitempty"`
+	Evicted bool   `json:"evicted"`
+	// The self-healing counters mirror drange.PoolDeviceStats.
+	Readmissions        int64   `json:"readmissions"`
+	Recharacterizations int64   `json:"recharacterizations"`
+	RecharFailures      int64   `json:"rechar_failures"`
+	LastRecharMS        float64 `json:"last_rechar_ms,omitempty"`
+	ProfileDeltas       int     `json:"profile_deltas,omitempty"`
 }
 
 // totalsReport aggregates every scenario.
@@ -143,6 +169,7 @@ type totalsReport struct {
 	Bytes           int64      `json:"bytes"`
 	StartupFailures int64      `json:"startup_failures"`
 	DevicesEvicted  int        `json:"devices_evicted"`
+	Readmissions    int64      `json:"readmissions"`
 	Trips           tripReport `json:"trips"`
 }
 
@@ -155,6 +182,7 @@ type report struct {
 
 func main() {
 	bopts := backendOpts{}
+	fopts := backendOpts{}
 	var (
 		duration      = flag.Duration("duration", 30*time.Second, "total soak wall-clock budget, split evenly across the selected workloads")
 		workloads     = flag.String("workloads", "all", "comma-separated workload profile names (see internal/workload), or \"all\"")
@@ -165,7 +193,9 @@ func main() {
 		parallel      = flag.Int("parallel", 1, "harvesting shards per device")
 		backend       = flag.String("backend", "", "device backend for every device: sim (default), faulty, or a registered name")
 		tier          = flag.String("tier", "raw", "serving tier: raw (physical harvested bits) or drbg (ChaCha20 DRBG reseeded from the health-screened harvest; implies the online health tests)")
-		faultyMember  = flag.Int("faulty-member", -1, "pool member index opened through the faulty backend with every column stuck at 1")
+		faultyMember  = flag.Int("faulty-member", -1, "pool member index opened through the faulty backend (default scenario: every column stuck at 1; override with -faulty-opt)")
+		rechar        = flag.Bool("recharacterize", false, "self-healing pools: quarantine evicted members, re-characterize them in the background and readmit them (WithRecharacterization)")
+		settle        = flag.Duration("settle", 30*time.Second, "with -recharacterize, how long after the soak budget to wait for quarantined members to finish re-characterizing before the final snapshot")
 		policy        = flag.String("policy", "", "health action on a trip: error, block, evict, or off (default: error; evict for pools)")
 		symbolBits    = flag.Int("symbol-bits", 1, "RCT/APT symbol width in bits")
 		startupBits   = flag.Int("startup-bits", 4096, "startup self-test sample size in bits (negative disables)")
@@ -177,6 +207,7 @@ func main() {
 		out           = flag.String("out", "", "write the JSON report to this file instead of stdout")
 	)
 	flag.Var(bopts, "backend-opt", "backend option key=value (repeatable)")
+	flag.Var(fopts, "faulty-opt", "faulty-member backend option key=value (repeatable; default stuck=1,stuck-value=1)")
 	flag.Parse()
 
 	if *duration <= 0 {
@@ -197,6 +228,12 @@ func main() {
 	if *backend == "faulty" && len(bopts) == 0 {
 		// The faulty backend's default is every column stuck: the worst case.
 		bopts["stuck"] = "1"
+	}
+	if len(fopts) > 0 && *faultyMember < 0 {
+		fatal(fmt.Errorf("-faulty-opt needs -faulty-member"))
+	}
+	if len(fopts) == 0 {
+		fopts = backendOpts{"stuck": "1", "stuck-value": "1"}
 	}
 
 	profiles := pickWorkloads(*workloads)
@@ -230,6 +267,8 @@ func main() {
 		"backend":           backendName(*backend),
 		"backend_opts":      bopts.String(),
 		"faulty_member":     *faultyMember,
+		"faulty_opts":       fopts.String(),
+		"recharacterize":    *rechar,
 		"policy":            effectivePolicy,
 		"symbol_bits":       *symbolBits,
 		"startup_bits":      *startupBits,
@@ -246,8 +285,14 @@ func main() {
 			opts = append(opts, drange.WithBackend(*backend, bopts))
 		}
 		if *faultyMember >= 0 {
-			opts = append(opts, drange.WithDeviceBackend(*faultyMember, "faulty",
-				map[string]string{"stuck": "1", "stuck-value": "1"}))
+			opts = append(opts, drange.WithDeviceBackend(*faultyMember, "faulty", fopts))
+		}
+		if *rechar {
+			opts = append(opts, drange.WithRecharacterization(drange.RecharacterizationPolicy{}))
+		}
+		var settleBudget time.Duration
+		if *rechar {
+			settleBudget = *settle
 		}
 		if healthOn {
 			opts = append(opts, drange.WithHealthTests(htp))
@@ -263,6 +308,7 @@ func main() {
 			perRequest: *perRequest,
 			nistBits:   *nistBits,
 			seed:       *serial + uint64(i)*1000,
+			settle:     settleBudget,
 		})
 		rep.Scenarios = append(rep.Scenarios, sc)
 
@@ -272,6 +318,7 @@ func main() {
 		rep.Totals.HealthErrors += sc.HealthErrors
 		rep.Totals.Bytes += sc.Bytes
 		rep.Totals.DevicesEvicted += sc.DevicesEvicted
+		rep.Totals.Readmissions += sc.Readmissions
 		if sc.StartupFailed {
 			rep.Totals.StartupFailures++
 		}
@@ -304,6 +351,28 @@ type scenarioConfig struct {
 	perRequest int
 	nistBits   int
 	seed       uint64
+	// settle bounds a post-soak wait for the self-healing lifecycle to
+	// quiesce: a member quarantined near the end of the budget is given this
+	// long to finish re-characterizing before the final snapshot, so the
+	// report records the lifecycle outcome, not a race with it.
+	settle time.Duration
+}
+
+// settleLifecycle polls the source until no member is in a transitional
+// lifecycle state (quarantined, recharacterizing, readmitting) or the budget
+// runs out. It returns immediately for sources without lifecycle stats.
+func settleLifecycle(src drange.Source, budget time.Duration) {
+	deadline := time.Now().Add(budget)
+	for {
+		lc := src.Stats().Lifecycle
+		if lc == nil || lc.Quarantined+lc.Recharacterizing+lc.Readmitting == 0 {
+			return
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // soakScenario opens a fresh source (so health counters are per-scenario),
@@ -383,6 +452,9 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 	}
 	wall := time.Since(start)
 	sc.WallMS = float64(wall.Microseconds()) / 1000.0
+	if cfg.settle > 0 {
+		settleLifecycle(src, cfg.settle)
+	}
 	if wall > 0 {
 		sc.WallMbps = float64(sc.Bytes) * 8 / wall.Seconds() / 1e6
 	}
@@ -393,11 +465,6 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 	sc.Health = st.Health
 	sc.DRBG = st.DRBG
 	sc.Trips.add(st.Health)
-	for _, d := range st.Devices {
-		if d.Evicted {
-			sc.DevicesEvicted++
-		}
-	}
 
 	if cfg.nistBits > 0 {
 		sc.NIST = &nistSummary{Bits: cfg.nistBits}
@@ -426,6 +493,26 @@ func soakScenario(ctx context.Context, wp workload.Profile, cfg scenarioConfig) 
 	sc.TierRawBytes = final.TierRaw.Bytes
 	sc.TierDRBGReads = final.TierDRBG.Reads
 	sc.TierDRBGBytes = final.TierDRBG.Bytes
+	for _, d := range final.Devices {
+		if d.Evicted {
+			sc.DevicesEvicted++
+		}
+		sc.Readmissions += d.Readmissions
+		sc.Recharacterizations += d.Recharacterizations
+		sc.Devices = append(sc.Devices, deviceReport{
+			Device:              d.Device,
+			Serial:              d.Serial,
+			Backend:             d.Backend,
+			State:               d.State,
+			Reason:              d.Reason,
+			Evicted:             d.Evicted,
+			Readmissions:        d.Readmissions,
+			Recharacterizations: d.Recharacterizations,
+			RecharFailures:      d.RecharFailures,
+			LastRecharMS:        d.LastRecharMS,
+			ProfileDeltas:       d.ProfileDeltas,
+		})
+	}
 	return sc
 }
 

@@ -3,9 +3,12 @@ package drange
 import (
 	"bytes"
 	"context"
+	"math/bits"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/memctrl"
 )
 
 func TestBackendRegistry(t *testing.T) {
@@ -315,4 +318,169 @@ func TestCharacterizeOnReplayBackend(t *testing.T) {
 	if !bytes.Equal(a, b) {
 		t.Error("characterization replay produced a different profile")
 	}
+}
+
+// openFaultyDevice opens the faulty backend over the deterministic simulator
+// for the scenario-matrix tests.
+func openFaultyDevice(t *testing.T, opts map[string]string) Device {
+	t.Helper()
+	dev, err := OpenBackend("faulty", BackendParams{
+		Manufacturer: "A", Serial: 9, Deterministic: true,
+		Geometry: quickGeometry(), Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closeDevice(dev) })
+	return dev
+}
+
+// TestFaultyScenarioMatrix covers the time-dependent fault scenarios the
+// faulty backend models beyond static stuck cells: aging curves, retention
+// failures, voltage droop and temperature schedules, all keyed to the
+// device's read count.
+func TestFaultyScenarioMatrix(t *testing.T) {
+	// countOnes reads word 0 of (bank 0, row 0) through a controller at safe
+	// timing and counts set bits; writes/asserts drive the scenario clock,
+	// since every ReadWord advances the device's read count by one.
+	readWord := func(ctrl *memctrl.Controller) int {
+		t.Helper()
+		data, _, err := ctrl.ReadWord(0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones := 0
+		for _, w := range data {
+			ones += bits.OnesCount64(w)
+		}
+		return ones
+	}
+	wordBits := quickGeometry().WordBits
+
+	t.Run("aging-ramp", func(t *testing.T) {
+		dev := openFaultyDevice(t, map[string]string{
+			"stuck": "0", "aging": "1", "aging-onset": "8", "aging-reads": "8",
+		})
+		ctrl := memctrl.NewController(internalDevice(dev))
+		if _, err := ctrl.WriteWord(0, 0, 0, make([]uint64, wordBits/64)); err != nil {
+			t.Fatal(err)
+		}
+		var ones []int
+		for i := 0; i < 24; i++ {
+			ones = append(ones, readWord(ctrl))
+		}
+		if ones[0] != 0 {
+			t.Errorf("read 1 (before aging onset) has %d stuck bits, want 0", ones[0])
+		}
+		last := ones[len(ones)-1]
+		if last != wordBits {
+			t.Errorf("read %d (past the ramp) has %d stuck bits, want all %d", len(ones), last, wordBits)
+		}
+		for i := 1; i < len(ones); i++ {
+			if ones[i] < ones[i-1] {
+				t.Fatalf("aged columns recovered between reads %d and %d (%d -> %d); the stuck set must be monotone",
+					i, i+1, ones[i-1], ones[i])
+			}
+		}
+	})
+
+	t.Run("aging-accel-lags-linear", func(t *testing.T) {
+		linear := openFaultyDevice(t, map[string]string{
+			"stuck": "0", "aging": "0.8", "aging-reads": "1000",
+		}).(*faultyDevice)
+		accel := openFaultyDevice(t, map[string]string{
+			"stuck": "0", "aging": "0.8", "aging-reads": "1000", "aging-shape": "accel",
+		}).(*faultyDevice)
+		if l, a := linear.agingFraction(500), accel.agingFraction(500); a >= l {
+			t.Errorf("mid-ramp: accel fraction %v >= linear %v; quadratic wear must lag", a, l)
+		}
+		if l, a := linear.agingFraction(2000), accel.agingFraction(2000); l != 0.8 || a != 0.8 {
+			t.Errorf("past the ramp both shapes must reach the full fraction: linear %v, accel %v", l, a)
+		}
+	})
+
+	t.Run("retention-discharge", func(t *testing.T) {
+		dev := openFaultyDevice(t, map[string]string{
+			"stuck": "0", "retention": "1", "retention-onset": "4",
+		})
+		ctrl := memctrl.NewController(internalDevice(dev))
+		full := make([]uint64, wordBits/64)
+		for i := range full {
+			full[i] = ^uint64(0)
+		}
+		if _, err := ctrl.WriteWord(0, 0, 0, full); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ { // reads 1-3 precede the onset
+			if got := readWord(ctrl); got != wordBits {
+				t.Fatalf("read %d before retention onset lost bits: %d/%d ones", i+1, got, wordBits)
+			}
+		}
+		if got := readWord(ctrl); got != 0 { // read 4 hits the onset
+			t.Errorf("discharged cells read %d ones, want 0 regardless of the written value", got)
+		}
+	})
+
+	t.Run("voltage-droop-recovers", func(t *testing.T) {
+		dev := openFaultyDevice(t, map[string]string{
+			"stuck": "0", "voltage-schedule": "0:1,8:0",
+		})
+		ctrl := memctrl.NewController(internalDevice(dev))
+		if _, err := ctrl.WriteWord(0, 0, 0, make([]uint64, wordBits/64)); err != nil {
+			t.Fatal(err)
+		}
+		if got := readWord(ctrl); got != wordBits { // read 1: full droop
+			t.Errorf("under full droop %d/%d bits stuck, want all", got, wordBits)
+		}
+		for i := 0; i < 6; i++ {
+			readWord(ctrl) // reads 2-7
+		}
+		if got := readWord(ctrl); got != 0 { // read 8: droop lifted
+			t.Errorf("after the droop lifts %d bits remain stuck, want 0 (voltage faults are not wear)", got)
+		}
+	})
+
+	t.Run("temperature-schedule", func(t *testing.T) {
+		plain := openFaultyDevice(t, map[string]string{"stuck": "0"})
+		dev := openFaultyDevice(t, map[string]string{
+			"stuck": "0", "temp-schedule": "0:5,6:15",
+		})
+		base := plain.Temperature()
+		if got := dev.Temperature(); got != base+5 {
+			t.Errorf("temperature before the step = %v, want base %v + 5", got, base)
+		}
+		ctrl := memctrl.NewController(internalDevice(dev))
+		for i := 0; i < 6; i++ {
+			readWord(ctrl)
+		}
+		if got := dev.Temperature(); got != base+15 {
+			t.Errorf("temperature after the step = %v, want base %v + 15", got, base)
+		}
+	})
+
+	t.Run("rejections", func(t *testing.T) {
+		for _, bad := range []map[string]string{
+			{"stuck": "-0.1"},
+			{"stuck": "1.5"},
+			{"stuck-value": "2"},
+			{"stuck-value": "-1"},
+			{"drift": "-3"},
+			{"aging": "-0.5"},
+			{"aging-reads": "0"},
+			{"aging-reads": "-10"},
+			{"aging-onset": "-1"},
+			{"aging-shape": "cubic"},
+			{"temp-schedule": "5:1,5:2"},
+			{"temp-schedule": "10:1,5:2"},
+			{"temp-schedule": "abc"},
+			{"voltage-schedule": "0:2"},
+			{"voltage-schedule": "0:-0.1"},
+			{"retention": "2"},
+			{"retention-onset": "-4"},
+		} {
+			if _, err := OpenBackend("faulty", BackendParams{Manufacturer: "A", Options: bad}); err == nil {
+				t.Errorf("faulty backend accepted %v", bad)
+			}
+		}
+	})
 }

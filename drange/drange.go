@@ -69,6 +69,23 @@
 //	_, err = src.Read(buf)     // DRBG tier: expanded from screened seeds
 //	_, err = src.ReadRaw(buf)  // raw tier: the physical harvest
 //
+// WithRecharacterization turns a pool's member lifecycle from terminal
+// eviction into self-healing. Each member moves through explicit states —
+// serving → quarantined → recharacterizing → readmitting → serving — driven
+// by the health machinery: a drift or health-test trip quarantines the
+// member (its engine stops, its device stays open) and a background
+// recharacterizer re-runs a targeted identification pass over only the banks
+// the member's profile selects, folds the surviving cells into a versioned,
+// checksummed ProfileDelta (Profile.AppendDelta), rebuilds the engine and
+// readmits the member with a hot profile swap. Reads never fail or stall
+// while a member is out — the rest of the pool keeps serving — and a member
+// whose pass fails repeatedly (RecharacterizationPolicy.MaxAttempts) is
+// evicted terminally. Stats.Lifecycle and the per-device State/Readmissions
+// fields surface the cycle:
+//
+//	pool, err := drange.OpenPool(ctx, profiles,
+//	    drange.WithRecharacterization(drange.RecharacterizationPolicy{}))
+//
 // # Machine-checked invariants
 //
 // The concurrency and allocation rules this package relies on are not just
@@ -338,7 +355,7 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 	if err != nil {
 		return nil, err
 	}
-	sels, err := coreSelections(profile.Cells, profile.Selections)
+	sels, err := coreSelections(profile.EffectiveCells(), profile.EffectiveSelections())
 	if err != nil {
 		return nil, err
 	}
@@ -383,6 +400,8 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 		profile: profile,
 		backend: backend,
 		pub:     pub,
+		dev:     dev,
+		trcdNS:  trcd,
 		ownsDev: ownsDev,
 	}
 	g.single = true
@@ -421,6 +440,8 @@ func Open(ctx context.Context, profile *Profile, opts ...Option) (Source, error)
 		}
 		g.eng = eng
 		m.src, m.eng = eng, eng
+		m.shards = shards
+		m.fastEng.Store(eng)
 		// The engine is thread-safe, so the core's lock-free fast path is
 		// available (the sequential TRNG sampler is not).
 		g.concurrent = true
@@ -526,11 +547,13 @@ func (g *Generator) Shards() int {
 	return 0
 }
 
-// Cells returns the identified RNG cells.
-func (g *Generator) Cells() []Cell { return g.profile.Cells }
+// Cells returns the RNG cells sampled for generation, with the profile's
+// delta chain resolved.
+func (g *Generator) Cells() []Cell { return g.profile.EffectiveCells() }
 
-// Selections returns the per-bank DRAM-word selections used for generation.
-func (g *Generator) Selections() []Selection { return g.profile.Selections }
+// Selections returns the per-bank DRAM-word selections used for generation,
+// with the profile's delta chain resolved.
+func (g *Generator) Selections() []Selection { return g.profile.EffectiveSelections() }
 
 // DensityHistograms returns the Figure 7 data for this device: the number of
 // DRAM words containing x RNG cells, per bank.

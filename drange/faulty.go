@@ -2,37 +2,66 @@ package drange
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 )
 
 // The "faulty" backend wraps another backend and injects the failure modes
-// the paper warns about, for robustness testing of pools and health
-// monitoring: stuck cells (a deterministic subset of columns always reads a
-// fixed value, destroying the unbiasedness the RNG-cell selection relies on)
-// and temperature drift (the reported device temperature creeps with use,
-// modelling a part heating beyond its characterized operating point —
-// Section 5.3 shows failure probabilities shift with temperature).
+// the paper warns about, for robustness testing of pools, health monitoring
+// and the self-healing lifecycle. Beyond the original static stuck cells and
+// temperature drift it models a scenario matrix of time-dependent faults —
+// aging curves, temperature and voltage schedules, retention-time drift — all
+// keyed to the device's accumulated read count, so scenarios replay
+// deterministically under deterministic noise.
 //
-// Options:
+// Options (this comment is the backend's help; every option is validated and
+// unknown options are rejected):
 //
 //   - "inner": the wrapped backend (default "sim"); inner options via
 //     "inner.<key>".
-//   - "stuck": fraction of columns stuck, in [0,1] (default 1 — every read
-//     returns the stuck value, the worst case).
+//   - "stuck": fraction of columns stuck from the first read, in [0,1]
+//     (default 1 — every read returns the stuck value, the worst case).
+//     Models failed sense amplifiers: the same deterministic per-(bank,
+//     column) subset is stuck on every access.
 //   - "stuck-value": "0" or "1", the value stuck cells read as (default "1").
-//   - "drift": temperature drift in °C per 1000 reads (default 0).
+//   - "drift": temperature drift in °C per 1000 reads, >= 0 (default 0).
+//     Models a part heating continuously with use (Section 5.3 of the paper
+//     shows failure probabilities shift with temperature).
+//   - "aging": additional fraction of columns, in [0,1], that become stuck as
+//     the device ages (default 0). Aging begins after "aging-onset" reads
+//     (default 0) and ramps over "aging-reads" further reads (default 1000)
+//     following "aging-shape": "linear" (wear proportional to use) or
+//     "accel" (quadratic — accelerating wear-out, the classic end-of-life
+//     bathtub wall). Aged columns accumulate monotonically: a column once
+//     stuck stays stuck.
+//   - "temp-schedule": piecewise temperature offsets "reads:degC[,reads:degC
+//     ...]" added on top of "drift"; each step applies from its read count on
+//     (read counts strictly ascending, offsets any sign — models ambient or
+//     workload temperature excursions, e.g. "0:0,5000:15" for a +15 °C step
+//     after 5000 reads).
+//   - "voltage-schedule": piecewise supply droop "reads:frac[,reads:frac
+//     ...]"; each step sets an extra stuck-column fraction in [0,1] applying
+//     from its read count on (models voltage droop weakening sense margins —
+//     unlike aging the extra fraction follows the schedule back down when a
+//     later step lowers it).
+//   - "retention": fraction of columns, in [0,1], whose cells lose their
+//     charge and read as 0 regardless of the written value (default 0) —
+//     retention-time failures, drawn from an independent deterministic
+//     per-(bank, column) subset. Active after "retention-onset" reads
+//     (default 0).
 func openFaultyBackend(p BackendParams) (Device, error) {
-	stuck, err := parseFloatOption(p, "stuck", 1.0)
+	stuck, err := parseFaultyFraction(p, "stuck", 1.0)
 	if err != nil {
 		return nil, err
-	}
-	if stuck < 0 || stuck > 1 {
-		return nil, fmt.Errorf(`option "stuck" must be in [0,1], got %v`, stuck)
 	}
 	drift, err := parseFloatOption(p, "drift", 0)
 	if err != nil {
 		return nil, err
+	}
+	if drift < 0 {
+		return nil, fmt.Errorf(`option "drift" must be >= 0 °C per 1000 reads, got %v`, drift)
 	}
 	stuckValue := uint64(1)
 	if v, ok := p.Options["stuck-value"]; ok {
@@ -42,10 +71,50 @@ func openFaultyBackend(p BackendParams) (Device, error) {
 		}
 		stuckValue = n
 	}
+	aging, err := parseFaultyFraction(p, "aging", 0)
+	if err != nil {
+		return nil, err
+	}
+	agingOnset, err := parseFaultyCount(p, "aging-onset", 0)
+	if err != nil {
+		return nil, err
+	}
+	agingReads, err := parseFaultyCount(p, "aging-reads", 1000)
+	if err != nil {
+		return nil, err
+	}
+	if agingReads == 0 {
+		return nil, fmt.Errorf(`option "aging-reads" must be positive`)
+	}
+	agingShape := p.option("aging-shape", "linear")
+	switch agingShape {
+	case "linear", "accel":
+	default:
+		return nil, fmt.Errorf(`option "aging-shape" must be "linear" or "accel", got %q`, agingShape)
+	}
+	tempSchedule, err := parseFaultySchedule(p, "temp-schedule", false)
+	if err != nil {
+		return nil, err
+	}
+	voltSchedule, err := parseFaultySchedule(p, "voltage-schedule", true)
+	if err != nil {
+		return nil, err
+	}
+	retention, err := parseFaultyFraction(p, "retention", 0)
+	if err != nil {
+		return nil, err
+	}
+	retentionOnset, err := parseFaultyCount(p, "retention-onset", 0)
+	if err != nil {
+		return nil, err
+	}
 	innerOpts := map[string]string{}
 	for k, v := range p.Options {
 		switch k {
-		case "inner", "stuck", "stuck-value", "drift":
+		case "inner", "stuck", "stuck-value", "drift",
+			"aging", "aging-onset", "aging-reads", "aging-shape",
+			"temp-schedule", "voltage-schedule",
+			"retention", "retention-onset":
 		default:
 			if len(k) > 6 && k[:6] == "inner." {
 				innerOpts[k[6:]] = v
@@ -65,42 +134,201 @@ func openFaultyBackend(p BackendParams) (Device, error) {
 		return nil, err
 	}
 	return &faultyDevice{
-		inner:      inner,
-		stuck:      stuck,
-		stuckValue: stuckValue,
-		driftPerK:  drift,
-		salt:       inner.Serial()*0x9e3779b97f4a7c15 + 0xfa17,
+		inner:          inner,
+		stuck:          stuck,
+		stuckValue:     stuckValue,
+		driftPerK:      drift,
+		aging:          aging,
+		agingOnset:     int64(agingOnset),
+		agingReads:     int64(agingReads),
+		agingAccel:     agingShape == "accel",
+		tempSchedule:   tempSchedule,
+		voltSchedule:   voltSchedule,
+		retention:      retention,
+		retentionOnset: int64(retentionOnset),
+		salt:           inner.Serial()*0x9e3779b97f4a7c15 + 0xfa17,
+		retentionSalt:  inner.Serial()*0x9e3779b97f4a7c15 + 0x4e7e,
 	}, nil
 }
 
-// faultyDevice injects stuck columns and temperature drift over an inner
-// device. Stuck columns are chosen deterministically per (bank, column), like
-// a failed sense amplifier: the same cells are stuck on every access.
+// parseFaultyFraction parses a [0,1] fraction option, rejecting negatives and
+// values over 1 with the option name in the error.
+func parseFaultyFraction(p BackendParams, key string, def float64) (float64, error) {
+	v, err := parseFloatOption(p, key, def)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("option %q must be in [0,1], got %v", key, v)
+	}
+	return v, nil
+}
+
+// parseFaultyCount parses a non-negative integer read-count option.
+func parseFaultyCount(p BackendParams, key string, def uint64) (uint64, error) {
+	v, ok := p.Options[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 63)
+	if err != nil {
+		return 0, fmt.Errorf("option %q must be a non-negative read count, got %q", key, v)
+	}
+	return n, nil
+}
+
+// scheduleStep is one step of a piecewise read-count schedule: value applies
+// from read count from on, until a later step replaces it.
+type scheduleStep struct {
+	from  int64
+	value float64
+}
+
+// parseFaultySchedule parses "reads:value[,reads:value...]". Read counts must
+// be strictly ascending; fraction schedules constrain values to [0,1].
+func parseFaultySchedule(p BackendParams, key string, fraction bool) ([]scheduleStep, error) {
+	v, ok := p.Options[key]
+	if !ok || v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	steps := make([]scheduleStep, 0, len(parts))
+	for _, part := range parts {
+		fromStr, valStr, found := strings.Cut(strings.TrimSpace(part), ":")
+		if !found {
+			return nil, fmt.Errorf("option %q: step %q is not reads:value", key, part)
+		}
+		from, err := strconv.ParseUint(fromStr, 10, 63)
+		if err != nil {
+			return nil, fmt.Errorf("option %q: read count %q is not a non-negative integer", key, fromStr)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("option %q: value %q is not a number", key, valStr)
+		}
+		if fraction && (val < 0 || val > 1) {
+			return nil, fmt.Errorf("option %q: value %v outside [0,1]", key, val)
+		}
+		steps = append(steps, scheduleStep{from: int64(from), value: val})
+	}
+	if !sort.SliceIsSorted(steps, func(i, j int) bool { return steps[i].from < steps[j].from }) {
+		return nil, fmt.Errorf("option %q: read counts must be strictly ascending", key)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].from == steps[i-1].from {
+			return nil, fmt.Errorf("option %q: read counts must be strictly ascending", key)
+		}
+	}
+	return steps, nil
+}
+
+// at returns the schedule's value at read count r (0 before the first step).
+func scheduleAt(steps []scheduleStep, r int64) float64 {
+	v := 0.0
+	for _, s := range steps {
+		if r < s.from {
+			break
+		}
+		v = s.value
+	}
+	return v
+}
+
+// faultyDevice injects the scenario matrix over an inner device. Stuck and
+// retention columns are chosen deterministically per (bank, column) from
+// independent hash streams, like failed sense amplifiers and weak cells: the
+// same cells fail on every access, and a growing fault fraction only ever
+// adds columns (the per-column hash is compared against a threshold, so the
+// stuck set is monotone in the fraction).
 type faultyDevice struct {
 	inner      Device
 	stuck      float64
 	stuckValue uint64
 	driftPerK  float64
-	salt       uint64
-	reads      atomic.Int64 // drange:atomic
+
+	// Aging curve: aging more columns stick after agingOnset reads, ramping
+	// over agingReads reads, quadratically when agingAccel.
+	aging      float64
+	agingOnset int64
+	agingReads int64
+	agingAccel bool
+
+	// Schedules keyed to the read count; voltSchedule's value is an extra
+	// stuck fraction, tempSchedule's an extra temperature offset.
+	tempSchedule []scheduleStep
+	voltSchedule []scheduleStep
+
+	// Retention failures: retention of the columns read 0 from
+	// retentionOnset reads on, drawn from retentionSalt's hash stream.
+	retention      float64
+	retentionOnset int64
+
+	salt          uint64
+	retentionSalt uint64
+	reads         atomic.Int64 // drange:atomic
 }
 
-// columnStuck decides, deterministically, whether the column is stuck.
-func (f *faultyDevice) columnStuck(bank, col int) bool {
-	if f.stuck >= 1 {
+// agingFraction returns the extra stuck fraction contributed by the aging
+// curve at read count r.
+func (f *faultyDevice) agingFraction(r int64) float64 {
+	if f.aging <= 0 || r < f.agingOnset {
+		return 0
+	}
+	x := float64(r-f.agingOnset) / float64(f.agingReads)
+	if x > 1 {
+		x = 1
+	}
+	if f.agingAccel {
+		x *= x
+	}
+	return f.aging * x
+}
+
+// stuckFraction returns the total stuck-column fraction at read count r:
+// static stuck cells, plus the aging curve, plus the voltage schedule's
+// droop, clamped to [0,1].
+func (f *faultyDevice) stuckFraction(r int64) float64 {
+	v := f.stuck + f.agingFraction(r) + scheduleAt(f.voltSchedule, r)
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// hashThreshold decides column membership in a fault set: the per-(bank,
+// column) hash under salt is compared against the fraction, so the set grows
+// monotonically with the fraction and is identical on every access.
+func hashThreshold(salt uint64, bank, col int, fraction float64) bool {
+	if fraction >= 1 {
 		return true
 	}
-	if f.stuck <= 0 {
+	if fraction <= 0 {
 		return false
 	}
-	x := f.salt ^ uint64(bank)<<32 ^ uint64(col)
+	x := salt ^ uint64(bank)<<32 ^ uint64(col)
 	// splitmix64 finalizer for diffusion.
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return float64(x>>11)/float64(1<<53) < f.stuck
+	return float64(x>>11)/float64(1<<53) < fraction
+}
+
+// columnStuck decides, deterministically, whether the column is stuck at read
+// count r.
+func (f *faultyDevice) columnStuck(bank, col int, r int64) bool {
+	return hashThreshold(f.salt, bank, col, f.stuckFraction(r))
+}
+
+// columnDischarged decides whether the column's cell has lost its charge by
+// read count r (retention failure: it reads 0 regardless of the written
+// value).
+func (f *faultyDevice) columnDischarged(bank, col int, r int64) bool {
+	if r < f.retentionOnset {
+		return false
+	}
+	return hashThreshold(f.retentionSalt, bank, col, f.retention)
 }
 
 func (f *faultyDevice) Serial() uint64     { return f.inner.Serial() }
@@ -113,23 +341,27 @@ func (f *faultyDevice) Precharge(bank int) error { return f.inner.Precharge(bank
 func (f *faultyDevice) Refresh() error           { return f.inner.Refresh() }
 
 // ReadWord reads through to the inner device, then forces stuck columns to
-// the stuck value — after failure injection, exactly where a stuck sense
-// amplifier sits in the real read path.
+// the stuck value and discharged columns to 0 — after failure injection,
+// exactly where a stuck sense amplifier sits in the real read path.
 func (f *faultyDevice) ReadWord(bank, wordIdx int) ([]uint64, error) {
 	data, err := f.inner.ReadWord(bank, wordIdx)
 	if err != nil {
 		return nil, err
 	}
-	f.reads.Add(1)
+	r := f.reads.Add(1)
 	g := f.inner.Geometry()
 	base := wordIdx * g.WordBits
 	for bit := 0; bit < g.WordBits && bit/64 < len(data); bit++ {
-		if !f.columnStuck(bank, base+bit) {
+		col := base + bit
+		if f.columnStuck(bank, col, r) {
+			if f.stuckValue != 0 {
+				data[bit/64] |= 1 << uint(bit%64)
+			} else {
+				data[bit/64] &^= 1 << uint(bit%64)
+			}
 			continue
 		}
-		if f.stuckValue != 0 {
-			data[bit/64] |= 1 << uint(bit%64)
-		} else {
+		if f.columnDischarged(bank, col, r) {
 			data[bit/64] &^= 1 << uint(bit%64)
 		}
 	}
@@ -151,10 +383,12 @@ func (f *faultyDevice) StartupRow(bank, row int) ([]uint64, error) {
 
 func (f *faultyDevice) SetTemperature(c float64) error { return f.inner.SetTemperature(c) }
 
-// Temperature reports the inner temperature plus the accumulated drift, so a
-// pool's bias-drift monitor sees the part heating with use.
+// Temperature reports the inner temperature plus the accumulated drift and
+// the temperature schedule's current offset, so a pool's health monitor sees
+// the part heating with use and stepping with the scenario.
 func (f *faultyDevice) Temperature() float64 {
-	return f.inner.Temperature() + f.driftPerK*float64(f.reads.Load())/1000.0
+	r := f.reads.Load()
+	return f.inner.Temperature() + f.driftPerK*float64(r)/1000.0 + scheduleAt(f.tempSchedule, r)
 }
 
 func (f *faultyDevice) OpStats() DeviceStats { return f.inner.OpStats() }

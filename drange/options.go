@@ -39,6 +39,7 @@ type options struct {
 	health         *HealthPolicy
 	healthTests    *HealthTestPolicy
 	drbg           *DRBGPolicy
+	rechar         *RecharacterizationPolicy
 }
 
 // backendSpec names a registered backend plus its options.
@@ -194,6 +195,16 @@ func WithHealth(p HealthPolicy) Option {
 	return func(o *options) { o.health = &p }
 }
 
+// WithRecharacterization turns a pool's health evictions into a self-healing
+// lifecycle: instead of leaving the pool forever, a member tripping the
+// health policy is quarantined, re-characterized in the background over the
+// drifted banks, and readmitted with a hot profile swap while the remaining
+// members keep serving. See RecharacterizationPolicy for the defaults
+// applied to zero fields. It only applies to OpenPool.
+func WithRecharacterization(p RecharacterizationPolicy) Option {
+	return func(o *options) { o.rechar = &p }
+}
+
 func copyParams(params map[string]string) map[string]string {
 	if len(params) == 0 {
 		return nil
@@ -212,6 +223,9 @@ func (o *options) rejectPoolOnly(fn string) error {
 	}
 	if len(o.deviceBackends) > 0 {
 		return fmt.Errorf("drange: WithDeviceBackend applies to OpenPool, not %s", fn)
+	}
+	if o.rechar != nil {
+		return fmt.Errorf("drange: WithRecharacterization applies to OpenPool, not %s", fn)
 	}
 	return nil
 }

@@ -177,7 +177,7 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 		if err != nil {
 			return fail(fmt.Errorf("drange: profile %d: %w", i, err))
 		}
-		sels, err := coreSelections(profile.Cells, profile.Selections)
+		sels, err := coreSelections(profile.EffectiveCells(), profile.EffectiveSelections())
 		if err != nil {
 			return fail(fmt.Errorf("drange: profile %d: %w", i, err))
 		}
@@ -198,6 +198,9 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 			profile:   profile,
 			backend:   backend,
 			pub:       pub,
+			dev:       dev,
+			shards:    shardsPerDevice,
+			trcdNS:    trcd,
 			ownsDev:   true,
 			baseTempC: pub.Temperature(),
 		}
@@ -219,6 +222,7 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 			return fail(fmt.Errorf("drange: pool device %d: %w", i, err))
 		}
 		m.src, m.eng = eng, eng
+		m.fastEng.Store(eng)
 		if p.testsEnabled {
 			mon, err := health.New(p.testsPolicy.config())
 			if err != nil {
@@ -235,6 +239,17 @@ func OpenPool(ctx context.Context, profiles []*Profile, opts ...Option) (*Pool, 
 		if err := p.instantiateDRBGs(); err != nil {
 			return fail(err)
 		}
+	}
+	// The recharacterizer starts last, once the member set is final: members
+	// retired before this point (startup failures are terminal anyway) were
+	// never quarantined, so the channel starts empty.
+	if o.rechar != nil && !o.rechar.Disabled {
+		p.pctx = pctx
+		p.recharOn = true
+		p.recharPolicy = o.rechar.withDefaults()
+		p.recharCh = make(chan *servingMember, len(p.members))
+		p.recharWG.Add(1)
+		go p.recharacterizer(pctx)
 	}
 	return p, nil
 }
@@ -261,25 +276,51 @@ func (p *Pool) Stats() Stats {
 			PredictionResistance: p.drbgPolicy.PredictionResistance,
 		}
 	}
+	if p.recharOn {
+		out.Lifecycle = &LifecycleStats{}
+	}
 	bitsPerNS := 0.0
 	shardIdx := 0
 	for _, m := range p.members {
 		est := statsFromEngine(m.eng.Stats())
-		evicted := m.evicted.Load()
+		state := m.lifecycle()
 		ds := PoolDeviceStats{
-			Device:         m.idx,
-			Serial:         m.profile.Serial,
-			Backend:        m.backend,
-			Healthy:        !evicted,
-			Evicted:        evicted,
-			Reason:         m.reason,
-			BiasDelta:      m.biasDelta,
-			TemperatureC:   m.lastTemperature(),
-			BitsHarvested:  est.BitsHarvested,
-			BitsDelivered:  m.delivered.Load(),
-			ThroughputMbps: est.AggregateThroughputMbps,
-			Latency64NS:    est.Latency64NS,
-			Shards:         est.Shards,
+			Device:              m.idx,
+			Serial:              m.profile.Serial,
+			Backend:             m.backend,
+			Healthy:             state == memberServing,
+			Evicted:             state == memberEvicted,
+			State:               state.String(),
+			Reason:              m.reason,
+			BiasDelta:           m.biasDelta,
+			TemperatureC:        m.lastTemperature(),
+			Readmissions:        m.readmissions,
+			Recharacterizations: m.recharacterizations,
+			RecharFailures:      m.recharFailures,
+			LastRecharMS:        m.lastRecharMS,
+			ProfileDeltas:       len(m.profile.Deltas),
+			BitsHarvested:       est.BitsHarvested,
+			BitsDelivered:       m.delivered.Load(),
+			ThroughputMbps:      est.AggregateThroughputMbps,
+			Latency64NS:         est.Latency64NS,
+			Shards:              est.Shards,
+		}
+		if lc := out.Lifecycle; lc != nil {
+			switch state {
+			case memberServing:
+				lc.Serving++
+			case memberQuarantined:
+				lc.Quarantined++
+			case memberRecharacterizing:
+				lc.Recharacterizing++
+			case memberReadmitting:
+				lc.Readmitting++
+			case memberEvicted:
+				lc.Evicted++
+			}
+			lc.Readmissions += m.readmissions
+			lc.Recharacterizations += m.recharacterizations
+			lc.RecharFailures += m.recharFailures
 		}
 		if m.monitor != nil {
 			ds.Health = healthStatsFrom(m.monitor, m.blockedWindows, m.startupOK)
@@ -318,7 +359,7 @@ func (p *Pool) Stats() Stats {
 			shardIdx++
 			out.Shards = append(out.Shards, ss)
 		}
-		if !evicted && est.AggregateThroughputMbps > 0 {
+		if state == memberServing && est.AggregateThroughputMbps > 0 {
 			bitsPerNS += est.AggregateThroughputMbps / 1000.0
 		}
 	}
@@ -330,9 +371,11 @@ func (p *Pool) Stats() Stats {
 }
 
 // lastTemperature reads the member's device temperature; an evicted member
-// reports its baseline (its device may already be closed).
+// reports its baseline (its device may already be closed). Members merely out
+// of serving for re-characterization keep their devices open, so they report
+// live temperatures.
 func (m *servingMember) lastTemperature() float64 {
-	if m.evicted.Load() {
+	if m.lifecycle() == memberEvicted {
 		return m.baseTempC
 	}
 	return m.pub.Temperature()

@@ -1,0 +1,229 @@
+package drange
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// newV1GoldenDelta is the delta counterpart of newV1GoldenProfile: a
+// hand-built, fully deterministic re-characterization delta covering every
+// delta wire-format field, sealed against the golden base profile. It panics
+// rather than taking a *testing.T because fuzz seeding has none.
+func newV1GoldenDelta(base *Profile) *ProfileDelta {
+	d := &ProfileDelta{
+		Version:      ProfileDeltaVersion,
+		Sequence:     len(base.Deltas) + 1,
+		BaseChecksum: base.Checksum,
+		Reason:       "bias drift: |ones-fraction-0.5| = 0.210 over 1024 bits exceeds 0.020",
+		Characterization: DeltaCharacterization{
+			TRCDNS:           10,
+			Iterations:       60,
+			ScreenIterations: 40,
+			Rounds:           3,
+			MaxDrift:         0.15,
+			LowFprob:         0.15,
+			HighFprob:        0.85,
+			Pattern:          "SOLID0",
+		},
+		Banks: []int{0},
+		Cells: []Cell{
+			{Bank: 0, Row: 3, Col: 20, Word: 0, FailProbability: 0.52, SymbolEntropy: 2.98},
+			{Bank: 0, Row: 5, Col: 700, Word: 2, FailProbability: 0.48, SymbolEntropy: 2.96},
+		},
+		Selections: []Selection{
+			{
+				Bank:  0,
+				Word1: WordSelection{Row: 3, Word: 0, Cols: []int{20}},
+				Word2: WordSelection{Row: 5, Word: 2, Cols: []int{700}},
+			},
+		},
+	}
+	if err := d.Seal(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// newV1GoldenProfileWithDelta appends the golden delta to the golden base
+// profile — the canonical self-healed profile the delta golden file freezes.
+func newV1GoldenProfileWithDelta() *Profile {
+	base := newV1GoldenProfile()
+	p, err := base.AppendDelta(newV1GoldenDelta(base))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+const goldenDeltaProfilePath = "testdata/profile_delta_v1.golden.json"
+
+// TestProfileDeltaV1GoldenFile freezes the delta-carrying v1 Profile wire
+// format the way TestProfileV1GoldenFile freezes the base format. It also
+// pins the compatibility promise that makes deltas a backward-compatible
+// extension: a profile with no deltas must still encode byte-identically to
+// the pre-delta golden file.
+func TestProfileDeltaV1GoldenFile(t *testing.T) {
+	encoded, err := newV1GoldenProfileWithDelta().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenDeltaProfilePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDeltaProfilePath, encoded, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenDeltaProfilePath)
+		return
+	}
+	golden, err := os.ReadFile(goldenDeltaProfilePath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(encoded, golden) {
+		t.Fatalf("profile delta v1 wire format changed.\nEncoding a fixed delta-carrying profile no longer matches %s.\nIf this is intentional, bump ProfileDeltaVersion, keep a decode path for v1, and regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s",
+			goldenDeltaProfilePath, encoded, golden)
+	}
+
+	decoded, err := DecodeProfile(golden)
+	if err != nil {
+		t.Fatalf("golden delta profile no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, newV1GoldenProfileWithDelta()) {
+		t.Error("decoded golden delta profile differs from the in-memory original")
+	}
+
+	// Backward compatibility: the no-delta encoding is untouched by the
+	// delta extension (deltas are omitempty), so pre-delta readers and
+	// golden files stay valid.
+	baseEncoded, err := newV1GoldenProfile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseGolden, err := os.ReadFile(goldenProfilePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseEncoded, baseGolden) {
+		t.Error("adding the delta format changed the no-delta profile encoding; deltas must stay an omitempty extension")
+	}
+	if bytes.Contains(baseGolden, []byte(`"deltas"`)) {
+		t.Error("no-delta golden profile mentions deltas; the field must be omitted when empty")
+	}
+}
+
+// TestProfileDeltaV1GoldenShape pins the delta's structural facts: the field
+// set and order inside each delta, with both checksums placed so integrity
+// visibly covers everything before them.
+func TestProfileDeltaV1GoldenShape(t *testing.T) {
+	golden, err := os.ReadFile(goldenDeltaProfilePath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	s := string(golden)
+	// Deltas slot between the base selections and the profile checksum, so
+	// the profile digest covers the chain.
+	di := strings.Index(s, `"deltas"`)
+	if di < 0 {
+		t.Fatal("golden delta profile has no deltas field")
+	}
+	if ci := strings.LastIndex(s, `"checksum"`); ci < di {
+		t.Error("profile checksum does not follow the delta chain")
+	}
+	// The delta's own field order, as documented in the wire format.
+	want := []string{`"version"`, `"sequence"`, `"base_checksum"`, `"reason"`, `"characterization"`, `"banks"`, `"cells"`, `"selections"`, `"checksum"`}
+	at := di
+	for _, key := range want {
+		i := strings.Index(s[at:], key)
+		if i < 0 {
+			t.Fatalf("delta field %s missing or out of order", key)
+		}
+		at += i + len(key)
+	}
+	if !strings.Contains(s[di:], `"base_checksum": "sha256:`) {
+		t.Error("delta base_checksum is not a sha256-tagged digest")
+	}
+}
+
+// TestProfileDeltaChainValidation pins the chain rules AppendDelta enforces:
+// a delta binds to the exact profile state it was measured against and can
+// be neither replayed, reordered nor edited.
+func TestProfileDeltaChainValidation(t *testing.T) {
+	base := newV1GoldenProfile()
+
+	t.Run("append-and-resolve", func(t *testing.T) {
+		p, err := base.AppendDelta(newV1GoldenDelta(base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(base.Deltas) != 0 {
+			t.Error("AppendDelta mutated the base profile")
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Bank 0 is replaced wholesale by the delta's cells and selections.
+		for _, c := range p.EffectiveCells() {
+			if c.Bank == 0 && c.Row != 3 && c.Row != 5 {
+				t.Errorf("stale bank-0 cell survived the delta: %+v", c)
+			}
+		}
+		sels := p.EffectiveSelections()
+		if len(sels) != 1 || sels[0].Word1.Row != 3 {
+			t.Errorf("effective selections = %+v, want the delta's bank-0 pair", sels)
+		}
+	})
+
+	t.Run("wrong-base", func(t *testing.T) {
+		other := newV1GoldenProfile()
+		other.Serial = 43
+		if err := other.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := other.AppendDelta(newV1GoldenDelta(base)); err == nil {
+			t.Error("delta accepted against a profile it was not measured on")
+		}
+	})
+
+	t.Run("replay", func(t *testing.T) {
+		p, err := base.AppendDelta(newV1GoldenDelta(base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.AppendDelta(newV1GoldenDelta(base)); err == nil {
+			t.Error("same delta replayed onto the grown chain")
+		}
+	})
+
+	t.Run("edited-without-reseal", func(t *testing.T) {
+		d := newV1GoldenDelta(base)
+		d.Reason = "edited"
+		if _, err := base.AppendDelta(d); err == nil {
+			t.Error("edited delta accepted without resealing")
+		}
+	})
+
+	t.Run("unsealed", func(t *testing.T) {
+		d := newV1GoldenDelta(base)
+		d.Checksum = ""
+		if _, err := base.AppendDelta(d); err == nil {
+			t.Error("unsealed delta accepted")
+		}
+	})
+
+	t.Run("future-version", func(t *testing.T) {
+		d := newV1GoldenDelta(base)
+		d.Version = ProfileDeltaVersion + 1
+		if err := d.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := base.AppendDelta(d); err == nil || !strings.Contains(err.Error(), "newer") {
+			t.Errorf("future delta version error = %v, want an upgrade hint", err)
+		}
+	})
+}

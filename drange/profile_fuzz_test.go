@@ -29,6 +29,22 @@ func FuzzProfileDecode(f *testing.F) {
 	}
 	// A profile edited without resealing (field tweak keeps valid JSON).
 	f.Add(bytes.Replace(valid, []byte(`"serial": 42`), []byte(`"serial": 43`), 1))
+	// The delta-carrying encoding, plus the delta-chain attack surface:
+	// truncation inside the chain, a bit flip inside the delta payload (must
+	// fail the delta checksum), a reordered chain position and a delta edited
+	// without resealing.
+	withDelta, err := newV1GoldenProfileWithDelta().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(withDelta)
+	di := bytes.Index(withDelta, []byte(`"deltas"`))
+	f.Add(withDelta[:di+len(withDelta[di:])/2])
+	flippedDelta := bytes.Clone(withDelta)
+	flippedDelta[di+len(withDelta[di:])/2] ^= 0x01
+	f.Add(flippedDelta)
+	f.Add(bytes.Replace(withDelta, []byte(`"sequence": 1`), []byte(`"sequence": 2`), 1))
+	f.Add(bytes.Replace(withDelta, []byte(`"banks": [`), []byte(`"banks": [1,`), 1))
 	f.Add([]byte(``))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{}`))

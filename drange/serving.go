@@ -19,8 +19,45 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/health"
 )
+
+// memberState is the lifecycle of one serving member. A member starts
+// serving; a drift or health violation retires it — to quarantined when
+// WithRecharacterization is attached (its engine stops but its device stays
+// open), to the terminal evicted state otherwise. The background
+// recharacterizer moves quarantined members through recharacterizing (the
+// targeted profiling pass runs over the open device) and readmitting (the
+// fresh engine is startup-tested and swapped in) back to serving; a pass
+// that exhausts its attempts ends in evicted.
+type memberState int32
+
+const (
+	memberServing memberState = iota
+	memberQuarantined
+	memberRecharacterizing
+	memberReadmitting
+	memberEvicted
+)
+
+// String returns the lifecycle state name used in Stats and reports.
+func (s memberState) String() string {
+	switch s {
+	case memberServing:
+		return "serving"
+	case memberQuarantined:
+		return "quarantined"
+	case memberRecharacterizing:
+		return "recharacterizing"
+	case memberReadmitting:
+		return "readmitting"
+	case memberEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("memberState(%d)", int32(s))
+	}
+}
 
 // sampler is the harvesting source behind one serving member: the concurrent
 // sharded engine, or — for a sequential single-device Source — the
@@ -50,12 +87,41 @@ type servingMember struct {
 	eng     *core.Engine
 	ownsDev bool
 
+	// dev is the internal device handle the background recharacterizer
+	// profiles and rebuilds engines over; shards and trcdNS are the
+	// engine-rebuild parameters fixed at open time.
+	dev    device.Device
+	shards int
+	trcdNS float64
+
 	baseTempC float64
 
-	// evicted is lock-free so the concurrent read fast path skips dead
-	// members without the core mutex; reason is guarded by mu.
-	evicted atomic.Bool // drange:atomic
-	reason  string      // drange:guardedby mu
+	// state is the member's lifecycle state, lock-free so the concurrent
+	// read fast path skips non-serving members without the core mutex;
+	// reason is guarded by mu. The zero value is memberServing.
+	state  atomic.Int32 // drange:atomic
+	reason string       // drange:guardedby mu
+
+	// fastEng publishes the engine behind src to the lock-free fast path.
+	// A reader that observed state == serving loads the engine through this
+	// pointer, so a hot profile swap on readmission can replace src/eng
+	// under mu without racing unlocked readers: the swap stores the fresh
+	// engine here before the serving state is published. nil while the
+	// member is out of serving, and for a sequential (TRNG-backed) member,
+	// which never takes the fast path.
+	fastEng atomic.Pointer[core.Engine] // drange:atomic
+
+	// Lifecycle accounting (guarded by mu): readmissions counts
+	// quarantine→serving round trips, recharacterizations counts targeted
+	// re-characterization passes started, recharFailures counts failed
+	// passes, lastRecharMS is the wall-clock duration of the last pass that
+	// ended in readmission, and recharAttempts counts consecutive failed
+	// passes (MaxAttempts of them evict the member terminally).
+	readmissions        int64   // drange:guardedby mu
+	recharacterizations int64   // drange:guardedby mu
+	recharFailures      int64   // drange:guardedby mu
+	lastRecharMS        float64 // drange:guardedby mu
+	recharAttempts      int     // drange:guardedby mu
 
 	// fetched counts bits pulled from this member's sampler — the load
 	// metric of the least-loaded scheduler. Batches discarded under
@@ -113,6 +179,14 @@ type servingMember struct {
 	// allocation-free.
 	fetchBuf [8]byte // drange:guardedby mu
 }
+
+// lifecycle returns the member's current lifecycle state.
+func (m *servingMember) lifecycle() memberState { return memberState(m.state.Load()) }
+
+// serving reports whether the member is schedulable. Any other lifecycle
+// state — quarantined, recharacterizing, readmitting or evicted — keeps the
+// member out of every scheduling loop.
+func (m *servingMember) serving() bool { return m.state.Load() == int32(memberServing) }
 
 // addWindow folds ones set bits out of n into the member's packed bias
 // window and returns the window's new bit count.
@@ -180,6 +254,20 @@ type servingCore struct {
 	drbgOn     bool
 	drbgPolicy DRBGPolicy
 
+	// pctx is the context the member engines run under; the background
+	// recharacterizer builds readmitted engines on it so Close stops them
+	// with everything else. nil for a Generator, which never
+	// recharacterizes.
+	pctx context.Context
+	// recharOn/recharPolicy carry the resolved WithRecharacterization
+	// policy. recharCh feeds quarantined members to the recharacterizer
+	// goroutine — buffered to the member count, so quarantineLocked never
+	// blocks under mu — and recharWG tracks the goroutine for Close.
+	recharOn     bool
+	recharPolicy RecharacterizationPolicy
+	recharCh     chan *servingMember
+	recharWG     sync.WaitGroup
+
 	// Per-tier serving accounting (atomic: the raw tier's lock-free fast
 	// path updates them without mu). The counters advance only when the
 	// read succeeds: a failed read returns (0, err) and is invisible here.
@@ -213,30 +301,31 @@ func (c *servingCore) Healthy() int {
 	return c.healthyLocked()
 }
 
-// healthyLocked counts non-evicted members. Callers hold mu.
+// healthyLocked counts serving members. Callers hold mu.
 func (c *servingCore) healthyLocked() int {
 	n := 0
 	for _, m := range c.members {
-		if !m.evicted.Load() {
+		if m.serving() {
 			n++
 		}
 	}
 	return n
 }
 
-// evictLocked removes a member from scheduling: its engine stops, its device
-// closes, and its buffered bits are discarded. The last healthy member is
-// never evicted — the reason is recorded for Stats but reads continue.
-// Callers hold mu.
+// evictLocked removes a member from scheduling terminally: its engine stops,
+// its device closes, and its buffered bits are discarded. The last healthy
+// member is never evicted — the reason is recorded for Stats but reads
+// continue. Callers hold mu.
 func (c *servingCore) evictLocked(m *servingMember, reason string) {
-	if m.evicted.Load() {
+	if m.lifecycle() == memberEvicted {
 		return
 	}
-	if c.healthyLocked() <= 1 {
+	if m.serving() && c.healthyLocked() <= 1 {
 		m.reason = fmt.Sprintf("unhealthy but retained (last device): %s", reason)
 		return
 	}
-	m.evicted.Store(true)
+	m.fastEng.Store(nil)
+	m.state.Store(int32(memberEvicted))
 	m.reason = reason
 	m.cur, m.curBits = 0, 0
 	m.eng.Close()
@@ -245,12 +334,54 @@ func (c *servingCore) evictLocked(m *servingMember, reason string) {
 	}
 }
 
+// retireLocked takes a member that violated a drift or health policy out of
+// serving: quarantined for background re-characterization when
+// WithRecharacterization is attached and attempts remain, terminally evicted
+// otherwise. The last healthy member is never retired — the reason is
+// recorded for Stats but reads continue (degraded output beats no output).
+// Hard sampler failures do not come through here: a member whose engine died
+// is evicted directly, since its device cannot be assumed profileable.
+// Callers hold mu.
+func (c *servingCore) retireLocked(m *servingMember, reason string) {
+	if !m.serving() {
+		return
+	}
+	if c.healthyLocked() <= 1 {
+		m.reason = fmt.Sprintf("unhealthy but retained (last device): %s", reason)
+		return
+	}
+	if c.recharOn && m.recharAttempts < c.recharPolicy.MaxAttempts {
+		c.quarantineLocked(m, reason)
+		return
+	}
+	c.evictLocked(m, reason)
+}
+
+// quarantineLocked hands a drifting member to the background
+// recharacterizer: its engine stops and its buffered bits and bias window
+// are discarded, but — unlike eviction — its device stays open so the
+// targeted re-characterization pass can profile it. Callers hold mu.
+func (c *servingCore) quarantineLocked(m *servingMember, reason string) {
+	m.fastEng.Store(nil)
+	m.state.Store(int32(memberQuarantined))
+	m.reason = reason
+	m.cur, m.curBits = 0, 0
+	m.win.Store(0)
+	m.eng.Close()
+	select {
+	case c.recharCh <- m:
+	default:
+		// Unreachable: the channel is buffered to the member count and a
+		// member is enqueued at most once per quarantine.
+	}
+}
+
 // completeWindowLocked applies the device-health policy to a member whose
 // bias window just filled, snapshotting and resetting the window atomics. A
 // concurrent reader may have completed the window already; the re-check under
 // the lock makes that a no-op. Callers hold mu.
 func (c *servingCore) completeWindowLocked(m *servingMember) {
-	if m.win.Load()&0xffffffff < int64(c.policy.WindowBits) || m.evicted.Load() {
+	if m.win.Load()&0xffffffff < int64(c.policy.WindowBits) || !m.serving() {
 		return
 	}
 	w := m.win.Swap(0)
@@ -263,7 +394,7 @@ func (c *servingCore) completeWindowLocked(m *servingMember) {
 		m.biasDelta = -m.biasDelta
 	}
 	if c.policy.MaxBiasDelta >= 0 && m.biasDelta > c.policy.MaxBiasDelta {
-		c.evictLocked(m, fmt.Sprintf("bias drift: |ones-fraction-0.5| = %.3f over %d bits exceeds %.3f",
+		c.retireLocked(m, fmt.Sprintf("bias drift: |ones-fraction-0.5| = %.3f over %d bits exceeds %.3f",
 			m.biasDelta, c.policy.WindowBits, c.policy.MaxBiasDelta))
 		return
 	}
@@ -273,14 +404,14 @@ func (c *servingCore) completeWindowLocked(m *servingMember) {
 			drift = -drift
 		}
 		if drift > c.policy.MaxTempDriftC {
-			c.evictLocked(m, fmt.Sprintf("temperature drift: %.1f °C from the %.1f °C baseline exceeds %.1f °C",
+			c.retireLocked(m, fmt.Sprintf("temperature drift: %.1f °C from the %.1f °C baseline exceeds %.1f °C",
 				drift, m.baseTempC, c.policy.MaxTempDriftC))
 			return
 		}
 	}
 	// A window with no violation clears a retained-device complaint, so a
 	// transient excursion does not flag the device forever.
-	if !m.evicted.Load() {
+	if m.serving() {
 		m.reason = ""
 	}
 }
@@ -293,7 +424,7 @@ func (c *servingCore) nextMemberLocked() *servingMember {
 	var best *servingMember
 	var bestFetched int64
 	for _, m := range c.members {
-		if m.evicted.Load() || c.blockedOutLocked(m) {
+		if !m.serving() || c.blockedOutLocked(m) {
 			continue
 		}
 		if f := m.fetched.Load(); best == nil || f < bestFetched {
@@ -376,8 +507,8 @@ func (c *servingCore) nextMemberWithBitsLocked() (*servingMember, error) {
 					}
 					continue
 				default: // HealthActionEvict
-					c.evictLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
-					if m.evicted.Load() {
+					c.retireLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
+					if !m.serving() {
 						continue
 					}
 					// The last healthy member is retained (degraded
@@ -393,9 +524,9 @@ func (c *servingCore) nextMemberWithBitsLocked() (*servingMember, error) {
 		if !c.policy.Disabled {
 			if w := m.addWindow(bits.OnesCount64(m.cur), 64); w >= int64(c.policy.WindowBits) {
 				c.completeWindowLocked(m)
-				// The member may have just been evicted; its buffered bits
+				// The member may have just been retired; its buffered bits
 				// are gone and the scheduler picks the next member.
-				if m.evicted.Load() {
+				if !m.serving() {
 					continue
 				}
 			}
@@ -531,8 +662,12 @@ func (c *servingCore) runStartupTests() error {
 		if c.testsPolicy.OnFailure != HealthActionEvict {
 			return serr
 		}
+		// Startup failures are terminal even under WithRecharacterization:
+		// a device that flunks its self-test straight after characterization
+		// has nothing fresher to re-characterize from.
 		m.startupOK = false
-		m.evicted.Store(true)
+		m.fastEng.Store(nil)
+		m.state.Store(int32(memberEvicted))
 		m.reason = fmt.Sprintf("startup health test failed: %v", serr)
 		m.eng.Close()
 		if m.ownsDev {
@@ -566,7 +701,7 @@ func (c *servingCore) instantiateDRBGs() error {
 	k := int64(0)
 	seeded := 0
 	for _, m := range c.members {
-		if m.evicted.Load() {
+		if !m.serving() {
 			continue
 		}
 		s := newDRBGState(c.drbgPolicy, interval+k*step)
@@ -619,7 +754,7 @@ func (c *servingCore) harvestSeedLocked(m *servingMember, seed []byte) error {
 			}
 			if w := m.addWindow(ones, len(seed)*8); w >= int64(c.policy.WindowBits) {
 				c.completeWindowLocked(m)
-				if m.evicted.Load() {
+				if !m.serving() {
 					return errDRBGMemberEvicted
 				}
 			}
@@ -643,8 +778,8 @@ func (c *servingCore) harvestSeedLocked(m *servingMember, seed []byte) error {
 					"no clean seed after discarding %d (last violation: %s: %s)", blocked, v.Test, v.Detail)}
 			}
 		default: // HealthActionEvict
-			c.evictLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
-			if m.evicted.Load() {
+			c.retireLocked(m, fmt.Sprintf("health test %s tripped: %s", v.Test, v.Detail))
+			if !m.serving() {
 				return errDRBGMemberEvicted
 			}
 			// The last healthy member is retained (degraded output beats no
@@ -798,7 +933,7 @@ func (c *servingCore) drbgServeMemberLocked() (*servingMember, error) {
 		var ready, due *servingMember
 		var readyF, dueF int64
 		for _, m := range c.members {
-			if m.evicted.Load() || m.drbg == nil {
+			if !m.serving() || m.drbg == nil {
 				continue
 			}
 			f := m.fetched.Load()
@@ -853,7 +988,7 @@ func (c *servingCore) stageDRBGReseedLocked(served *servingMember) {
 	var due *servingMember
 	var dueF int64
 	for _, m := range c.members {
-		if m == served || m.evicted.Load() || m.drbg == nil || !m.drbg.d.NeedsReseed() {
+		if m == served || !m.serving() || m.drbg == nil || !m.drbg.d.NeedsReseed() {
 			continue
 		}
 		if f := m.fetched.Load(); due == nil || f < dueF {
@@ -937,7 +1072,7 @@ func (c *servingCore) pickMember() *servingMember {
 	var best *servingMember
 	var bestFetched int64
 	for _, m := range c.members {
-		if m.evicted.Load() {
+		if !m.serving() {
 			continue
 		}
 		if f := m.fetched.Load(); best == nil || f < bestFetched {
@@ -970,9 +1105,20 @@ func (c *servingCore) readFast(dst []byte) (int, error) {
 		}
 		chunk := dst[i : i+n]
 		// Claim the load before the engine read so concurrent readers spread
-		// across members instead of piling onto one.
+		// across members instead of piling onto one. The engine is loaded
+		// through the member's published pointer: the acquire load pairs
+		// with the release store a readmission makes after its hot profile
+		// swap, so a reader that saw the member serving reads the engine
+		// that state belongs to.
 		m.fetched.Add(int64(n) * 8)
-		if err := m.src.ReadPacked(chunk); err != nil {
+		eng := m.fastEng.Load()
+		if eng == nil {
+			// The member left serving between the pick and the engine load
+			// (a quarantine or eviction cleared the pointer); re-pick.
+			m.fetched.Add(-int64(n) * 8)
+			continue
+		}
+		if err := eng.ReadPacked(chunk); err != nil {
 			m.fetched.Add(-int64(n) * 8)
 			if c.single {
 				return 0, err
@@ -982,10 +1128,11 @@ func (c *servingCore) readFast(dst []byte) (int, error) {
 				c.mu.Unlock()
 				return 0, c.errClosed()
 			}
-			if m.evicted.Load() {
-				// Another reader evicted this member while we were blocked
-				// in its engine (e.g. a bias-window eviction closed it);
-				// the survivors keep serving — just re-pick.
+			if !m.serving() || m.eng != eng {
+				// Another reader retired this member while we were blocked
+				// in its engine (e.g. a bias-window trip closed it), or it
+				// was readmitted with a fresh engine while we held the old
+				// one; the survivors keep serving — just re-pick.
 				c.mu.Unlock()
 				continue
 			}
@@ -1031,8 +1178,8 @@ func (c *servingCore) Uint64() (uint64, error) {
 // returns nil, as it always has.
 func (c *servingCore) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed.Swap(true) {
+		c.mu.Unlock()
 		return nil
 	}
 	if c.closeHook != nil {
@@ -1041,6 +1188,14 @@ func (c *servingCore) Close() error {
 	if c.cancel != nil {
 		c.cancel()
 	}
+	c.mu.Unlock()
+	// The recharacterizer may be mid-pass over a quarantined member's still
+	// open device; wait for it before releasing devices. It checks the
+	// cancelled context between profiling rounds, so this does not wait out
+	// a full pass, and it only takes mu briefly — never while Close holds it.
+	c.recharWG.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	err := c.closeMembers()
 	if c.single {
 		return err
@@ -1048,14 +1203,16 @@ func (c *servingCore) Close() error {
 	return nil
 }
 
-// closeMembers releases every non-evicted member (evicted members closed at
-// eviction time). Members whose engine never started — an Open/OpenPool
-// constructor failure — still release their device, so a replay recorder's
-// log is flushed even when a later member fails to open.
+// closeMembers releases every member except the terminally evicted (closed
+// at eviction time) — quarantined and recharacterizing members still hold
+// their device open for the recharacterizer. Members whose engine never
+// started — an Open/OpenPool constructor failure — still release their
+// device, so a replay recorder's log is flushed even when a later member
+// fails to open.
 func (c *servingCore) closeMembers() error {
 	var err error
 	for _, m := range c.members {
-		if m.evicted.Load() {
+		if m.lifecycle() == memberEvicted {
 			continue
 		}
 		if m.eng != nil {

@@ -240,6 +240,27 @@ type Stats struct {
 	// For a Pool it aggregates the member instances; the per-device
 	// breakdown sits in each PoolDeviceStats.
 	DRBG *DRBGStats `json:"drbg,omitempty"`
+	// Lifecycle aggregates the member lifecycle of a self-healing Pool (nil
+	// unless WithRecharacterization is attached).
+	Lifecycle *LifecycleStats `json:"lifecycle,omitempty"`
+}
+
+// LifecycleStats aggregates the member lifecycle state machine of a
+// self-healing Pool: how many members sit in each state right now, and the
+// cumulative transition counters.
+type LifecycleStats struct {
+	// Serving..Evicted count members currently in each lifecycle state.
+	Serving          int `json:"serving"`
+	Quarantined      int `json:"quarantined"`
+	Recharacterizing int `json:"recharacterizing"`
+	Readmitting      int `json:"readmitting"`
+	Evicted          int `json:"evicted"`
+	// Readmissions counts successful quarantine→serving round trips;
+	// Recharacterizations counts re-characterization passes started, and
+	// RecharFailures the passes that did not end in a readmission.
+	Readmissions        int64 `json:"readmissions"`
+	Recharacterizations int64 `json:"recharacterizations"`
+	RecharFailures      int64 `json:"rechar_failures"`
 }
 
 // TierStats counts the serving traffic of one tier of the two-tier read
@@ -294,10 +315,23 @@ type PoolDeviceStats struct {
 	// Healthy reports whether the device is still serving reads; Evicted
 	// and Reason describe why not (Reason is also set, with Healthy still
 	// true, when the last remaining device violates the health policy but
-	// is retained).
+	// is retained). State is the full lifecycle state: "serving",
+	// "quarantined", "recharacterizing", "readmitting" or "evicted" —
+	// Healthy and Evicted are redundant with it but kept for compatibility.
 	Healthy bool   `json:"healthy"`
 	Evicted bool   `json:"evicted"`
+	State   string `json:"state"`
 	Reason  string `json:"reason,omitempty"`
+	// Readmissions, Recharacterizations and RecharFailures count this
+	// device's lifecycle transitions under WithRecharacterization;
+	// LastRecharMS is the wall-clock duration of the most recent
+	// re-characterization pass, and ProfileDeltas the number of versioned
+	// deltas the device's (possibly re-characterized) profile carries.
+	Readmissions        int64   `json:"readmissions"`
+	Recharacterizations int64   `json:"recharacterizations"`
+	RecharFailures      int64   `json:"rechar_failures"`
+	LastRecharMS        float64 `json:"last_rechar_ms,omitempty"`
+	ProfileDeltas       int     `json:"profile_deltas,omitempty"`
 	// BiasDelta is |ones-fraction − 0.5| over the last completed health
 	// window of this device's harvested bits.
 	BiasDelta float64 `json:"bias_delta"`

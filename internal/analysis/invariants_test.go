@@ -66,6 +66,11 @@ var requiredFieldGuards = []struct {
 	{"drange/serving.go", "drbg", "mu"},
 	{"drange/serving.go", "monitor", "mu"},
 	{"drange/serving.go", "pendingDRBG", "mu"},
+	{"drange/serving.go", "readmissions", "mu"},
+	{"drange/serving.go", "recharacterizations", "mu"},
+	{"drange/serving.go", "recharFailures", "mu"},
+	{"drange/serving.go", "lastRecharMS", "mu"},
+	{"drange/serving.go", "recharAttempts", "mu"},
 	{"drange/drange.go", "legacy", "mu"},
 	{"drange/replay.go", "err", "mu"},
 	{"drange/replay.go", "cursor", "mu"},
@@ -187,7 +192,8 @@ func TestRequiredAnnotationsPresent(t *testing.T) {
 // discipline.
 var requiredAtomicFields = []string{
 	"drange/faulty.go:faultyDevice.reads",
-	"drange/serving.go:servingMember.evicted",
+	"drange/serving.go:servingMember.state",
+	"drange/serving.go:servingMember.fastEng",
 	"drange/serving.go:servingMember.fetched",
 	"drange/serving.go:servingMember.delivered",
 	"drange/serving.go:servingMember.win",

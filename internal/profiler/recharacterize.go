@@ -1,0 +1,179 @@
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memctrl"
+)
+
+// This file implements the targeted re-characterization pass behind the
+// self-healing pool lifecycle. A full Section 6.1 sweep re-screens and
+// deep-profiles a whole device; a quarantined pool member only needs its
+// drifted region re-measured. Recharacterize composes two experiments this
+// package already has: a single SpatialDistribution screen narrows the
+// region to the rows and words that still fail at all, and the TimeStability
+// loop then measures each surviving cell's failure probability across
+// repeated rounds, so cells whose Fprob drifted out of the RNG band — or
+// whose Fprob is no longer stable round to round — are rejected.
+
+// RecharConfig controls one targeted re-characterization pass.
+type RecharConfig struct {
+	// Profile holds the per-round Algorithm 1 parameters (tRCD, iterations
+	// per round, data pattern).
+	Profile Config
+	// ScreenIterations is the iteration count of the narrowing screen pass;
+	// 0 uses Profile.Iterations. The screen only decides which rows/words
+	// are measured at all, so it can run much lighter than the rounds.
+	ScreenIterations int
+	// Rounds is the number of stability rounds (at least 2).
+	Rounds int
+	// MaxDrift rejects cells whose per-round failure probability deviates
+	// from their mean by more than this in any round; (0,1].
+	MaxDrift float64
+	// LowFprob/HighFprob bound the accepted mean failure probability — the
+	// paper's RNG-cell band (Section 5.2 uses [0.4, 0.6]).
+	LowFprob, HighFprob float64
+}
+
+func (c RecharConfig) validate() error {
+	if c.Rounds < 2 {
+		return fmt.Errorf("profiler: re-characterization needs at least 2 rounds, got %d", c.Rounds)
+	}
+	if c.MaxDrift <= 0 || c.MaxDrift > 1 {
+		return fmt.Errorf("profiler: max drift %v outside (0,1]", c.MaxDrift)
+	}
+	if c.LowFprob < 0 || c.HighFprob > 1 || c.LowFprob >= c.HighFprob {
+		return fmt.Errorf("profiler: failure-probability band [%v,%v] invalid", c.LowFprob, c.HighFprob)
+	}
+	return nil
+}
+
+// StableCell is one cell that survived a targeted re-characterization pass:
+// its mean failure probability sits in the configured band and its per-round
+// drift stayed within bounds.
+type StableCell struct {
+	Addr      CellAddr
+	MeanFprob float64
+	// MaxDrift is the cell's largest |per-round Fprob − mean| over the pass.
+	MaxDrift float64
+}
+
+// RecharResult is the outcome of one targeted re-characterization pass.
+type RecharResult struct {
+	// Region is the narrowed region the stability rounds actually measured
+	// (the screen shrinks the requested region to its failing rows/words).
+	Region Region
+	// Screened is the number of distinct failing cells the screen found.
+	Screened int
+	// Stable holds the surviving cells sorted by (row, col).
+	Stable []StableCell
+	// WorstDrift is the largest drift observed over any failing cell in the
+	// narrowed region, survivors or not.
+	WorstDrift float64
+}
+
+// Recharacterize runs the targeted re-characterization pass over one region
+// of one bank: screen once, narrow, then measure stability over
+// cfg.Rounds rounds. A region with no failing cells at all returns an empty
+// result rather than an error — the caller decides whether a bank with no
+// usable cells fails the pass.
+func Recharacterize(ctrl *memctrl.Controller, region Region, cfg RecharConfig) (*RecharResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := region.Validate(ctrl); err != nil {
+		return nil, err
+	}
+	screenCfg := cfg.Profile
+	if cfg.ScreenIterations > 0 {
+		screenCfg.Iterations = cfg.ScreenIterations
+	}
+	narrowed, screened, err := narrowRegion(ctrl, region, screenCfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &RecharResult{Region: narrowed, Screened: screened}
+	if screened == 0 {
+		return res, nil
+	}
+	stab, err := TimeStability(ctrl, narrowed, cfg.Profile, cfg.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	res.WorstDrift = stab.WorstDrift
+	for addr, mean := range stab.MeanFprobPerCell {
+		drift := stab.MaxDriftPerCell[addr]
+		if mean < cfg.LowFprob || mean > cfg.HighFprob || drift > cfg.MaxDrift {
+			continue
+		}
+		res.Stable = append(res.Stable, StableCell{Addr: addr, MeanFprob: mean, MaxDrift: drift})
+	}
+	// Map iteration order is random; the lifecycle needs the pass to be a
+	// pure function of the device state, so the survivors are sorted.
+	sort.Slice(res.Stable, func(i, j int) bool {
+		a, b := res.Stable[i].Addr, res.Stable[j].Addr
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+	return res, nil
+}
+
+// narrowRegion runs the screen pass and shrinks region to the bounding box
+// of its failing rows and words. Regions anchored at the origin reuse the
+// SpatialDistribution experiment directly; offset regions fall back to a
+// plain profiling run over the region itself.
+func narrowRegion(ctrl *memctrl.Controller, region Region, cfg Config) (Region, int, error) {
+	g := ctrl.Device().Geometry()
+	var counts map[CellAddr]int
+	if region.RowStart == 0 && region.WordStart == 0 {
+		m, err := SpatialDistribution(ctrl, region.Bank, region.RowCount, region.WordCount*g.WordBits, cfg)
+		if err != nil {
+			return Region{}, 0, err
+		}
+		counts = make(map[CellAddr]int)
+		for r, row := range m.Failed {
+			for col, failed := range row {
+				if failed {
+					counts[CellAddr{Bank: region.Bank, Row: r, Col: col}] = 1
+				}
+			}
+		}
+	} else {
+		prof, err := Run(ctrl, region, cfg)
+		if err != nil {
+			return Region{}, 0, err
+		}
+		counts = prof.Counts
+	}
+	if len(counts) == 0 {
+		return region, 0, nil
+	}
+	minRow, maxRow := region.RowStart+region.RowCount, -1
+	minWord, maxWord := region.WordStart+region.WordCount, -1
+	for addr := range counts {
+		w := addr.Col / g.WordBits
+		if addr.Row < minRow {
+			minRow = addr.Row
+		}
+		if addr.Row > maxRow {
+			maxRow = addr.Row
+		}
+		if w < minWord {
+			minWord = w
+		}
+		if w > maxWord {
+			maxWord = w
+		}
+	}
+	narrowed := Region{
+		Bank:      region.Bank,
+		RowStart:  minRow,
+		RowCount:  maxRow - minRow + 1,
+		WordStart: minWord,
+		WordCount: maxWord - minWord + 1,
+	}
+	return narrowed, len(counts), nil
+}
